@@ -1,0 +1,55 @@
+(* experiments — regenerate every table of the paper's evaluation,
+   optionally followed by the ablation sweeps. *)
+
+open Cmdliner
+
+let tables_flag =
+  Arg.(value & flag & info [ "tables" ] ~doc:"Print Tables 1-4 (default action)")
+
+let ablations_flag =
+  Arg.(value & flag & info [ "ablations" ] ~doc:"Also run the ablation sweeps")
+
+let post_cleanup_flag =
+  Arg.(
+    value & flag
+    & info [ "post-cleanup" ]
+        ~doc:"Run comprehensive clean-up optimisation after inlining (the paper did not)")
+
+let run tables ablations post_cleanup =
+  let tables = tables || not ablations in
+  if tables then begin
+    let results = Impact_harness.Pipeline.run_suite ~post_cleanup () in
+    print_string (Impact_harness.Report.all results)
+  end;
+  if ablations then begin
+    print_newline ();
+    print_string
+      (Impact_harness.Ablation.render "Ablation A. Arc-weight threshold (paper: 10)."
+         (Impact_harness.Ablation.threshold_sweep ()));
+    print_newline ();
+    print_string
+      (Impact_harness.Ablation.render
+         "Ablation B. Program growth bound (default: 1.2x)."
+         (Impact_harness.Ablation.growth_sweep ()));
+    print_newline ();
+    print_string
+      (Impact_harness.Ablation.render "Ablation C. Linearisation order (paper: \
+                                       weight-sorted)."
+         (Impact_harness.Ablation.linearization_sweep ()));
+    print_newline ();
+    print_string
+      (Impact_harness.Ablation.render
+         "Ablation D. Selection heuristic (paper: profile-guided)."
+         (Impact_harness.Ablation.heuristic_sweep ()));
+    print_newline ();
+    print_string
+      (Impact_harness.Ablation.render
+         "Ablation E. Post-inline clean-up optimisation (paper: none)."
+         (Impact_harness.Ablation.post_opt_sweep ()))
+  end
+
+let () =
+  let doc = "regenerate the paper's evaluation tables and ablations" in
+  let info = Cmd.info "impact-experiments" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval (Cmd.v info Term.(const run $ tables_flag $ ablations_flag $ post_cleanup_flag)))

@@ -1,0 +1,237 @@
+(* impactc — command-line driver for the IMPACT-style tool chain.
+
+   Subcommands:
+     parse    check a C file and report its declarations
+     il       dump the lowered IL
+     run      compile and execute with stdin from a file or empty
+     profile  run over inputs and print node/arc weights
+     inline   profile, inline, and report what was expanded
+     bench    run one of the built-in benchmarks end to end *)
+
+module Il = Impact_il.Il
+module Lower = Impact_il.Lower
+module Machine = Impact_interp.Machine
+module Profiler = Impact_profile.Profiler
+module Profile = Impact_profile.Profile
+module Inliner = Impact_core.Inliner
+module Classify = Impact_core.Classify
+module Select = Impact_core.Select
+module Benchmark = Impact_bench_progs.Benchmark
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_frontend_errors f =
+  try f () with
+  | Impact_cfront.Lexer.Lex_error (msg, loc) ->
+    Printf.eprintf "lex error at %s: %s\n" (Impact_cfront.Srcloc.to_string loc) msg;
+    exit 1
+  | Impact_cfront.Parser.Parse_error (msg, loc) ->
+    Printf.eprintf "parse error at %s: %s\n" (Impact_cfront.Srcloc.to_string loc) msg;
+    exit 1
+  | Impact_cfront.Sema.Sema_error (msg, loc) ->
+    Printf.eprintf "semantic error at %s: %s\n" (Impact_cfront.Srcloc.to_string loc) msg;
+    exit 1
+  | Lower.Lower_error msg ->
+    Printf.eprintf "lowering error: %s\n" msg;
+    exit 1
+  | Machine.Trap msg ->
+    Printf.eprintf "runtime trap: %s\n" msg;
+    exit 1
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file")
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"File supplying the program's stdin")
+
+let inputs_arg =
+  Arg.(
+    value
+    & opt_all file []
+    & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Profiling input file (repeatable)")
+
+let optimize_arg =
+  Arg.(value & flag & info [ "O" ] ~doc:"Apply pre-inline optimisations first")
+
+(* parse *)
+
+let dump_arg =
+  Arg.(
+    value & flag
+    & info [ "dump" ] ~doc:"Pretty-print the parsed program back as C")
+
+let parse_cmd =
+  let run src dump =
+    with_frontend_errors (fun () ->
+        if dump then
+          print_string
+            (Impact_cfront.C_pp.print_program
+               (Impact_cfront.Parser.parse_program (read_file src)));
+        let tp = Impact_cfront.Sema.check_source (read_file src) in
+        Printf.printf "%d function(s), %d global(s), %d extern(s), %d string(s)\n"
+          (List.length tp.Impact_cfront.Tast.funcs)
+          (List.length tp.Impact_cfront.Tast.globals)
+          (List.length tp.Impact_cfront.Tast.externs)
+          (Array.length tp.Impact_cfront.Tast.strings);
+        List.iter
+          (fun (f : Impact_cfront.Tast.tfunc) ->
+            Printf.printf "  %s %s(%d params)\n"
+              (Impact_cfront.Ast.string_of_ty f.Impact_cfront.Tast.f_ret)
+              f.Impact_cfront.Tast.f_name
+              (List.length f.Impact_cfront.Tast.f_params))
+          tp.Impact_cfront.Tast.funcs)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and type-check a C file")
+    Term.(const run $ source_arg $ dump_arg)
+
+(* il *)
+
+let il_cmd =
+  let run src optimize =
+    with_frontend_errors (fun () ->
+        let prog = Lower.lower_source (read_file src) in
+        if optimize then ignore (Impact_opt.Driver.pre_inline prog);
+        print_string (Impact_il.Il_pp.dump prog))
+  in
+  Cmd.v (Cmd.info "il" ~doc:"Dump the lowered intermediate language")
+    Term.(const run $ source_arg $ optimize_arg)
+
+(* run *)
+
+let run_cmd =
+  let run src input optimize =
+    with_frontend_errors (fun () ->
+        let prog = Lower.lower_source (read_file src) in
+        if optimize then ignore (Impact_opt.Driver.pre_inline prog);
+        let stdin_data = match input with Some f -> read_file f | None -> "" in
+        let outcome = Machine.run prog ~input:stdin_data in
+        print_string outcome.Machine.output;
+        Printf.eprintf "[exit %d; %s]\n" outcome.Machine.exit_code
+          (Impact_interp.Counters.summary outcome.Machine.counters);
+        exit outcome.Machine.exit_code)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and execute a C file")
+    Term.(const run $ source_arg $ input_arg $ optimize_arg)
+
+(* profile *)
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the profile to FILE")
+
+let profile_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "p"; "profile" ] ~docv:"FILE"
+        ~doc:"Use a saved profile instead of re-profiling")
+
+let profile_cmd =
+  let run src inputs output =
+    with_frontend_errors (fun () ->
+        let prog = Lower.lower_source (read_file src) in
+        ignore (Impact_opt.Driver.pre_inline prog);
+        let inputs =
+          match inputs with [] -> [ "" ] | files -> List.map read_file files
+        in
+        let { Profiler.profile; _ } = Profiler.profile prog ~inputs in
+        (match output with
+        | Some path ->
+          Impact_profile.Profile_io.save path profile;
+          Printf.printf "profile written to %s\n" path
+        | None -> ());
+        Printf.printf "%s\n" (Profile.to_string profile);
+        Array.iter
+          (fun (f : Il.func) ->
+            if f.Il.alive then
+              Printf.printf "  %-20s weight %10.1f  size %5d  stack %5d\n" f.Il.name
+                (Profile.func_weight profile f.Il.fid)
+                (Il.code_size f) (Il.stack_usage f))
+          prog.Il.funcs)
+  in
+  Cmd.v (Cmd.info "profile" ~doc:"Profile a C program over input files")
+    Term.(const run $ source_arg $ inputs_arg $ output_arg)
+
+(* inline *)
+
+let inline_cmd =
+  let run src inputs profile_file =
+    with_frontend_errors (fun () ->
+        let prog = Lower.lower_source (read_file src) in
+        ignore (Impact_opt.Driver.pre_inline prog);
+        let profile =
+          match profile_file with
+          | Some path -> Impact_profile.Profile_io.load path
+          | None ->
+            let inputs =
+              match inputs with [] -> [ "" ] | files -> List.map read_file files
+            in
+            (Profiler.profile prog ~inputs).Profiler.profile
+        in
+        let report = Inliner.run prog profile in
+        Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
+          report.Inliner.size_before report.Inliner.size_after
+          (100.
+          *. float_of_int (report.Inliner.size_after - report.Inliner.size_before)
+          /. float_of_int (max report.Inliner.size_before 1));
+        List.iter
+          (fun (site, caller, callee) ->
+            Printf.printf "  expanded site %d: %s <- %s\n" site
+              prog.Il.funcs.(caller).Il.name prog.Il.funcs.(callee).Il.name)
+          report.Inliner.expansion.Impact_core.Expand.expansions;
+        let counts = Classify.static_summary report.Inliner.classified in
+        Printf.printf
+          "call sites: %d total (%d external, %d pointer, %d unsafe, %d safe)\n"
+          counts.Classify.total counts.Classify.external_ counts.Classify.pointer
+          counts.Classify.unsafe counts.Classify.safe)
+  in
+  Cmd.v
+    (Cmd.info "inline" ~doc:"Profile-guided inline expansion of a C program")
+    Term.(const run $ source_arg $ inputs_arg $ profile_file_arg)
+
+(* bench *)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Benchmark name (one of: %s)"
+               (String.concat ", " Impact_bench_progs.Suite.names)))
+  in
+  let run name =
+    match Impact_bench_progs.Suite.find name with
+    | exception Not_found ->
+      Printf.eprintf "unknown benchmark '%s'\n" name;
+      exit 1
+    | bench ->
+      let r = Impact_harness.Pipeline.run bench in
+      Printf.printf "%s: code %+.0f%%, calls -%.0f%%, outputs match: %b\n"
+        name
+        (Impact_harness.Pipeline.code_increase r)
+        (Impact_harness.Pipeline.call_decrease r)
+        r.Impact_harness.Pipeline.outputs_match
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
+    Term.(const run $ name_arg)
+
+let () =
+  let doc = "profile-guided inline function expansion for C (PLDI 1989)" in
+  let info = Cmd.info "impactc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ parse_cmd; il_cmd; run_cmd; profile_cmd; inline_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/icache_study.mli:

@@ -1,0 +1,1 @@
+examples/profile_guided.ml: Array Impact_core Impact_il Impact_profile List Printf String

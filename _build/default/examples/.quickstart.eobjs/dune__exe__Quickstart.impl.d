@@ -1,0 +1,1 @@
+examples/quickstart.ml: Impact_core Impact_il Impact_interp Impact_profile List Printf String

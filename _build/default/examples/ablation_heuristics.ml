@@ -1,0 +1,33 @@
+(* The paper's closing research question: are structure-only inlining
+   decisions (no profile) sufficient?  This example pits the paper's
+   profile-guided selection against a PL.8-style "inline all leaf
+   functions" rule and a MIPS-style "inline small callees" rule on three
+   benchmarks with different call structure.
+
+   Run with:  dune exec examples/ablation_heuristics.exe *)
+
+module Config = Impact_core.Config
+module Pipeline = Impact_harness.Pipeline
+
+let heuristics =
+  [
+    ("profile-guided", Config.Profile_guided);
+    ("leaf functions", Config.Static_leaf);
+    ("small callees", Config.Static_small 30);
+  ]
+
+let () =
+  Printf.printf "%-10s %-16s %10s %10s\n" "benchmark" "heuristic" "code inc"
+    "call dec";
+  List.iter
+    (fun name ->
+      let bench = Impact_bench_progs.Suite.find name in
+      List.iter
+        (fun (label, heuristic) ->
+          let config = { Config.default with Config.heuristic } in
+          let r = Pipeline.run ~config bench in
+          Printf.printf "%-10s %-16s %9.0f%% %9.0f%%\n" name label
+            (Pipeline.code_increase r) (Pipeline.call_decrease r))
+        heuristics;
+      print_newline ())
+    [ "grep"; "eqn"; "tar" ]

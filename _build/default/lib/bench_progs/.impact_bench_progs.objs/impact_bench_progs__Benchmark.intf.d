@@ -1,0 +1,1 @@
+lib/bench_progs/benchmark.mli:

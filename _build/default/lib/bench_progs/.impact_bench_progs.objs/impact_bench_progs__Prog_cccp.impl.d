@@ -1,0 +1,1 @@
+lib/bench_progs/prog_cccp.ml: Benchmark Impact_support List Textgen

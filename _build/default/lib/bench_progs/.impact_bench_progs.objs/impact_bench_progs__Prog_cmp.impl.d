@@ -1,0 +1,1 @@
+lib/bench_progs/prog_cmp.ml: Benchmark Bytes Impact_support List Textgen

@@ -1,0 +1,1 @@
+lib/bench_progs/prog_eqn.ml: Benchmark Buffer Impact_support List

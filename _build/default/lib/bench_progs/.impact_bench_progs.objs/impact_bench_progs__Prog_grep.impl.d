@@ -1,0 +1,1 @@
+lib/bench_progs/prog_grep.ml: Array Benchmark Impact_support List Textgen

@@ -1,0 +1,1 @@
+lib/bench_progs/prog_lex.ml: Benchmark Buffer Impact_support Textgen

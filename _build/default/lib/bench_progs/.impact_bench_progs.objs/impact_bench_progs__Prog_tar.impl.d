@@ -1,0 +1,1 @@
+lib/bench_progs/prog_tar.ml: Benchmark Buffer Impact_support List Printf String Textgen

@@ -1,0 +1,1 @@
+lib/bench_progs/prog_tee.ml: Benchmark Impact_support List Textgen

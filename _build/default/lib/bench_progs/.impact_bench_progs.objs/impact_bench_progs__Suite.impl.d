@@ -1,0 +1,1 @@
+lib/bench_progs/suite.ml: Benchmark List Prog_cccp Prog_cmp Prog_compress Prog_eqn Prog_espresso Prog_grep Prog_lex Prog_make Prog_tar Prog_tee Prog_wc Prog_yacc String

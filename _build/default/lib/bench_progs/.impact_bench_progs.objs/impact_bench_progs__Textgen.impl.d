@@ -1,0 +1,1 @@
+lib/bench_progs/textgen.ml: Buffer Impact_support Printf

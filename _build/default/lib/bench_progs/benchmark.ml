@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  inputs : unit -> string list;
+}
+
+(* Oracles for the simplest text utilities, mirroring their C sources. *)
+let wc_oracle input =
+  let lines = ref 0 and words = ref 0 and chars = ref 0 in
+  let in_word = ref false in
+  String.iter
+    (fun c ->
+      incr chars;
+      if c = '\n' then incr lines;
+      if c = ' ' || c = '\t' || c = '\n' then in_word := false
+      else if not !in_word then begin
+        in_word := true;
+        incr words
+      end)
+    input;
+  Printf.sprintf "%d %d %d\n" !lines !words !chars
+
+let tee_oracle input = input ^ Printf.sprintf "[tee: %d bytes]\n" (String.length input)
+
+let expected_output t input =
+  match t.name with
+  | "wc" -> Some (wc_oracle input)
+  | "tee" -> Some (tee_oracle input)
+  | _ -> None

@@ -1,0 +1,20 @@
+(** One benchmark of the paper's twelve-program UNIX suite.
+
+    Each benchmark is a program in the C subset together with a
+    deterministic workload generator standing in for the paper's
+    "representative inputs".  The programs are synthetic counterparts of
+    the originals, shaped to exhibit the same qualitative call
+    behaviour: the same hot-helper structure, external-call share, and
+    presence of recursion or calls through pointers (see DESIGN.md §2). *)
+
+type t = {
+  name : string;
+  description : string;  (** the "input description" column of Table 1 *)
+  source : string;       (** C source text *)
+  inputs : unit -> string list;
+      (** the representative input set; deterministic across calls *)
+}
+
+(** [expected_output t input] is [None] unless the benchmark has a cheap
+    independent oracle; integration tests check outputs against it. *)
+val expected_output : t -> string -> string option

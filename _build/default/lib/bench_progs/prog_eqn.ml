@@ -1,0 +1,265 @@
+(* eqn — equation formatter.  A recursive-descent parser over arithmetic
+   equations computes layout boxes (width/height), like eqn typesetting
+   ".EQ" input.  The parser functions are mutually recursive, so the call
+   graph has a genuine cycle: the linear order lets only one direction of
+   each mutual pair be absorbed, leaving a visible residue — the paper's
+   81% / +22% row. *)
+
+let source =
+  {|
+extern int read(char *buf, int n);
+extern int print_int(int n);
+extern int print_str(char *s);
+extern void exit(int code);
+
+char input[131072];
+int input_len = 0;
+int pos = 0;
+int total_width = 0;
+int total_height = 0;
+int equations = 0;
+int errors = 0;
+
+/* Hot: character classifier. */
+int is_digit(int c) { return c >= '0' && c <= '9'; }
+
+/* Hot: scanner advance. */
+int peek_char() {
+  if (pos >= input_len) return -1;
+  return input[pos];
+}
+
+/* Hot. */
+void skip_spaces() {
+  while (pos < input_len && (input[pos] == ' ' || input[pos] == '\t')) pos++;
+}
+
+/* Warm: one per number token. */
+int scan_number() {
+  int v = 0;
+  while (pos < input_len && is_digit(input[pos])) {
+    v = v * 10 + (input[pos] - '0');
+    pos++;
+  }
+  return v;
+}
+
+/* Box widths combine like eqn's: side-by-side adds, fractions stack. */
+int combine_width(int a, int b) { return a + b + 1; }
+int combine_height(int a, int b) { return a > b ? a : b; }
+
+int parse_expr();
+
+/* The recursive-descent core: factor/term/expr form a cycle. */
+int parse_factor() {
+  int c, w;
+  skip_spaces();
+  c = peek_char();
+  if (c == '(') {
+    pos++;
+    w = parse_expr();
+    skip_spaces();
+    if (peek_char() == ')') pos++;
+    else errors++;
+    return combine_width(w, 2);
+  }
+  if (is_digit(c)) {
+    int v = scan_number();
+    int digits = 1;
+    while (v >= 10) { v = v / 10; digits++; }
+    return digits;
+  }
+  if (c == 's') {  /* sqrt */
+    pos++;
+    w = parse_factor();
+    total_height = combine_height(total_height, 2);
+    return combine_width(w, 1);
+  }
+  errors++;
+  pos++;
+  return 1;
+}
+
+int parse_term() {
+  int w = parse_factor();
+  while (1) {
+    int c;
+    skip_spaces();
+    c = peek_char();
+    if (c == '*' || c == '/') {
+      pos++;
+      if (c == '/') total_height = combine_height(total_height, 2);
+      w = combine_width(w, parse_factor());
+    } else {
+      return w;
+    }
+  }
+}
+
+int parse_expr() {
+  int w = parse_term();
+  while (1) {
+    int c;
+    skip_spaces();
+    c = peek_char();
+    if (c == '+' || c == '-') {
+      pos++;
+      w = combine_width(w, parse_term());
+    } else {
+      return w;
+    }
+  }
+}
+
+/* Cold: never called in a healthy run. */
+void eqn_fatal(char *msg, int at) {
+  print_str("eqn: ");
+  print_str(msg);
+  print_str(" near position ");
+  print_int(at);
+  print_str("\n");
+}
+
+/* Cold: called on malformed input only. */
+void recover() {
+  /* Skip to the end of the current line. */
+  while (pos < input_len && input[pos] != '\n') pos++;
+  if (errors > 100) {
+    eqn_fatal("too many errors, giving up", pos);
+    pos = input_len;
+  }
+}
+
+/* Cold: once per run. */
+void summarize() {
+  print_str("[eqn: ");
+  print_int(equations);
+  print_str(" eqs, width ");
+  print_int(total_width);
+  print_str(", height ");
+  print_int(total_height);
+  print_str(", errors ");
+  print_int(errors);
+  print_str("]\n");
+}
+
+
+/* ---- cold feature code: keyword and font handling ----
+   Real eqn recognises dozens of keywords and font changes; this subset
+   carries the tables and lookups, reachable only on rare inputs. */
+
+char kw_names[12][8];
+int kw_widths[12];
+int n_keywords = 0;
+int font_size = 10;
+int font_changes = 0;
+
+/* Cold: table construction, on demand only. */
+void init_keywords() {
+  char *names = "sub sup over sqrt from to pile lpile rpile mark lineup bar";
+  int i = 0, k = 0;
+  while (names[i] != 0 && k < 12) {
+    int j = 0;
+    while (names[i] != 0 && names[i] != ' ' && j < 7) {
+      kw_names[k][j++] = names[i++];
+    }
+    kw_names[k][j] = 0;
+    kw_widths[k] = j + 2;
+    if (names[i] == ' ') i++;
+    k++;
+  }
+  n_keywords = k;
+}
+
+/* Cold: keyword lookup, only for alphabetic input. */
+int lookup_keyword(char *s, int len) {
+  int k, j;
+  if (n_keywords == 0) init_keywords();
+  for (k = 0; k < n_keywords; k++) {
+    for (j = 0; j < len; j++) {
+      if (kw_names[k][j] != s[j]) break;
+    }
+    if (j == len && kw_names[k][len] == 0) return k;
+  }
+  return -1;
+}
+
+/* Cold: font-size directives. */
+int set_font_size(int size) {
+  int old = font_size;
+  if (size < 6) size = 6;
+  if (size > 36) size = 36;
+  font_size = size;
+  font_changes++;
+  return old;
+}
+
+/* Cold: width of a glyph at the current size. */
+int glyph_width(int c) {
+  if (c >= '0' && c <= '9') return font_size * 6 / 10;
+  if (c == '(' || c == ')') return font_size * 4 / 10;
+  return font_size * 5 / 10;
+}
+
+int main() {
+  int n;
+  while ((n = read(input + input_len, 4096)) > 0) input_len += n;
+  while (pos < input_len) {
+    total_height = 1;
+    total_width += parse_expr();
+    equations++;
+    if (errors > 0) recover();
+    skip_spaces();
+    if (pos < input_len && input[pos] == '\n') pos++;
+  }
+  summarize();
+  return errors > 0;
+}
+|}
+
+(* Random equation generator: nested arithmetic with sqrt markers. *)
+let inputs () =
+  let rng = Impact_support.Rng.create 1007 in
+  let buf = Buffer.create 4096 in
+  let rec gen_expr depth =
+    if depth <= 0 || Impact_support.Rng.chance rng 2 5 then
+      Buffer.add_string buf (string_of_int (Impact_support.Rng.range rng 1 9999))
+    else begin
+      match Impact_support.Rng.int rng 4 with
+      | 0 ->
+        Buffer.add_char buf '(';
+        gen_expr (depth - 1);
+        Buffer.add_string buf (if Impact_support.Rng.bool rng then " + " else " * ");
+        gen_expr (depth - 1);
+        Buffer.add_char buf ')'
+      | 1 ->
+        Buffer.add_char buf 's';
+        gen_expr (depth - 1)
+      | 2 ->
+        gen_expr (depth - 1);
+        Buffer.add_string buf " / ";
+        gen_expr (depth - 1)
+      | _ ->
+        gen_expr (depth - 1);
+        Buffer.add_string buf " - ";
+        gen_expr (depth - 1)
+    end
+  in
+  List.init 6 (fun i ->
+      Buffer.clear buf;
+      let out = Buffer.create 8192 in
+      for _ = 1 to 150 + (60 * i) do
+        Buffer.clear buf;
+        gen_expr 4;
+        Buffer.add_buffer out buf;
+        Buffer.add_char out '\n'
+      done;
+      Buffer.contents out)
+
+let benchmark =
+  {
+    Benchmark.name = "eqn";
+    description = "equation documents, 150-450 nested equations";
+    source;
+    inputs;
+  }

@@ -1,0 +1,186 @@
+(* espresso — two-level logic minimiser sketch.  Covers are arrays of
+   bit-vector cubes; the minimisation loop funnels through small hot set
+   operations (subset, distance, consensus).  Cofactor orderings are
+   dispatched through a function-pointer strategy table once per row, so
+   calls through pointers appear with a small dynamic share, as in the
+   paper (espresso is the suite's pointer-heavy program).  The paper's
+   70% / +24% row. *)
+
+let source =
+  {|
+extern int read(char *buf, int n);
+extern int print_int(int n);
+extern int print_str(char *s);
+extern void exit(int code);
+
+char input[131072];
+int input_len = 0;
+
+int cube_lo[1024];
+int cube_hi[1024];
+int ncubes = 0;
+int kept[1024];
+int reductions = 0;
+int malformed = 0;
+
+/* Hot: per cube pair. */
+int is_subset(int alo, int ahi, int blo, int bhi) {
+  return (alo | blo) == blo && (ahi | bhi) == bhi;
+}
+
+/* Hot: per cube pair; Hamming-like distance on the lo/hi planes. */
+int distance(int alo, int ahi, int blo, int bhi) {
+  int conflict = (alo & bhi) | (ahi & blo);
+  int d = 0;
+  while (conflict) {
+    d += conflict & 1;
+    conflict = conflict >> 1;
+  }
+  return d;
+}
+
+/* Warm: merge two distance-1 cubes. */
+int consensus_lo(int alo, int blo) { return alo & blo; }
+int consensus_hi(int ahi, int bhi) { return ahi & bhi; }
+
+/* Strategy table: function pointers, as espresso dispatches cofactor
+   heuristics.  Called once per row of the pass — the ### sites. */
+int weight_first(int i) { return i; }
+int weight_size(int i) {
+  int w = cube_lo[i] | cube_hi[i];
+  int bits = 0;
+  while (w) { bits += w & 1; w = w >> 1; }
+  return bits;
+}
+int (*strategies[2])(int) = { weight_first, weight_size };
+
+/* Cold: input parsing, once per cube line, from the bulk buffer. */
+int parse_cubes() {
+  int i = 0, lo = 0, hi = 0, bit = 0;
+  while (i < input_len) {
+    int c = input[i++];
+    if (c == '\n') {
+      if (bit > 0 && ncubes < 1024) {
+        cube_lo[ncubes] = lo;
+        cube_hi[ncubes] = hi;
+        ncubes++;
+      }
+      lo = 0; hi = 0; bit = 0;
+    } else if (c == '0') {
+      lo = lo | (1 << bit);
+      bit++;
+    } else if (c == '1') {
+      hi = hi | (1 << bit);
+      bit++;
+    } else if (c == '-') {
+      bit++;
+    } else {
+      malformed++;
+    }
+  }
+  return ncubes;
+}
+
+/* Cold: never called in a healthy run. */
+void die(char *msg) {
+  print_str("espresso: ");
+  print_str(msg);
+  print_str("\n");
+  exit(2);
+}
+
+/* Cold: sanity pass over the cover, once per run. */
+void validate_cover() {
+  int i;
+  if (ncubes == 0) die("empty cover");
+  for (i = 0; i < ncubes; i++) {
+    if (cube_lo[i] & cube_hi[i]) die("contradictory cube");
+  }
+}
+
+/* Cold: cost accounting printed once per run. */
+int literal_count() {
+  int i, total = 0;
+  for (i = 0; i < ncubes; i++) {
+    if (kept[i]) {
+      int w = cube_lo[i] | cube_hi[i];
+      while (w) { total += w & 1; w = w >> 1; }
+    }
+  }
+  return total;
+}
+
+/* Cold. */
+void summarize(int final_count) {
+  print_str("[espresso: ");
+  print_int(ncubes);
+  print_str(" -> ");
+  print_int(final_count);
+  print_str(" cubes, ");
+  print_int(reductions);
+  print_str(" reductions, ");
+  print_int(literal_count());
+  print_str(" literals]\n");
+}
+
+int main() {
+  int i, j, pass, final_count = 0, n;
+  while ((n = read(input + input_len, 4096)) > 0) input_len += n;
+  parse_cubes();
+  validate_cover();
+  for (i = 0; i < ncubes; i++) kept[i] = 1;
+  /* Repeated expand/irredundant passes. */
+  for (pass = 0; pass < 4; pass++) {
+    int strategy = pass & 1;
+    for (i = 0; i < ncubes; i++) {
+      int rank;
+      if (!kept[i]) continue;
+      rank = strategies[strategy](i);
+      for (j = rank & 1; j < ncubes; j++) {
+        if (i == j || !kept[j]) continue;
+        if (is_subset(cube_lo[i], cube_hi[i], cube_lo[j], cube_hi[j])) {
+          kept[i] = 0;
+          reductions++;
+          break;
+        }
+        if (distance(cube_lo[i], cube_hi[i], cube_lo[j], cube_hi[j]) == 1) {
+          cube_lo[j] = consensus_lo(cube_lo[i], cube_lo[j]);
+          cube_hi[j] = consensus_hi(cube_hi[i], cube_hi[j]);
+          kept[i] = 0;
+          reductions++;
+          break;
+        }
+      }
+    }
+  }
+  for (i = 0; i < ncubes; i++) final_count += kept[i];
+  summarize(final_count);
+  return 0;
+}
+|}
+
+let inputs () =
+  let rng = Impact_support.Rng.create 1008 in
+  List.init 6 (fun i ->
+      let buf = Buffer.create 4096 in
+      let cubes = 160 + (50 * i) in
+      let width = 12 in
+      for _ = 1 to cubes do
+        for _ = 1 to width do
+          Buffer.add_char buf
+            (match Impact_support.Rng.int rng 3 with
+            | 0 -> '0'
+            | 1 -> '1'
+            | _ -> '-')
+        done;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.contents buf)
+
+let benchmark =
+  {
+    Benchmark.name = "espresso";
+    description = "PLA covers, 160-410 cubes of 12 literals";
+    source;
+    inputs;
+  }

@@ -1,0 +1,247 @@
+(* grep — pattern matcher.  The first input line holds the options and
+   the pattern (with . ^ $ * metacharacters, as the paper's grep runs
+   "exercised .*^$ options"); the rest is searched line by line.  Almost
+   every dynamic call hits the small hot match helpers, so inline
+   expansion removes nearly all calls at a visible code-size cost — the
+   paper's 99% / +31% row.  A body of cold option/diagnostic code mirrors
+   the original's bulk: those sites profile below the weight threshold
+   and populate Table 2's "unsafe" class. *)
+
+let source =
+  {|
+extern int read(char *buf, int n);
+extern int print_int(int n);
+extern int print_str(char *s);
+extern int write(char *buf, int n);
+extern void exit(int code);
+
+char text[262144];
+char pattern[256];
+int pattern_len = 0;
+int matched_lines = 0;
+int scanned_lines = 0;
+int invert = 0;
+int count_only = 0;
+int number_lines = 0;
+
+/* Hot: one call per candidate position and per star step. */
+int match_one(int pc, int tc) {
+  if (pc == '.') return tc != '\n' && tc != 0;
+  return pc == tc;
+}
+
+/* Hot: the core matcher.  Iterative over literal pattern characters;
+   recursion only for '*' backtracking, so the self arc is rare. */
+int match_here(char *pat, char *line) {
+  while (1) {
+    if (*pat == 0) return 1;
+    if (pat[1] == '*') {
+      int i = 0;
+      while (1) {
+        if (match_here(pat + 2, line + i)) return 1;
+        if (!match_one(*pat, line[i])) return 0;
+        i++;
+      }
+    }
+    if (*pat == '$' && pat[1] == 0) return *line == '\n' || *line == 0;
+    if (*line == 0 || *line == '\n') return 0;
+    if (!match_one(*pat, *line)) return 0;
+    pat++;
+    line++;
+  }
+}
+
+/* Hot: one call per line. */
+int match_line(char *pat, char *line) {
+  if (pat[0] == '^') return match_here(pat + 1, line);
+  do {
+    if (match_here(pat, line)) return 1;
+  } while (*line++ != 0 && line[-1] != '\n');
+  return 0;
+}
+
+/* Cold: once per matched line (workload keeps matches moderate). */
+void emit_line(char *line, int lineno) {
+  int n = 0;
+  if (number_lines) {
+    print_int(lineno);
+    print_str(":");
+  }
+  while (line[n] != 0 && line[n] != '\n') n++;
+  write(line, n);
+  print_str("\n");
+}
+
+/* Cold: option parsing, a handful of calls per run. */
+int parse_flag(int c) {
+  if (c == 'v') { invert = 1; return 1; }
+  if (c == 'c') { count_only = 1; return 1; }
+  if (c == 'n') { number_lines = 1; return 1; }
+  return 0;
+}
+
+/* Cold: never called in a healthy run. */
+void usage() {
+  print_str("usage: grep [-vcn] pattern\n");
+  print_str("  -v  invert match\n");
+  print_str("  -c  count matching lines only\n");
+  print_str("  -n  prefix line numbers\n");
+  exit(2);
+}
+
+/* Cold: never called in a healthy run. */
+void bad_pattern(char *pat, int at) {
+  print_str("grep: bad pattern '");
+  print_str(pat);
+  print_str("' near position ");
+  print_int(at);
+  print_str("\n");
+  exit(2);
+}
+
+/* Cold: once per run — validate the compiled pattern. */
+void check_pattern() {
+  int i;
+  if (pattern_len == 0) usage();
+  for (i = 0; i < pattern_len; i++) {
+    if (pattern[i] == '*' && i == 0) bad_pattern(pattern, i);
+    if (pattern[i] == '*' && i > 0 && pattern[i - 1] == '*')
+      bad_pattern(pattern, i);
+  }
+}
+
+/* Cold: once per run. */
+void summarize(int n) {
+  print_str("[grep: ");
+  print_int(n);
+  print_str(" of ");
+  print_int(scanned_lines);
+  print_str(" lines]\n");
+}
+
+
+/* ---- cold feature code: character classes and multi-pattern mode ----
+   Present in the binary (real grep carries far more), reachable only on
+   rare option combinations, so all of its call sites profile cold. */
+
+char class_set[256];
+
+/* Cold: build a [a-z] style class into class_set. */
+int compile_class(char *pat, int at) {
+  int i = at + 1, neg = 0, j;
+  for (j = 0; j < 256; j++) class_set[j] = 0;
+  if (pat[i] == '^') { neg = 1; i++; }
+  while (pat[i] != 0 && pat[i] != ']') {
+    if (pat[i + 1] == '-' && pat[i + 2] != 0 && pat[i + 2] != ']') {
+      for (j = pat[i]; j <= pat[i + 2]; j++) class_set[j] = 1;
+      i += 3;
+    } else {
+      class_set[pat[i] & 255] = 1;
+      i++;
+    }
+  }
+  if (neg) {
+    for (j = 1; j < 256; j++) class_set[j] = !class_set[j];
+  }
+  return i;
+}
+
+/* Cold: match one char against the last compiled class. */
+int match_class(int c) {
+  return class_set[c & 255];
+}
+
+char extra_patterns[8][64];
+int n_extra = 0;
+
+/* Cold: -e pattern accumulation. */
+int add_pattern(char *pat, int len) {
+  int i;
+  if (n_extra >= 8 || len >= 64) return 0;
+  for (i = 0; i < len; i++) extra_patterns[n_extra][i] = pat[i];
+  extra_patterns[n_extra][len] = 0;
+  n_extra++;
+  return 1;
+}
+
+/* Cold: try every accumulated pattern against a line. */
+int match_any(char *line) {
+  int i;
+  for (i = 0; i < n_extra; i++) {
+    if (match_line(extra_patterns[i], line)) return 1;
+  }
+  return 0;
+}
+
+/* Cold: long help, never printed in a healthy run. */
+void long_help() {
+  print_str("grep searches for a pattern in each input line.\n");
+  print_str("pattern syntax:\n");
+  print_str("  .    any character\n");
+  print_str("  ^    anchor at start of line\n");
+  print_str("  $    anchor at end of line\n");
+  print_str("  x*   zero or more of x\n");
+  print_str("  [..] character class\n");
+  usage();
+}
+
+int main() {
+  int len = 0, n, i, lineno;
+  while ((n = read(text + len, 4096)) > 0) len += n;
+  text[len] = 0;
+  /* First line: optional "-flags " prefix, then the pattern. */
+  i = 0;
+  if (text[i] == '-') {
+    i++;
+    while (i < len && text[i] != ' ' && text[i] != '\n') {
+      if (!parse_flag(text[i])) usage();
+      i++;
+    }
+    if (i < len && text[i] == ' ') i++;
+  }
+  while (i < len && text[i] != '\n') {
+    pattern[pattern_len++] = text[i++];
+  }
+  pattern[pattern_len] = 0;
+  i++;
+  check_pattern();
+  /* Scan each remaining line. */
+  lineno = 0;
+  while (i < len) {
+    int hit;
+    lineno++;
+    scanned_lines++;
+    hit = match_line(pattern, text + i);
+    if (invert) hit = !hit;
+    if (hit) {
+      matched_lines++;
+      if (!count_only) emit_line(text + i, lineno);
+    }
+    while (i < len && text[i] != '\n') i++;
+    i++;
+  }
+  if (count_only) {
+    print_int(matched_lines);
+    print_str("\n");
+  }
+  summarize(matched_lines);
+  return matched_lines == 0;
+}
+|}
+
+let inputs () =
+  let rng = Impact_support.Rng.create 1004 in
+  let patterns =
+    [| "fox"; "^the"; "c.mpiler"; "-n lo*p"; "graph$"; "-c .rofile" |]
+  in
+  List.init 6 (fun i ->
+      let body = Textgen.lines rng ~lines:(250 + (80 * i)) ~width:8 in
+      patterns.(i) ^ "\n" ^ body)
+
+let benchmark =
+  {
+    Benchmark.name = "grep";
+    description = "patterns exercising . ^ $ * and -vcn options";
+    source;
+    inputs;
+  }

@@ -1,0 +1,165 @@
+(* lex — lexical analyser.  A table-driven DFA tokenises program-like
+   text, the dominant cost of a lex-generated scanner; per-character work
+   runs through the small hot step/class helpers, with token actions a
+   layer above.  This is the suite's longest-running benchmark, as lex is
+   in the paper (152M ILs).  The paper's 77% / +23% row. *)
+
+let source =
+  {|
+extern int read(char *buf, int n);
+extern int putchar(int c);
+extern int print_int(int n);
+extern int print_str(char *s);
+extern void exit(int code);
+
+char text[262144];
+int text_len = 0;
+
+/* character classes:
+   0 other, 1 letter, 2 digit, 3 space, 4 quote, 5 punct */
+int class_of[256];
+
+/* DFA: states x classes.  0 start, 1 ident, 2 number, 3 string,
+   4 punct-run; negative entries mean "token complete, back up". */
+int delta[5][6];
+
+int token_counts[5];
+int total_tokens = 0;
+int longest = 0;
+
+/* Hot: per character. */
+int char_class(int c) { return class_of[c & 255]; }
+
+/* Hot: per character. */
+int dfa_step(int state, int cls) { return delta[state][cls]; }
+
+/* Hot: per token.  The action emits one marker byte, like a generated
+   scanner echoing to yyout: the external share of lex's work. */
+void bump_token(int kind, int len) {
+  token_counts[kind]++;
+  total_tokens++;
+  if (len > longest) longest = len;
+  putchar('a' + kind);
+}
+
+/* Cold: never called in a healthy run. */
+void scanner_panic(char *msg, int at) {
+  print_str("lex: ");
+  print_str(msg);
+  print_str(" at ");
+  print_int(at);
+  print_str("\n");
+  exit(2);
+}
+
+/* Cold: table audit, once per run. */
+void check_tables() {
+  int s, k;
+  for (s = 0; s < 5; s++) {
+    for (k = 0; k < 6; k++) {
+      if (delta[s][k] < -4 || delta[s][k] > 4) scanner_panic("bad delta", s * 6 + k);
+    }
+  }
+}
+
+/* Cold: table construction, once per run. */
+void init_tables() {
+  int i, s, k;
+  for (i = 0; i < 256; i++) class_of[i] = 0;
+  for (i = 'a'; i <= 'z'; i++) class_of[i] = 1;
+  for (i = 'A'; i <= 'Z'; i++) class_of[i] = 1;
+  class_of['_'] = 1;
+  for (i = '0'; i <= '9'; i++) class_of[i] = 2;
+  class_of[' '] = 3; class_of['\t'] = 3; class_of['\n'] = 3;
+  class_of['"'] = 4;
+  class_of['+'] = 5; class_of['-'] = 5; class_of['*'] = 5;
+  class_of['/'] = 5; class_of['='] = 5; class_of['<'] = 5;
+  class_of['>'] = 5; class_of['('] = 5; class_of[')'] = 5;
+  class_of['{'] = 5; class_of['}'] = 5; class_of[';'] = 5;
+  for (s = 0; s < 5; s++)
+    for (k = 0; k < 6; k++)
+      delta[s][k] = 0;
+  /* start state */
+  delta[0][1] = 1; delta[0][2] = 2; delta[0][3] = 0;
+  delta[0][4] = 3; delta[0][5] = 4; delta[0][0] = 0;
+  /* ident continues on letters/digits */
+  delta[1][1] = 1; delta[1][2] = 1;
+  delta[1][0] = -1; delta[1][3] = -1; delta[1][4] = -1; delta[1][5] = -1;
+  /* number */
+  delta[2][2] = 2;
+  delta[2][0] = -2; delta[2][1] = -2; delta[2][3] = -2;
+  delta[2][4] = -2; delta[2][5] = -2;
+  /* string runs to closing quote */
+  delta[3][0] = 3; delta[3][1] = 3; delta[3][2] = 3;
+  delta[3][3] = 3; delta[3][5] = 3; delta[3][4] = -3;
+  /* punctuation is single-char */
+  delta[4][0] = -4; delta[4][1] = -4; delta[4][2] = -4;
+  delta[4][3] = -4; delta[4][4] = -4; delta[4][5] = -4;
+}
+
+/* Cold. */
+void summarize() {
+  int i;
+  print_str("[lex:");
+  for (i = 0; i < 5; i++) {
+    print_str(" ");
+    print_int(token_counts[i]);
+  }
+  print_str(" longest ");
+  print_int(longest);
+  print_str("]\n");
+}
+
+int main() {
+  int n, i = 0, state = 0, start = 0;
+  init_tables();
+  check_tables();
+  while ((n = read(text + text_len, 4096)) > 0) text_len += n;
+  while (i < text_len) {
+    int cls = char_class(text[i]);
+    int next = dfa_step(state, cls);
+    if (next >= 0) {
+      if (state == 0 && next != 0) start = i;
+      state = next;
+      i++;
+    } else {
+      bump_token(-next, i - start);
+      state = 0;
+      if (next == -3) i++;  /* consume closing quote */
+    }
+  }
+  if (state != 0) bump_token(state, i - start);
+  summarize();
+  return 0;
+}
+|}
+
+let inputs () =
+  let rng = Impact_support.Rng.create 1009 in
+  (* Four "lexer inputs": C-like, lispy parens, awk-ish, and plain text,
+     mirroring the paper's "lexers for C, Lisp, awk, and pic". *)
+  [
+    Textgen.c_source rng ~functions:200;
+    (let buf = Buffer.create 8192 in
+     for _ = 1 to 5000 do
+       Buffer.add_string buf "(define x ";
+       Buffer.add_string buf (string_of_int (Impact_support.Rng.int rng 1000));
+       Buffer.add_string buf ") "
+     done;
+     Buffer.contents buf);
+    (let buf = Buffer.create 8192 in
+     for _ = 1 to 4000 do
+       Buffer.add_string buf "{ total += $1 * 2; print \"row\" } ";
+       if Impact_support.Rng.bool rng then Buffer.add_char buf '\n'
+     done;
+     Buffer.contents buf);
+    Textgen.lines rng ~lines:3000 ~width:9;
+  ]
+
+let benchmark =
+  {
+    Benchmark.name = "lex";
+    description = "token streams: C-like, Lisp-like, awk-like, plain text";
+    source;
+    inputs;
+  }

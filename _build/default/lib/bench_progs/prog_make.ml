@@ -1,0 +1,243 @@
+(* make — dependency resolver.  Reads a makefile-like description
+   ("target: dep dep ...") into a graph keyed by a string hash table,
+   then walks it recursively computing what is out of date.  The string
+   helpers (hash, equality) are the hot inlinable share and are mid-sized,
+   giving the suite's largest relative code growth — the paper's
+   59% / +34% row.  The recursive walk leaves a residue. *)
+
+let source =
+  {|
+extern int read(char *buf, int n);
+extern int print_int(int n);
+extern int print_str(char *s);
+extern void exit(int code);
+
+char src[131072];
+int src_len = 0;
+
+struct target {
+  char name[24];
+  int deps[16];
+  int ndeps;
+  int stamp;      /* pretend file timestamp */
+  int state;      /* 0 unvisited, 1 visiting, 2 done */
+  int rebuilt;
+};
+
+struct target targets[512];
+int ntargets = 0;
+int buckets[1024];
+int chain[512];
+int rebuilds = 0;
+int cycles = 0;
+
+/* Hot: per name occurrence. */
+int hash_str(char *s, int len) {
+  int h = 5381, i;
+  for (i = 0; i < len; i++) h = ((h << 5) + h + s[i]) & 1023;
+  return h;
+}
+
+/* Hot: per hash probe. */
+int name_equal(char *a, int len, char *b) {
+  int i;
+  for (i = 0; i < len; i++) {
+    if (a[i] != b[i]) return 0;
+  }
+  return b[len] == 0;
+}
+
+/* Hot: per name occurrence — find or insert. */
+int intern(char *s, int len) {
+  int h = hash_str(s, len);
+  int t = buckets[h];
+  int i;
+  while (t != 0) {
+    if (name_equal(s, len, targets[t - 1].name)) return t - 1;
+    t = chain[t - 1];
+  }
+  if (ntargets >= 512 || len >= 24) return 0;
+  for (i = 0; i < len; i++) targets[ntargets].name[i] = s[i];
+  targets[ntargets].name[len] = 0;
+  targets[ntargets].ndeps = 0;
+  targets[ntargets].stamp = (h * 7 + len * 13) % 100;
+  targets[ntargets].state = 0;
+  targets[ntargets].rebuilt = 0;
+  chain[ntargets] = buckets[h];
+  buckets[h] = ntargets + 1;
+  ntargets++;
+  return ntargets - 1;
+}
+
+/* Recursive dependency walk: the call-graph cycle. */
+int build(int t) {
+  int i, newest = 0, d;
+  if (targets[t].state == 1) { cycles++; return targets[t].stamp; }
+  if (targets[t].state == 2) return targets[t].stamp;
+  targets[t].state = 1;
+  for (i = 0; i < targets[t].ndeps; i++) {
+    d = build(targets[t].deps[i]);
+    if (d > newest) newest = d;
+  }
+  if (targets[t].ndeps > 0 && newest >= targets[t].stamp) {
+    targets[t].stamp = newest + 1;
+    targets[t].rebuilt = 1;
+    rebuilds++;
+  }
+  targets[t].state = 2;
+  return targets[t].stamp;
+}
+
+/* Cold: parse once. */
+void parse_makefile() {
+  int i = 0;
+  while (i < src_len) {
+    int s = i, t;
+    while (i < src_len && src[i] != ':' && src[i] != '\n') i++;
+    if (i >= src_len || src[i] == '\n') { i++; continue; }
+    t = intern(src + s, i - s);
+    i++;  /* skip ':' */
+    while (i < src_len && src[i] != '\n') {
+      int ds;
+      while (i < src_len && src[i] == ' ') i++;
+      ds = i;
+      while (i < src_len && src[i] != ' ' && src[i] != '\n') i++;
+      if (i > ds && targets[t].ndeps < 16) {
+        targets[t].deps[targets[t].ndeps++] = intern(src + ds, i - ds);
+      }
+    }
+    i++;
+  }
+}
+
+/* Cold: never called in a healthy run. */
+void make_fatal(char *msg) {
+  print_str("make: ");
+  print_str(msg);
+  print_str("\n");
+  exit(2);
+}
+
+/* Cold: graph sanity, once per run. */
+void check_graph() {
+  int t, i;
+  if (ntargets == 0) make_fatal("no targets");
+  for (t = 0; t < ntargets; t++) {
+    for (i = 0; i < targets[t].ndeps; i++) {
+      int d = targets[t].deps[i];
+      if (d < 0 || d >= ntargets) make_fatal("dangling dependency");
+    }
+  }
+}
+
+/* Cold: per rebuilt target when tracing (first run only shape). */
+void trace_rebuild(int t) {
+  print_str("rebuilding ");
+  print_str(targets[t].name);
+  print_str("\n");
+}
+
+/* Cold. */
+void summarize() {
+  print_str("[make: ");
+  print_int(ntargets);
+  print_str(" targets, ");
+  print_int(rebuilds);
+  print_str(" rebuilt, ");
+  print_int(cycles);
+  print_str(" cycles]\n");
+}
+
+
+/* ---- cold feature code: builtin suffix rules and variables ----
+   Real make carries suffix-rule and macro machinery; this subset keeps
+   the tables and lookups, exercised only on rare shapes of input. */
+
+char var_names[32][16];
+char var_values[32][32];
+int n_vars = 0;
+
+/* Cold: define a make variable. */
+int define_var(char *name, int nlen, char *value, int vlen) {
+  int i;
+  if (n_vars >= 32 || nlen >= 16 || vlen >= 32) return 0;
+  for (i = 0; i < nlen; i++) var_names[n_vars][i] = name[i];
+  var_names[n_vars][nlen] = 0;
+  for (i = 0; i < vlen; i++) var_values[n_vars][i] = value[i];
+  var_values[n_vars][vlen] = 0;
+  n_vars++;
+  return 1;
+}
+
+/* Cold: variable lookup. */
+char *lookup_var(char *name, int nlen) {
+  int v;
+  for (v = 0; v < n_vars; v++) {
+    if (name_equal(name, nlen, var_names[v])) return var_values[v];
+  }
+  return 0;
+}
+
+/* Cold: suffix-rule matching: does the target end with .o? */
+int has_suffix(char *name, char *suffix) {
+  int nlen = 0, slen = 0, i;
+  while (name[nlen] != 0) nlen++;
+  while (suffix[slen] != 0) slen++;
+  if (slen > nlen) return 0;
+  for (i = 0; i < slen; i++) {
+    if (name[nlen - slen + i] != suffix[i]) return 0;
+  }
+  return 1;
+}
+
+/* Cold: apply builtin .c -> .o style rules. */
+int builtin_rules() {
+  int t, applied = 0;
+  for (t = 0; t < ntargets; t++) {
+    if (has_suffix(targets[t].name, ".o") && targets[t].ndeps == 0) {
+      targets[t].stamp = targets[t].stamp + 1;
+      applied++;
+    }
+  }
+  return applied;
+}
+
+int main() {
+  int n, t;
+  while ((n = read(src + src_len, 4096)) > 0) src_len += n;
+  parse_makefile();
+  check_graph();
+  for (t = 0; t < ntargets; t++) build(t);
+  for (t = 0; t < ntargets && t < 3; t++) {
+    if (targets[t].rebuilt) trace_rebuild(t);
+  }
+  summarize();
+  return 0;
+}
+|}
+
+let inputs () =
+  let rng = Impact_support.Rng.create 1010 in
+  List.init 6 (fun i ->
+      let buf = Buffer.create 4096 in
+      let n = 80 + (30 * i) in
+      for t = 0 to n - 1 do
+        Buffer.add_string buf (Printf.sprintf "obj_%d:" t);
+        (* Dependencies point at later targets so the graph is acyclic
+           with occasional repeats, like real makefiles. *)
+        let ndeps = Impact_support.Rng.range rng 1 5 in
+        for _ = 1 to ndeps do
+          let d = Impact_support.Rng.range rng (t + 1) (n + 20) in
+          Buffer.add_string buf (Printf.sprintf " obj_%d" d)
+        done;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.contents buf)
+
+let benchmark =
+  {
+    Benchmark.name = "make";
+    description = "makefiles of 80-230 targets with 1-5 deps each";
+    source;
+    inputs;
+  }

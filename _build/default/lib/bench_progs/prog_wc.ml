@@ -1,0 +1,79 @@
+(* wc — word count.  The paper's observation for wc is that "function
+   calls are unimportant because they are invoked very infrequently": the
+   real wc reads with read(2) into a buffer and counts in a tight inline
+   loop, so inline expansion has nothing to do.  This counterpart has the
+   same shape: a handful of calls per run, all cold or external. *)
+
+let source =
+  {|
+extern int read(char *buf, int n);
+extern int print_int(int n);
+extern int putchar(int c);
+
+char buffer[4096];
+
+int total_lines = 0;
+int total_words = 0;
+int total_chars = 0;
+
+/* Called once at the end of the run: cold. */
+void report(int l, int w, int c) {
+  print_int(l); putchar(' ');
+  print_int(w); putchar(' ');
+  print_int(c); putchar('\n');
+}
+
+/* Called once per run: cold. */
+void reset_counts() {
+  total_lines = 0;
+  total_words = 0;
+  total_chars = 0;
+}
+
+/* Cold: never called in a healthy run. */
+void short_read(int n) {
+  print_int(n);
+  putchar('!');
+  putchar(10);
+}
+
+/* Cold: consistency check, once per run. */
+void verify_counts() {
+  if (total_words > total_chars) short_read(total_words);
+  if (total_lines > total_chars) short_read(total_lines);
+}
+
+int main() {
+  int n, i, c, in_word = 0;
+  reset_counts();
+  while ((n = read(buffer, 4096)) > 0) {
+    for (i = 0; i < n; i++) {
+      c = buffer[i];
+      total_chars++;
+      if (c == '\n') total_lines++;
+      if (c == ' ' || c == '\t' || c == '\n') {
+        in_word = 0;
+      } else if (!in_word) {
+        in_word = 1;
+        total_words++;
+      }
+    }
+  }
+  verify_counts();
+  report(total_lines, total_words, total_chars);
+  return 0;
+}
+|}
+
+let inputs () =
+  let rng = Impact_support.Rng.create 1001 in
+  List.init 6 (fun i ->
+      Textgen.lines rng ~lines:(300 + (i * 120)) ~width:9)
+
+let benchmark =
+  {
+    Benchmark.name = "wc";
+    description = "pseudo-English text files, 300-900 lines";
+    source;
+    inputs;
+  }

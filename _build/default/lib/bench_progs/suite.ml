@@ -1,0 +1,19 @@
+let all =
+  [
+    Prog_cccp.benchmark;
+    Prog_cmp.benchmark;
+    Prog_compress.benchmark;
+    Prog_eqn.benchmark;
+    Prog_espresso.benchmark;
+    Prog_grep.benchmark;
+    Prog_lex.benchmark;
+    Prog_make.benchmark;
+    Prog_tar.benchmark;
+    Prog_tee.benchmark;
+    Prog_wc.benchmark;
+    Prog_yacc.benchmark;
+  ]
+
+let find name = List.find (fun b -> String.equal b.Benchmark.name name) all
+
+let names = List.map (fun b -> b.Benchmark.name) all

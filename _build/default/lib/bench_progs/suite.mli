@@ -1,0 +1,11 @@
+(** The twelve-benchmark suite, in the paper's Table 1 order. *)
+
+(** All twelve benchmarks. *)
+val all : Benchmark.t list
+
+(** [find name] is the benchmark with that name.
+    @raise Not_found if the name is unknown. *)
+val find : string -> Benchmark.t
+
+(** [names] lists the benchmark names in suite order. *)
+val names : string list

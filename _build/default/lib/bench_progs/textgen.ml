@@ -1,0 +1,50 @@
+module Rng = Impact_support.Rng
+
+let word_list =
+  [|
+    "the"; "quick"; "brown"; "fox"; "jumps"; "over"; "lazy"; "dog"; "pack";
+    "my"; "box"; "with"; "five"; "dozen"; "liquor"; "jugs"; "compiler";
+    "inline"; "function"; "expansion"; "profile"; "weight"; "graph"; "node";
+    "arc"; "stack"; "frame"; "register"; "branch"; "loop"; "table"; "index";
+    "buffer"; "stream"; "token"; "parse"; "emit"; "match"; "state"; "input";
+  |]
+
+let words rng n =
+  let buf = Buffer.create (n * 6) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Rng.choose rng word_list)
+  done;
+  Buffer.contents buf
+
+let lines rng ~lines:nlines ~width =
+  let buf = Buffer.create (nlines * width * 6) in
+  for _ = 1 to nlines do
+    let w = max 1 (width + Rng.range rng (-2) 2) in
+    Buffer.add_string buf (words rng w);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let c_source rng ~functions =
+  let buf = Buffer.create (functions * 200) in
+  Buffer.add_string buf "#define LIMIT 100\n#define SCALE 8\n";
+  for i = 0 to functions - 1 do
+    Buffer.add_string buf (Printf.sprintf "int helper_%d(int x) {\n" i);
+    let stmts = Rng.range rng 2 6 in
+    for _ = 1 to stmts do
+      let v = Rng.int rng 100 in
+      Buffer.add_string buf (Printf.sprintf "  x = x * %d + LIMIT; /* %s */\n" v
+        (Rng.choose rng word_list))
+    done;
+    Buffer.add_string buf "  return x;\n}\n"
+  done;
+  Buffer.contents buf
+
+let numbers rng n ~max =
+  let buf = Buffer.create (n * 6) in
+  for _ = 1 to n do
+    Buffer.add_string buf (string_of_int (Rng.int rng max));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

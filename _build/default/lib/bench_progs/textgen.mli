@@ -1,0 +1,20 @@
+(** Deterministic text workload generator shared by the benchmarks.
+
+    Stands in for the paper's corpora (C source files, troff papers,
+    makefiles, grammars): pseudo-English built from a fixed word list
+    with seeded randomness, so every experiment is reproducible. *)
+
+(** [words rng n] is [n] space-separated pseudo-words. *)
+val words : Impact_support.Rng.t -> int -> string
+
+(** [lines rng ~lines ~width] is text with roughly [width] words per
+    line. *)
+val lines : Impact_support.Rng.t -> lines:int -> width:int -> string
+
+(** [c_source rng ~functions] is a C-flavoured source text with the
+    given number of function-like blocks (for the cccp benchmark). *)
+val c_source : Impact_support.Rng.t -> functions:int -> string
+
+(** [numbers rng n ~max] is [n] newline-separated integers in
+    [\[0, max)]. *)
+val numbers : Impact_support.Rng.t -> int -> max:int -> string

@@ -1,0 +1,1 @@
+lib/callgraph/callgraph.ml: Array Hashtbl Impact_il Impact_profile Int List Ptr_analysis Scc Set

@@ -1,0 +1,1 @@
+lib/callgraph/callgraph.mli: Impact_il Impact_profile

@@ -1,0 +1,1 @@
+lib/callgraph/ptr_analysis.ml: Array Hashtbl Impact_il Int List Option Set

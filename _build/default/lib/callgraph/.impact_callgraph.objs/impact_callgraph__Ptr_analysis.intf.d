@@ -1,0 +1,1 @@
+lib/callgraph/ptr_analysis.mli: Hashtbl Impact_il

@@ -1,0 +1,1 @@
+lib/callgraph/reach.ml: Array Callgraph Impact_il List

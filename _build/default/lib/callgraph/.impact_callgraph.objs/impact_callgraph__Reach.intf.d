@@ -1,0 +1,1 @@
+lib/callgraph/reach.mli: Callgraph

@@ -1,0 +1,1 @@
+lib/callgraph/scc.mli:

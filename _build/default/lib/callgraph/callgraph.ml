@@ -1,0 +1,125 @@
+module Il = Impact_il.Il
+module Profile = Impact_profile.Profile
+
+type callee =
+  | To_func of Il.fid
+  | To_ext
+  | To_ptr
+
+type arc = {
+  a_id : Il.site_id;
+  a_caller : Il.fid;
+  a_callee : callee;
+  a_weight : float;
+}
+
+type t = {
+  prog : Il.program;
+  arcs : arc list;
+  arcs_from : arc list array;
+  node_weight : float array;
+  has_external_call : bool;
+  pointer_targets : Il.fid list;
+  recursive : bool array;
+  self_arc : bool array;
+}
+
+let build ?(refine_pointer_targets = false) (prog : Il.program)
+    (profile : Profile.t) =
+  let nfuncs = Array.length prog.Il.funcs in
+  let arcs = ref [] in
+  let self_arc = Array.make nfuncs false in
+  let has_external_call = ref false in
+  let has_pointer_call = ref false in
+  Array.iter
+    (fun (f : Il.func) ->
+      if f.Il.alive then
+        List.iter
+          (fun (s : Il.site) ->
+            let callee =
+              match s.Il.s_kind with
+              | Il.To_user callee ->
+                if callee = f.Il.fid then self_arc.(f.Il.fid) <- true;
+                To_func callee
+              | Il.To_extern _ ->
+                has_external_call := true;
+                To_ext
+              | Il.Through_pointer ->
+                has_pointer_call := true;
+                To_ptr
+            in
+            arcs :=
+              {
+                a_id = s.Il.s_id;
+                a_caller = f.Il.fid;
+                a_callee = callee;
+                a_weight = Profile.site_weight profile s.Il.s_id;
+              }
+              :: !arcs)
+          (Il.sites_of f))
+    prog.Il.funcs;
+  let arcs = List.rev !arcs in
+  let arcs_from = Array.make (max nfuncs 1) [] in
+  List.iter (fun a -> arcs_from.(a.a_caller) <- a :: arcs_from.(a.a_caller)) arcs;
+  Array.iteri (fun i l -> arcs_from.(i) <- List.rev l) arcs_from;
+  (* The maximal callee set for ###: address-taken functions, widened to
+     all user functions when any external call exists (the paper's
+     worst-case assumption). *)
+  let all_fids =
+    Array.to_list (Array.mapi (fun fid f -> (fid, f.Il.alive)) prog.Il.funcs)
+    |> List.filter_map (fun (fid, alive) -> if alive then Some fid else None)
+  in
+  let pointer_targets =
+    if not !has_pointer_call then []
+    else if refine_pointer_targets then begin
+      (* Union of the per-site minimal callee sets: the ### node only
+         reaches what some indirect call can actually receive. *)
+      let analysis = Ptr_analysis.analyze prog in
+      let module S = Set.Make (Int) in
+      Hashtbl.fold
+        (fun _ fids acc -> List.fold_left (fun acc f -> S.add f acc) acc fids)
+        analysis.Ptr_analysis.per_site S.empty
+      |> S.elements
+    end
+    else if !has_external_call then all_fids
+    else prog.Il.address_taken
+  in
+  (* Conservative cycle detection over funcs + {$$$, ###}. *)
+  let ext_id = nfuncs in
+  let ptr_id = nfuncs + 1 in
+  let succ v =
+    if v = ext_id then all_fids
+    else if v = ptr_id then pointer_targets
+    else
+      List.filter_map
+        (fun a ->
+          match a.a_callee with
+          | To_func g -> Some g
+          | To_ext -> Some ext_id
+          | To_ptr -> Some ptr_id)
+        arcs_from.(v)
+  in
+  let scc = Scc.compute ~n:(nfuncs + 2) ~succ in
+  let recursive =
+    Array.init nfuncs (fun fid ->
+        Scc.on_cycle scc ~self_loop:(fun v -> v < nfuncs && self_arc.(v)) fid)
+  in
+  let node_weight =
+    Array.init nfuncs (fun fid -> Profile.func_weight profile fid)
+  in
+  {
+    prog;
+    arcs;
+    arcs_from;
+    node_weight;
+    has_external_call = !has_external_call;
+    pointer_targets;
+    recursive;
+    self_arc;
+  }
+
+let is_recursive g fid = g.recursive.(fid)
+
+let is_simple_recursive g fid = g.self_arc.(fid)
+
+let arc_count g = List.length g.arcs

@@ -1,0 +1,63 @@
+(** The weighted call graph G = (N, E, main).
+
+    Nodes are the program's functions plus two special nodes handling
+    missing information exactly as in the paper:
+
+    - [$$$] ({!ext_node}) summarises external functions.  "A function
+      which calls external functions requires only one outgoing arc to
+      the $$$ node.  In turn, the $$$ node has many outgoing arcs, one to
+      each user function."
+    - [###] ({!ptr_node}) summarises calls through pointers, assumed able
+      to reach every function whose address has been used in computation
+      — and, when any external call exists, every user function.
+
+    Arcs correspond one-to-one to static call sites (the arc id {e is}
+    the site id); their weights come from the profile. *)
+
+type callee =
+  | To_func of Impact_il.Il.fid
+  | To_ext      (** the [$$$] node *)
+  | To_ptr      (** the [###] node *)
+
+type arc = {
+  a_id : Impact_il.Il.site_id;
+  a_caller : Impact_il.Il.fid;
+  a_callee : callee;
+  a_weight : float;
+}
+
+type t = {
+  prog : Impact_il.Il.program;
+  arcs : arc list;                   (** every call site, program order *)
+  arcs_from : arc list array;        (** outgoing arcs per caller fid *)
+  node_weight : float array;         (** execution count per fid *)
+  has_external_call : bool;
+  pointer_targets : Impact_il.Il.fid list;
+      (** user functions reachable from [###] *)
+  recursive : bool array;
+      (** fid lies on a cycle of the conservative graph (including paths
+          through [$$$]/[###]) *)
+  self_arc : bool array;             (** fid has a direct self arc *)
+}
+
+(** [build ?refine_pointer_targets prog profile] constructs the weighted
+    call graph.  With [refine_pointer_targets] (default false — the
+    paper's worst-case treatment), {!Ptr_analysis} shrinks the [###]
+    node's callee set to the functions that can actually flow to an
+    indirect call, under the closed-world assumption the analysis
+    documents. *)
+val build :
+  ?refine_pointer_targets:bool ->
+  Impact_il.Il.program ->
+  Impact_profile.Profile.t ->
+  t
+
+(** [is_recursive g fid] — [fid] lies on a conservative cycle. *)
+val is_recursive : t -> Impact_il.Il.fid -> bool
+
+(** [is_simple_recursive g fid] — [fid] calls itself directly (the
+    paper's "simple recursion"). *)
+val is_simple_recursive : t -> Impact_il.Il.fid -> bool
+
+(** [arc_count g] is the number of arcs (static call sites). *)
+val arc_count : t -> int

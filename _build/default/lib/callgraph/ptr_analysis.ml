@@ -1,0 +1,128 @@
+module Il = Impact_il.Il
+
+module Fid_set = Set.Make (Int)
+
+type result = {
+  per_site : (Il.site_id, Il.fid list) Hashtbl.t;
+  memory_bucket : Il.fid list;
+}
+
+(* Per-function register points-to state. *)
+type fstate = {
+  func : Il.func;
+  reg_targets : Fid_set.t array;
+}
+
+let analyze (prog : Il.program) =
+  let live =
+    Array.to_list prog.Il.funcs |> List.filter (fun (f : Il.func) -> f.Il.alive)
+  in
+  let states =
+    List.map
+      (fun (f : Il.func) ->
+        (f.Il.fid, { func = f; reg_targets = Array.make (max f.Il.nregs 1) Fid_set.empty }))
+      live
+  in
+  (* The memory bucket starts with function addresses in global images. *)
+  let memory = ref Fid_set.empty in
+  Array.iter
+    (fun (g : Il.global) ->
+      List.iter
+        (fun (_, v) ->
+          match v with
+          | Il.Gfunc fid -> memory := Fid_set.add fid !memory
+          | Il.Gword _ | Il.Gbyte _ | Il.Gstr _ | Il.Gglob _ -> ())
+        g.Il.g_init)
+    prog.Il.globals;
+  (* Return-value sets per function. *)
+  let returns = Hashtbl.create 32 in
+  let return_set fid =
+    Option.value ~default:Fid_set.empty (Hashtbl.find_opt returns fid)
+  in
+  let changed = ref true in
+  let add_reg st r set =
+    let merged = Fid_set.union st.reg_targets.(r) set in
+    if not (Fid_set.equal merged st.reg_targets.(r)) then begin
+      st.reg_targets.(r) <- merged;
+      changed := true
+    end
+  in
+  let add_memory set =
+    let merged = Fid_set.union !memory set in
+    if not (Fid_set.equal merged !memory) then begin
+      memory := merged;
+      changed := true
+    end
+  in
+  let operand_set st = function
+    | Il.Reg r -> st.reg_targets.(r)
+    | Il.Imm _ -> Fid_set.empty
+  in
+  let pass_args callee_fid st args =
+    match List.assoc_opt callee_fid states with
+    | Some callee_st ->
+      List.iteri (fun i arg -> add_reg callee_st i (operand_set st arg)) args
+    | None -> ()
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fid, st) ->
+        Array.iter
+          (fun instr ->
+            match instr with
+            | Il.Lea_func (r, target) -> add_reg st r (Fid_set.singleton target)
+            | Il.Mov (r, op) | Il.Un (_, r, op) -> add_reg st r (operand_set st op)
+            | Il.Bin (_, r, a, b) ->
+              add_reg st r (Fid_set.union (operand_set st a) (operand_set st b))
+            | Il.Load (_, r, _) -> add_reg st r !memory
+            | Il.Store (_, _, v) -> add_memory (operand_set st v)
+            | Il.Call (_, callee, args, ret) ->
+              pass_args callee st args;
+              Option.iter (fun r -> add_reg st r (return_set callee)) ret
+            | Il.Call_ind (_, target, args, ret) ->
+              (* Conservatively, the call may reach anything the target
+                 set (or, if empty, the memory bucket) contains. *)
+              let callees =
+                let s = operand_set st target in
+                if Fid_set.is_empty s then !memory else s
+              in
+              Fid_set.iter (fun callee -> pass_args callee st args) callees;
+              Option.iter
+                (fun r ->
+                  Fid_set.iter (fun callee -> add_reg st r (return_set callee)) callees)
+                ret
+            | Il.Call_ext (_, _, _, ret) ->
+              (* Closed world: externals return no function pointers. *)
+              ignore ret
+            | Il.Ret (Some op) ->
+              let merged = Fid_set.union (return_set fid) (operand_set st op) in
+              if not (Fid_set.equal merged (return_set fid)) then begin
+                Hashtbl.replace returns fid merged;
+                changed := true
+              end
+            | Il.Ret None | Il.Label _ | Il.Jump _ | Il.Bnz _ | Il.Switch _
+            | Il.Lea_frame _ | Il.Lea_global _ | Il.Lea_string _ ->
+              ())
+          st.func.Il.body)
+      states
+  done;
+  let per_site = Hashtbl.create 32 in
+  List.iter
+    (fun (_, st) ->
+      Array.iter
+        (fun instr ->
+          match instr with
+          | Il.Call_ind (site, target, _, _) ->
+            let s = operand_set st target in
+            let s = if Fid_set.is_empty s then !memory else s in
+            Hashtbl.replace per_site site (Fid_set.elements s)
+          | _ -> ())
+        st.func.Il.body)
+    states;
+  { per_site; memory_bucket = Fid_set.elements !memory }
+
+let targets result site =
+  match Hashtbl.find_opt result.per_site site with
+  | Some fids -> fids
+  | None -> result.memory_bucket

@@ -1,0 +1,37 @@
+(** Inter-procedural callee-set analysis for calls through pointers.
+
+    The paper (§2.5) considers and rejects this refinement: "An
+    inter-procedural analysis for detecting minimal callee sets for all
+    call sites provides little help because of calls to external
+    functions."  This module implements the analysis so the claim can be
+    tested (see the pointer-analysis ablation): a flow-insensitive,
+    field-insensitive propagation of function addresses —
+
+    - sources: [lea_func] instructions and function addresses in global
+      initialisers;
+    - registers accumulate targets through moves, argument passing and
+      return values, iterated to a fixpoint across functions;
+    - memory is one coarse bucket: any function address stored anywhere
+      may be observed by any load.
+
+    Soundness note: the result is only a safe callee set under the
+    closed-world assumption that externals neither call user functions
+    nor store function pointers.  The paper's worst-case treatment is
+    exactly the refusal to assume this; the interpreter's simulated
+    externals do satisfy it, which is what makes the comparison fair. *)
+
+type result = {
+  per_site : (Impact_il.Il.site_id, Impact_il.Il.fid list) Hashtbl.t;
+      (** minimal callee set per indirect call site *)
+  memory_bucket : Impact_il.Il.fid list;
+      (** every function whose address escapes into memory *)
+}
+
+(** [analyze prog] computes callee sets for every [call_ind] site of the
+    live program. *)
+val analyze : Impact_il.Il.program -> result
+
+(** [targets result site] is the callee set for [site]; defaults to the
+    memory bucket for sites created after the analysis ran (inlined
+    copies), which is still sound under the closed-world assumption. *)
+val targets : result -> Impact_il.Il.site_id -> Impact_il.Il.fid list

@@ -1,0 +1,34 @@
+module Il = Impact_il.Il
+
+let reachable (g : Callgraph.t) =
+  let prog = g.Callgraph.prog in
+  let nfuncs = Array.length prog.Il.funcs in
+  let seen = Array.make nfuncs false in
+  let rec visit fid =
+    if not seen.(fid) then begin
+      seen.(fid) <- true;
+      List.iter
+        (fun (a : Callgraph.arc) ->
+          match a.Callgraph.a_callee with
+          | Callgraph.To_func callee -> visit callee
+          | Callgraph.To_ext ->
+            (* $$$ may call any user function. *)
+            Array.iteri (fun other f -> if f.Il.alive then visit other) prog.Il.funcs
+          | Callgraph.To_ptr -> List.iter visit g.Callgraph.pointer_targets)
+        g.Callgraph.arcs_from.(fid)
+    end
+  in
+  visit prog.Il.main;
+  seen
+
+let eliminate (g : Callgraph.t) =
+  let seen = reachable g in
+  let removed = ref 0 in
+  Array.iteri
+    (fun fid (f : Il.func) ->
+      if f.Il.alive && not seen.(fid) then begin
+        f.Il.alive <- false;
+        incr removed
+      end)
+    g.Callgraph.prog.Il.funcs;
+  !removed

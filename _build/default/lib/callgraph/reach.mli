@@ -1,0 +1,19 @@
+(** Function-level dead-code elimination.
+
+    "Any function which is not reachable from the main function will
+    never be used and can be removed ... However, if there is external
+    function, it must be assumed that all functions can be reached."
+
+    Reachability therefore follows direct arcs, plus the [$$$] node's
+    arcs to every function when the program calls externals, plus the
+    [###] node's maximal callee set for indirect calls — so in programs
+    with external calls nothing is ever deleted, exactly as the paper
+    observes for realistic UNIX programs. *)
+
+(** [reachable g] is the set (as a bool array indexed by fid) of
+    functions conservatively reachable from [main]. *)
+val reachable : Callgraph.t -> bool array
+
+(** [eliminate g] clears [alive] on unreachable functions and returns the
+    number of functions removed. *)
+val eliminate : Callgraph.t -> int

@@ -1,0 +1,74 @@
+type result = {
+  component : int array;
+  count : int;
+  sizes : int array;
+}
+
+(* Iterative Tarjan: the explicit stack holds (node, next successor index)
+   pairs so deep call graphs cannot overflow the OCaml stack. *)
+let compute ~n ~succ =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let succs = Array.init n (fun v -> Array.of_list (succ v)) in
+  let visit root =
+    if index.(root) < 0 then begin
+      let work = ref [ (root, 0) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !work <> [] do
+        match !work with
+        | [] -> ()
+        | (v, i) :: rest ->
+          if i < Array.length succs.(v) then begin
+            let w = succs.(v).(i) in
+            work := (v, i + 1) :: rest;
+            if index.(w) < 0 then begin
+              index.(w) <- !next_index;
+              lowlink.(w) <- !next_index;
+              incr next_index;
+              stack := w :: !stack;
+              on_stack.(w) <- true;
+              work := (w, 0) :: !work
+            end
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+          end
+          else begin
+            work := rest;
+            (match rest with
+            | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+            | [] -> ());
+            if lowlink.(v) = index.(v) then begin
+              (* v is the root of a component: pop down to v. *)
+              let rec pop () =
+                match !stack with
+                | w :: tl ->
+                  stack := tl;
+                  on_stack.(w) <- false;
+                  component.(w) <- !next_comp;
+                  if w <> v then pop ()
+                | [] -> assert false
+              in
+              pop ();
+              incr next_comp
+            end
+          end
+      done
+    end
+  in
+  for v = 0 to n - 1 do
+    visit v
+  done;
+  let sizes = Array.make !next_comp 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) component;
+  { component; count = !next_comp; sizes }
+
+let on_cycle result ~self_loop node =
+  result.sizes.(result.component.(node)) > 1 || self_loop node

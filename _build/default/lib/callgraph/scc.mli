@@ -1,0 +1,20 @@
+(** Strongly connected components (Tarjan's algorithm, iterative).
+
+    Used to detect recursion in the call graph: "detecting recursion is
+    equivalent to finding cycles in the call graph". *)
+
+type result = {
+  component : int array;  (** component id per node, in [0, count) *)
+  count : int;            (** number of components *)
+  sizes : int array;      (** nodes per component *)
+}
+
+(** [compute ~n ~succ] computes SCCs of the graph on nodes [0..n-1] with
+    successor function [succ].  Component ids are in reverse topological
+    order of the condensation (callees before callers is NOT guaranteed;
+    only grouping matters here). *)
+val compute : n:int -> succ:(int -> int list) -> result
+
+(** [on_cycle result ~self_loop node] is true when [node] lies on a cycle:
+    its component has size > 1, or it has a self edge ([self_loop node]). *)
+val on_cycle : result -> self_loop:(int -> bool) -> int -> bool

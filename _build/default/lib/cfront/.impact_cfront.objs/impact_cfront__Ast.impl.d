@@ -1,0 +1,1 @@
+lib/cfront/ast.ml: List Printf Srcloc String

@@ -1,0 +1,1 @@
+lib/cfront/c_pp.ml: Ast Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Array Ast Char Lexer List Printf Srcloc Token

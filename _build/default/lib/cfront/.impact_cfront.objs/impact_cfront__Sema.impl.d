@@ -1,0 +1,1 @@
+lib/cfront/sema.ml: Array Ast Char Hashtbl Impact_support List Option Parser Printf Srcloc String Tast

@@ -1,0 +1,1 @@
+lib/cfront/sema.mli: Ast Srcloc Tast

@@ -1,0 +1,1 @@
+lib/cfront/tast.ml: Ast Srcloc

@@ -1,0 +1,1 @@
+lib/cfront/tast.mli: Ast Srcloc

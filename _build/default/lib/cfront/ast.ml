@@ -1,0 +1,143 @@
+type ty =
+  | Tvoid
+  | Tint
+  | Tchar
+  | Tptr of ty
+  | Tarray of ty * int
+  | Tstruct of string
+  | Tfun of ty * ty list
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type unop =
+  | Neg
+  | Bnot
+  | Lnot
+
+type incdec =
+  | Incr
+  | Decr
+
+type expr = {
+  edesc : expr_desc;
+  eloc : Srcloc.t;
+}
+
+and expr_desc =
+  | Int_lit of int
+  | Char_lit of char
+  | Str_lit of string
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Logand of expr * expr
+  | Logor of expr * expr
+  | Unop of unop * expr
+  | Assign of expr * expr
+  | Assign_op of binop * expr * expr
+  | Incdec of incdec * bool * expr
+  | Cond of expr * expr * expr
+  | Comma of expr * expr
+  | Call of expr * expr list
+  | Index of expr * expr
+  | Member of expr * string
+  | Arrow of expr * string
+  | Addr_of of expr
+  | Deref of expr
+  | Cast of ty * expr
+  | Sizeof_ty of ty
+  | Sizeof_expr of expr
+
+type stmt = {
+  sdesc : stmt_desc;
+  sloc : Srcloc.t;
+}
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of expr option * expr option * expr option * stmt
+  | Sswitch of expr * switch_item list
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sblock of stmt list
+
+and switch_item =
+  | Case of int * Srcloc.t
+  | Default of Srcloc.t
+  | Item of stmt
+
+type init =
+  | Init_expr of expr
+  | Init_list of expr list
+  | Init_string of string
+
+type param = ty * string
+
+type decl =
+  | Dstruct of string * (ty * string) list * Srcloc.t
+  | Dglobal of ty * string * init option * Srcloc.t
+  | Dfunc of ty * string * param list * stmt list * Srcloc.t
+  | Dproto of ty * string * ty list * Srcloc.t
+
+type program = decl list
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tvoid, Tvoid | Tint, Tint | Tchar, Tchar -> true
+  | Tptr a, Tptr b -> ty_equal a b
+  | Tarray (a, n), Tarray (b, m) -> n = m && ty_equal a b
+  | Tstruct a, Tstruct b -> String.equal a b
+  | Tfun (ra, pa), Tfun (rb, pb) ->
+    ty_equal ra rb
+    && List.length pa = List.length pb
+    && List.for_all2 ty_equal pa pb
+  | (Tvoid | Tint | Tchar | Tptr _ | Tarray _ | Tstruct _ | Tfun _), _ -> false
+
+let rec string_of_ty = function
+  | Tvoid -> "void"
+  | Tint -> "int"
+  | Tchar -> "char"
+  | Tptr t -> string_of_ty t ^ "*"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (string_of_ty t) n
+  | Tstruct s -> "struct " ^ s
+  | Tfun (ret, params) ->
+    let params = List.map string_of_ty params in
+    Printf.sprintf "%s(%s)" (string_of_ty ret) (String.concat ", " params)
+
+let string_of_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="

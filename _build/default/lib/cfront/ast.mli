@@ -1,0 +1,126 @@
+(** Abstract syntax of the C subset ("IMPACT C").
+
+    This is the parser's output: names are unresolved and no types have
+    been checked.  {!Sema} turns it into a typed program. *)
+
+(** Types.  [Tfun] appears only behind a pointer (function pointers) or as
+    the type of a function designator. *)
+type ty =
+  | Tvoid
+  | Tint
+  | Tchar
+  | Tptr of ty
+  | Tarray of ty * int
+  | Tstruct of string
+  | Tfun of ty * ty list  (** return type, parameter types *)
+
+(** Binary operators that map directly to machine operations.  Logical
+    [&&]/[||] are separate because they short-circuit. *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type unop =
+  | Neg   (** arithmetic negation *)
+  | Bnot  (** bitwise complement *)
+  | Lnot  (** logical not *)
+
+type incdec =
+  | Incr
+  | Decr
+
+type expr = {
+  edesc : expr_desc;
+  eloc : Srcloc.t;
+}
+
+and expr_desc =
+  | Int_lit of int
+  | Char_lit of char
+  | Str_lit of string
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Logand of expr * expr
+  | Logor of expr * expr
+  | Unop of unop * expr
+  | Assign of expr * expr
+  | Assign_op of binop * expr * expr  (** [e1 op= e2] *)
+  | Incdec of incdec * bool * expr    (** op, [true] = prefix, operand *)
+  | Cond of expr * expr * expr        (** [e1 ? e2 : e3] *)
+  | Comma of expr * expr
+  | Call of expr * expr list          (** callee expression, arguments *)
+  | Index of expr * expr              (** [e1\[e2\]] *)
+  | Member of expr * string           (** [e.f] *)
+  | Arrow of expr * string            (** [e->f] *)
+  | Addr_of of expr
+  | Deref of expr
+  | Cast of ty * expr
+  | Sizeof_ty of ty
+  | Sizeof_expr of expr
+
+type stmt = {
+  sdesc : stmt_desc;
+  sloc : Srcloc.t;
+}
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option  (** local declaration with initialiser *)
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of expr option * expr option * expr option * stmt
+  | Sswitch of expr * switch_item list
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sblock of stmt list
+
+(** Items of a switch body, in source order; fall-through is implicit. *)
+and switch_item =
+  | Case of int * Srcloc.t   (** the label value must be a constant literal *)
+  | Default of Srcloc.t
+  | Item of stmt
+
+(** Initialisers for globals. *)
+type init =
+  | Init_expr of expr        (** must be a compile-time constant expression *)
+  | Init_list of expr list   (** array initialiser *)
+  | Init_string of string    (** [char a\[\] = "..."] *)
+
+type param = ty * string
+
+type decl =
+  | Dstruct of string * (ty * string) list * Srcloc.t
+      (** [struct name { fields };] *)
+  | Dglobal of ty * string * init option * Srcloc.t
+  | Dfunc of ty * string * param list * stmt list * Srcloc.t
+      (** function definition (return type, name, params, body) *)
+  | Dproto of ty * string * ty list * Srcloc.t
+      (** prototype; a prototype with no later definition is an external
+          function (library or system call) *)
+
+type program = decl list
+
+(** [ty_equal a b] is structural type equality. *)
+val ty_equal : ty -> ty -> bool
+
+(** [string_of_ty ty] renders a type in C-like syntax for diagnostics. *)
+val string_of_ty : ty -> string
+
+(** [string_of_binop op] is the C spelling of [op]. *)
+val string_of_binop : binop -> string

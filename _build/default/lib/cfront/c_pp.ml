@@ -1,0 +1,188 @@
+(* Types print through the standard C declarator construction: the base
+   type plus a declarator string built inside-out around the name. *)
+
+let rec base_and_declarator ty name =
+  match ty with
+  | Ast.Tvoid -> ("void", name)
+  | Ast.Tint -> ("int", name)
+  | Ast.Tchar -> ("char", name)
+  | Ast.Tstruct s -> ("struct " ^ s, name)
+  | Ast.Tptr inner ->
+    let decl = "*" ^ name in
+    (match inner with
+    | Ast.Tarray _ | Ast.Tfun _ -> base_and_declarator inner ("(" ^ decl ^ ")")
+    | _ -> base_and_declarator inner decl)
+  | Ast.Tarray (elem, n) -> base_and_declarator elem (Printf.sprintf "%s[%d]" name n)
+  | Ast.Tfun (ret, params) ->
+    let params =
+      if params = [] then "void"
+      else String.concat ", " (List.map type_name params)
+    in
+    base_and_declarator ret (Printf.sprintf "%s(%s)" name params)
+
+and type_name ty =
+  let base, decl = base_and_declarator ty "" in
+  if decl = "" then base else base ^ " " ^ decl
+
+let declaration ty name =
+  let base, decl = base_and_declarator ty name in
+  base ^ " " ^ decl
+
+let escape_char c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | c when Char.code c >= 32 && Char.code c < 127 -> String.make 1 c
+  | c -> Printf.sprintf "\\%03o" (Char.code c) (* no octal escapes in the
+                                                  lexer; unreachable for
+                                                  parser-produced ASTs *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\'' -> Buffer.add_char buf '\''
+      | c -> Buffer.add_string buf (escape_char c))
+    s;
+  Buffer.contents buf
+
+(* Everything below the conditional prints with explicit parentheses
+   around compound operands, which keeps the printer simple and the
+   output unambiguous (the round-trip property checks a fixpoint, not
+   minimality). *)
+let rec print_expr (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Ast.Char_lit c -> Printf.sprintf "'%s'" (escape_char c)
+  | Ast.Str_lit s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | Ast.Ident name -> name
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (print_expr a) (Ast.string_of_binop op) (print_expr b)
+  | Ast.Logand (a, b) -> Printf.sprintf "(%s && %s)" (print_expr a) (print_expr b)
+  | Ast.Logor (a, b) -> Printf.sprintf "(%s || %s)" (print_expr a) (print_expr b)
+  | Ast.Unop (Ast.Neg, a) -> Printf.sprintf "(-%s)" (print_expr a)
+  | Ast.Unop (Ast.Bnot, a) -> Printf.sprintf "(~%s)" (print_expr a)
+  | Ast.Unop (Ast.Lnot, a) -> Printf.sprintf "(!%s)" (print_expr a)
+  | Ast.Assign (lhs, rhs) -> Printf.sprintf "(%s = %s)" (print_expr lhs) (print_expr rhs)
+  | Ast.Assign_op (op, lhs, rhs) ->
+    Printf.sprintf "(%s %s= %s)" (print_expr lhs) (Ast.string_of_binop op)
+      (print_expr rhs)
+  | Ast.Incdec (Ast.Incr, true, a) -> Printf.sprintf "(++%s)" (print_expr a)
+  | Ast.Incdec (Ast.Decr, true, a) -> Printf.sprintf "(--%s)" (print_expr a)
+  | Ast.Incdec (Ast.Incr, false, a) -> Printf.sprintf "(%s++)" (print_expr a)
+  | Ast.Incdec (Ast.Decr, false, a) -> Printf.sprintf "(%s--)" (print_expr a)
+  | Ast.Cond (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (print_expr c) (print_expr a) (print_expr b)
+  | Ast.Comma (a, b) -> Printf.sprintf "(%s, %s)" (print_expr a) (print_expr b)
+  | Ast.Call (callee, args) ->
+    Printf.sprintf "%s(%s)" (print_expr callee)
+      (String.concat ", " (List.map print_expr args))
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" (print_expr a) (print_expr i)
+  | Ast.Member (a, f) -> Printf.sprintf "%s.%s" (print_expr a) f
+  | Ast.Arrow (a, f) -> Printf.sprintf "%s->%s" (print_expr a) f
+  | Ast.Addr_of a -> Printf.sprintf "(&%s)" (print_expr a)
+  | Ast.Deref a -> Printf.sprintf "(*%s)" (print_expr a)
+  | Ast.Cast (ty, a) -> Printf.sprintf "((%s) %s)" (type_name ty) (print_expr a)
+  | Ast.Sizeof_ty ty -> Printf.sprintf "sizeof(%s)" (type_name ty)
+  | Ast.Sizeof_expr a -> Printf.sprintf "sizeof %s" (print_expr a)
+
+let pad indent = String.make (2 * indent) ' '
+
+let rec print_stmt ~indent (s : Ast.stmt) =
+  let p = pad indent in
+  match s.Ast.sdesc with
+  | Ast.Sexpr e -> Printf.sprintf "%s%s;\n" p (print_expr e)
+  | Ast.Sdecl (ty, name, init) ->
+    let init = match init with Some e -> " = " ^ print_expr e | None -> "" in
+    Printf.sprintf "%s%s%s;\n" p (declaration ty name) init
+  | Ast.Sif (cond, then_s, else_s) ->
+    let head =
+      Printf.sprintf "%sif (%s)\n%s" p (print_expr cond)
+        (print_stmt_block ~indent then_s)
+    in
+    (match else_s with
+    | Some s -> head ^ Printf.sprintf "%selse\n%s" p (print_stmt_block ~indent s)
+    | None -> head)
+  | Ast.Swhile (cond, body) ->
+    Printf.sprintf "%swhile (%s)\n%s" p (print_expr cond)
+      (print_stmt_block ~indent body)
+  | Ast.Sdo (body, cond) ->
+    Printf.sprintf "%sdo\n%s%swhile (%s);\n" p
+      (print_stmt_block ~indent body)
+      p (print_expr cond)
+  | Ast.Sfor (init, cond, step, body) ->
+    let opt = function Some e -> print_expr e | None -> "" in
+    Printf.sprintf "%sfor (%s; %s; %s)\n%s" p (opt init) (opt cond) (opt step)
+      (print_stmt_block ~indent body)
+  | Ast.Sswitch (scrutinee, items) ->
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf (Printf.sprintf "%sswitch (%s) {\n" p (print_expr scrutinee));
+    List.iter
+      (fun item ->
+        match item with
+        | Ast.Case (v, _) -> Buffer.add_string buf (Printf.sprintf "%scase %d:\n" p v)
+        | Ast.Default _ -> Buffer.add_string buf (Printf.sprintf "%sdefault:\n" p)
+        | Ast.Item s -> Buffer.add_string buf (print_stmt ~indent:(indent + 1) s))
+      items;
+    Buffer.add_string buf (Printf.sprintf "%s}\n" p);
+    Buffer.contents buf
+  | Ast.Sbreak -> p ^ "break;\n"
+  | Ast.Scontinue -> p ^ "continue;\n"
+  | Ast.Sreturn None -> p ^ "return;\n"
+  | Ast.Sreturn (Some e) -> Printf.sprintf "%sreturn %s;\n" p (print_expr e)
+  | Ast.Sblock body ->
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf (p ^ "{\n");
+    List.iter (fun s -> Buffer.add_string buf (print_stmt ~indent:(indent + 1) s)) body;
+    Buffer.add_string buf (p ^ "}\n");
+    Buffer.contents buf
+
+(* Bodies of control statements always print as blocks, which sidesteps
+   dangling-else entirely. *)
+and print_stmt_block ~indent (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Sblock _ -> print_stmt ~indent s
+  | _ -> print_stmt ~indent { s with Ast.sdesc = Ast.Sblock [ s ] }
+
+let print_init = function
+  | Ast.Init_expr e -> print_expr e
+  | Ast.Init_list es -> "{ " ^ String.concat ", " (List.map print_expr es) ^ " }"
+  | Ast.Init_string s -> Printf.sprintf "\"%s\"" (escape_string s)
+
+let print_decl (d : Ast.decl) =
+  match d with
+  | Ast.Dstruct (name, fields, _) ->
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf (Printf.sprintf "struct %s {\n" name);
+    List.iter
+      (fun (ty, fname) ->
+        Buffer.add_string buf (Printf.sprintf "  %s;\n" (declaration ty fname)))
+      fields;
+    Buffer.add_string buf "};\n";
+    Buffer.contents buf
+  | Ast.Dglobal (ty, name, init, _) ->
+    let init = match init with Some i -> " = " ^ print_init i | None -> "" in
+    Printf.sprintf "%s%s;\n" (declaration ty name) init
+  | Ast.Dproto (ret, name, params, _) ->
+    let params =
+      if params = [] then "" else String.concat ", " (List.map type_name params)
+    in
+    Printf.sprintf "extern %s(%s);\n" (declaration ret name) params
+  | Ast.Dfunc (ret, name, params, body, _) ->
+    let params =
+      String.concat ", " (List.map (fun (ty, pname) -> declaration ty pname) params)
+    in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "%s(%s) {\n" (declaration ret name) params);
+    List.iter (fun s -> Buffer.add_string buf (print_stmt ~indent:1 s)) body;
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+
+let print_program (p : Ast.program) =
+  String.concat "\n" (List.map print_decl p)

@@ -1,0 +1,19 @@
+(** C source pretty-printer.
+
+    Renders an {!Ast.program} back to compilable C-subset text.  Used by
+    the CLI for dumping what the front end understood, and by the test
+    suite's round-trip property: pretty-printing a parsed program and
+    re-parsing it reaches a fixpoint. *)
+
+(** [print_expr e] renders one expression, fully parenthesised where the
+    structure requires it. *)
+val print_expr : Ast.expr -> string
+
+(** [print_stmt ~indent s] renders one statement. *)
+val print_stmt : indent:int -> Ast.stmt -> string
+
+(** [print_decl d] renders a top-level declaration. *)
+val print_decl : Ast.decl -> string
+
+(** [print_program p] renders a whole translation unit. *)
+val print_program : Ast.program -> string

@@ -1,0 +1,761 @@
+exception Parse_error of string * Srcloc.t
+
+(* Internal: lets the global-declarator loop bail out when the declarator
+   turns out to declare a function (a prototype written with a complex
+   declarator, e.g. [int f(int, int);] reached via the generic path). *)
+exception Return_proto of Ast.decl
+
+type state = {
+  toks : (Token.t * Srcloc.t) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+
+let peek_loc st = snd st.toks.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else Token.Eof
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let error st msg = raise (Parse_error (msg, peek_loc st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected '%s' but found '%s'" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match peek st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | tok -> error st (Printf.sprintf "expected identifier, found '%s'" (Token.to_string tok))
+
+(* ------------------------------------------------------------------ *)
+(* Types and declarators                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_type_start st =
+  match peek st with
+  | Token.Kw_int | Token.Kw_char | Token.Kw_void | Token.Kw_struct -> true
+  | _ -> false
+
+let parse_base_type st =
+  match peek st with
+  | Token.Kw_int ->
+    advance st;
+    Ast.Tint
+  | Token.Kw_char ->
+    advance st;
+    Ast.Tchar
+  | Token.Kw_void ->
+    advance st;
+    Ast.Tvoid
+  | Token.Kw_struct ->
+    advance st;
+    let name = expect_ident st in
+    Ast.Tstruct name
+  | tok -> error st (Printf.sprintf "expected type, found '%s'" (Token.to_string tok))
+
+(* C declarators are parsed inside-out: [parse_declarator] returns the
+   declared name (empty for abstract declarators) and a function mapping
+   the base type to the declared type.  This is the textbook algorithm,
+   and it is what makes arrays of function pointers parse correctly. *)
+let rec parse_declarator st ~abstract : string * (Ast.ty -> Ast.ty) =
+  if accept st Token.Star then begin
+    let name, wrap = parse_declarator st ~abstract in
+    (name, fun base -> wrap (Ast.Tptr base))
+  end
+  else parse_direct_declarator st ~abstract
+
+and parse_direct_declarator st ~abstract =
+  let name, wrap =
+    match peek st with
+    | Token.Ident name ->
+      advance st;
+      (name, fun base -> base)
+    | Token.Lparen ->
+      (* Either a parenthesised declarator or, for abstract declarators,
+         a parameter list applying directly to the base.  We distinguish
+         by the token after '(' : a declarator must start with '*', an
+         identifier, or another '('. *)
+      (match peek2 st with
+      | Token.Star | Token.Ident _ | Token.Lparen ->
+        advance st;
+        let name, wrap = parse_declarator st ~abstract in
+        expect st Token.Rparen;
+        (name, wrap)
+      | _ when abstract -> ("", fun base -> base)
+      | _ -> error st "expected declarator")
+    | _ when abstract -> ("", fun base -> base)
+    | tok ->
+      error st (Printf.sprintf "expected declarator, found '%s'" (Token.to_string tok))
+  in
+  parse_declarator_suffix st name wrap
+
+and parse_declarator_suffix st name wrap =
+  (* Suffixes apply inside the prefix wrapper, leftmost outermost:
+     [a][b] is "array a of array b of base", and a parameter list after
+     a parenthesised pointer declarator lands under the pointer. *)
+  let rec collect acc =
+    match peek st with
+    | Token.Lbracket ->
+      advance st;
+      let n =
+        match peek st with
+        | Token.Int_lit n ->
+          advance st;
+          n
+        | Token.Rbracket -> 0 (* [] — size comes from the initialiser *)
+        | tok ->
+          error st
+            (Printf.sprintf "expected array size, found '%s'" (Token.to_string tok))
+      in
+      expect st Token.Rbracket;
+      collect (`Arr n :: acc)
+    | Token.Lparen ->
+      advance st;
+      let params = parse_param_types st in
+      expect st Token.Rparen;
+      collect (`Fun params :: acc)
+    | _ -> List.rev acc
+  in
+  let suffixes = collect [] in
+  let apply base =
+    List.fold_right
+      (fun s acc ->
+        match s with
+        | `Arr n -> Ast.Tarray (acc, n)
+        | `Fun params -> Ast.Tfun (acc, params))
+      suffixes base
+  in
+  (name, fun base -> wrap (apply base))
+
+(* Parameter type lists for function declarators appearing inside a type
+   (e.g. function pointers); names are allowed but ignored. *)
+and parse_param_types st =
+  if peek st = Token.Rparen then []
+  else if peek st = Token.Kw_void && peek2 st = Token.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let base = parse_base_type st in
+      let _, wrap = parse_declarator st ~abstract:true in
+      let ty = wrap base in
+      let acc = ty :: acc in
+      if accept st Token.Comma then loop acc else List.rev acc
+    in
+    loop []
+  end
+
+and parse_type_name st =
+  let base = parse_base_type st in
+  let name, wrap = parse_declarator st ~abstract:true in
+  if name <> "" then error st "unexpected identifier in type name";
+  wrap base
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk loc desc = { Ast.edesc = desc; eloc = loc }
+
+let binop_of_token = function
+  | Token.Plus -> Some Ast.Add
+  | Token.Minus -> Some Ast.Sub
+  | Token.Star -> Some Ast.Mul
+  | Token.Slash -> Some Ast.Div
+  | Token.Percent -> Some Ast.Mod
+  | Token.Shl_op -> Some Ast.Shl
+  | Token.Shr_op -> Some Ast.Shr
+  | Token.Amp -> Some Ast.Band
+  | Token.Pipe -> Some Ast.Bor
+  | Token.Caret -> Some Ast.Bxor
+  | Token.Lt_op -> Some Ast.Lt
+  | Token.Le_op -> Some Ast.Le
+  | Token.Gt_op -> Some Ast.Gt
+  | Token.Ge_op -> Some Ast.Ge
+  | Token.Eq_op -> Some Ast.Eq
+  | Token.Ne_op -> Some Ast.Ne
+  | _ -> None
+
+let assign_op_of_token = function
+  | Token.Plus_assign -> Some Ast.Add
+  | Token.Minus_assign -> Some Ast.Sub
+  | Token.Star_assign -> Some Ast.Mul
+  | Token.Slash_assign -> Some Ast.Div
+  | Token.Percent_assign -> Some Ast.Mod
+  | Token.Amp_assign -> Some Ast.Band
+  | Token.Pipe_assign -> Some Ast.Bor
+  | Token.Caret_assign -> Some Ast.Bxor
+  | Token.Shl_assign -> Some Ast.Shl
+  | Token.Shr_assign -> Some Ast.Shr
+  | _ -> None
+
+(* Binding power of a binary operator; higher binds tighter.  Mirrors the
+   standard C precedence table. *)
+let precedence = function
+  | Ast.Mul | Ast.Div | Ast.Mod -> 10
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 7
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Band -> 5
+  | Ast.Bxor -> 4
+  | Ast.Bor -> 3
+
+let prec_logand = 2
+
+let prec_logor = 1
+
+let rec parse_comma_expr st =
+  let loc = peek_loc st in
+  let e = parse_assign_expr st in
+  if accept st Token.Comma then
+    let e' = parse_comma_expr st in
+    mk loc (Ast.Comma (e, e'))
+  else e
+
+and parse_assign_expr st =
+  let loc = peek_loc st in
+  let lhs = parse_cond_expr st in
+  match peek st with
+  | Token.Assign ->
+    advance st;
+    let rhs = parse_assign_expr st in
+    mk loc (Ast.Assign (lhs, rhs))
+  | tok ->
+    (match assign_op_of_token tok with
+    | Some op ->
+      advance st;
+      let rhs = parse_assign_expr st in
+      mk loc (Ast.Assign_op (op, lhs, rhs))
+    | None -> lhs)
+
+and parse_cond_expr st =
+  let loc = peek_loc st in
+  let cond = parse_binary_expr st 0 in
+  if accept st Token.Question then begin
+    let e1 = parse_comma_expr st in
+    expect st Token.Colon;
+    let e2 = parse_cond_expr st in
+    mk loc (Ast.Cond (cond, e1, e2))
+  end
+  else cond
+
+and parse_binary_expr st min_prec =
+  let lhs = parse_unary_expr st in
+  parse_binary_rest st lhs min_prec
+
+and parse_binary_rest st lhs min_prec =
+  match peek st with
+  | Token.Oror when prec_logor >= min_prec ->
+    advance st;
+    let rhs = parse_binary_expr st (prec_logor + 1) in
+    parse_binary_rest st (mk lhs.Ast.eloc (Ast.Logor (lhs, rhs))) min_prec
+  | Token.Andand when prec_logand >= min_prec ->
+    advance st;
+    let rhs = parse_binary_expr st (prec_logand + 1) in
+    parse_binary_rest st (mk lhs.Ast.eloc (Ast.Logand (lhs, rhs))) min_prec
+  | tok ->
+    (match binop_of_token tok with
+    | Some op when precedence op >= min_prec ->
+      advance st;
+      let rhs = parse_binary_expr st (precedence op + 1) in
+      parse_binary_rest st (mk lhs.Ast.eloc (Ast.Binop (op, lhs, rhs))) min_prec
+    | Some _ | None -> lhs)
+
+and parse_unary_expr st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.Plusplus ->
+    advance st;
+    let e = parse_unary_expr st in
+    mk loc (Ast.Incdec (Ast.Incr, true, e))
+  | Token.Minusminus ->
+    advance st;
+    let e = parse_unary_expr st in
+    mk loc (Ast.Incdec (Ast.Decr, true, e))
+  | Token.Plus ->
+    advance st;
+    parse_unary_expr st
+  | Token.Minus ->
+    advance st;
+    let e = parse_unary_expr st in
+    mk loc (Ast.Unop (Ast.Neg, e))
+  | Token.Tilde ->
+    advance st;
+    let e = parse_unary_expr st in
+    mk loc (Ast.Unop (Ast.Bnot, e))
+  | Token.Bang ->
+    advance st;
+    let e = parse_unary_expr st in
+    mk loc (Ast.Unop (Ast.Lnot, e))
+  | Token.Star ->
+    advance st;
+    let e = parse_unary_expr st in
+    mk loc (Ast.Deref e)
+  | Token.Amp ->
+    advance st;
+    let e = parse_unary_expr st in
+    mk loc (Ast.Addr_of e)
+  | Token.Kw_sizeof ->
+    advance st;
+    if peek st = Token.Lparen then begin
+      advance st;
+      if is_type_start st then begin
+        let ty = parse_type_name st in
+        expect st Token.Rparen;
+        mk loc (Ast.Sizeof_ty ty)
+      end
+      else begin
+        let e = parse_comma_expr st in
+        expect st Token.Rparen;
+        mk loc (Ast.Sizeof_expr (parse_postfix_rest st e))
+      end
+    end
+    else
+      let e = parse_unary_expr st in
+      mk loc (Ast.Sizeof_expr e)
+  | Token.Lparen when is_type_start_after_lparen st ->
+    advance st;
+    let ty = parse_type_name st in
+    expect st Token.Rparen;
+    let e = parse_unary_expr st in
+    mk loc (Ast.Cast (ty, e))
+  | _ -> parse_postfix_expr st
+
+and is_type_start_after_lparen st =
+  match peek2 st with
+  | Token.Kw_int | Token.Kw_char | Token.Kw_void | Token.Kw_struct -> true
+  | _ -> false
+
+and parse_postfix_expr st =
+  let e = parse_primary_expr st in
+  parse_postfix_rest st e
+
+and parse_postfix_rest st e =
+  let loc = e.Ast.eloc in
+  match peek st with
+  | Token.Lparen ->
+    advance st;
+    let args = parse_call_args st in
+    expect st Token.Rparen;
+    parse_postfix_rest st (mk loc (Ast.Call (e, args)))
+  | Token.Lbracket ->
+    advance st;
+    let idx = parse_comma_expr st in
+    expect st Token.Rbracket;
+    parse_postfix_rest st (mk loc (Ast.Index (e, idx)))
+  | Token.Dot ->
+    advance st;
+    let field = expect_ident st in
+    parse_postfix_rest st (mk loc (Ast.Member (e, field)))
+  | Token.Arrow ->
+    advance st;
+    let field = expect_ident st in
+    parse_postfix_rest st (mk loc (Ast.Arrow (e, field)))
+  | Token.Plusplus ->
+    advance st;
+    parse_postfix_rest st (mk loc (Ast.Incdec (Ast.Incr, false, e)))
+  | Token.Minusminus ->
+    advance st;
+    parse_postfix_rest st (mk loc (Ast.Incdec (Ast.Decr, false, e)))
+  | _ -> e
+
+and parse_call_args st =
+  if peek st = Token.Rparen then []
+  else begin
+    let rec loop acc =
+      let arg = parse_assign_expr st in
+      let acc = arg :: acc in
+      if accept st Token.Comma then loop acc else List.rev acc
+    in
+    loop []
+  end
+
+and parse_primary_expr st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.Int_lit n ->
+    advance st;
+    mk loc (Ast.Int_lit n)
+  | Token.Char_lit c ->
+    advance st;
+    mk loc (Ast.Char_lit c)
+  | Token.Str_lit s ->
+    advance st;
+    mk loc (Ast.Str_lit s)
+  | Token.Ident name ->
+    advance st;
+    mk loc (Ast.Ident name)
+  | Token.Lparen ->
+    advance st;
+    let e = parse_comma_expr st in
+    expect st Token.Rparen;
+    e
+  | tok -> error st (Printf.sprintf "expected expression, found '%s'" (Token.to_string tok))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_stmt loc desc = { Ast.sdesc = desc; sloc = loc }
+
+let rec parse_stmt st : Ast.stmt =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.Lbrace ->
+    advance st;
+    let items = parse_block_items st in
+    expect st Token.Rbrace;
+    mk_stmt loc (Ast.Sblock items)
+  | Token.Kw_if ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_comma_expr st in
+    expect st Token.Rparen;
+    let then_branch = parse_stmt st in
+    let else_branch = if accept st Token.Kw_else then Some (parse_stmt st) else None in
+    mk_stmt loc (Ast.Sif (cond, then_branch, else_branch))
+  | Token.Kw_while ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_comma_expr st in
+    expect st Token.Rparen;
+    let body = parse_stmt st in
+    mk_stmt loc (Ast.Swhile (cond, body))
+  | Token.Kw_do ->
+    advance st;
+    let body = parse_stmt st in
+    expect st Token.Kw_while;
+    expect st Token.Lparen;
+    let cond = parse_comma_expr st in
+    expect st Token.Rparen;
+    expect st Token.Semi;
+    mk_stmt loc (Ast.Sdo (body, cond))
+  | Token.Kw_for ->
+    advance st;
+    expect st Token.Lparen;
+    let init = if peek st = Token.Semi then None else Some (parse_comma_expr st) in
+    expect st Token.Semi;
+    let cond = if peek st = Token.Semi then None else Some (parse_comma_expr st) in
+    expect st Token.Semi;
+    let step = if peek st = Token.Rparen then None else Some (parse_comma_expr st) in
+    expect st Token.Rparen;
+    let body = parse_stmt st in
+    mk_stmt loc (Ast.Sfor (init, cond, step, body))
+  | Token.Kw_switch ->
+    advance st;
+    expect st Token.Lparen;
+    let scrutinee = parse_comma_expr st in
+    expect st Token.Rparen;
+    expect st Token.Lbrace;
+    let items = parse_switch_items st in
+    expect st Token.Rbrace;
+    mk_stmt loc (Ast.Sswitch (scrutinee, items))
+  | Token.Kw_break ->
+    advance st;
+    expect st Token.Semi;
+    mk_stmt loc Ast.Sbreak
+  | Token.Kw_continue ->
+    advance st;
+    expect st Token.Semi;
+    mk_stmt loc Ast.Scontinue
+  | Token.Kw_return ->
+    advance st;
+    let value = if peek st = Token.Semi then None else Some (parse_comma_expr st) in
+    expect st Token.Semi;
+    mk_stmt loc (Ast.Sreturn value)
+  | Token.Semi ->
+    advance st;
+    mk_stmt loc (Ast.Sblock [])
+  | _ ->
+    let e = parse_comma_expr st in
+    expect st Token.Semi;
+    mk_stmt loc (Ast.Sexpr e)
+
+(* A declaration line may declare several variables; each becomes its own
+   [Sdecl] in the enclosing block. *)
+and parse_local_decl st : Ast.stmt list =
+  let loc = peek_loc st in
+  let base = parse_base_type st in
+  let rec loop acc =
+    let name, wrap = parse_declarator st ~abstract:false in
+    let ty = wrap base in
+    let init = if accept st Token.Assign then Some (parse_assign_expr st) else None in
+    let acc = mk_stmt loc (Ast.Sdecl (ty, name, init)) :: acc in
+    if accept st Token.Comma then loop acc
+    else begin
+      expect st Token.Semi;
+      List.rev acc
+    end
+  in
+  loop []
+
+and parse_block_items st : Ast.stmt list =
+  let rec loop acc =
+    if peek st = Token.Rbrace || peek st = Token.Eof then List.rev acc
+    else if is_type_start st then loop (List.rev_append (parse_local_decl st) acc)
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_switch_items st : Ast.switch_item list =
+  let rec loop acc =
+    let loc = peek_loc st in
+    match peek st with
+    | Token.Rbrace | Token.Eof -> List.rev acc
+    | Token.Kw_case ->
+      advance st;
+      let value = parse_case_value st in
+      expect st Token.Colon;
+      loop (Ast.Case (value, loc) :: acc)
+    | Token.Kw_default ->
+      advance st;
+      expect st Token.Colon;
+      loop (Ast.Default loc :: acc)
+    | _ ->
+      if is_type_start st then
+        loop
+          (List.rev_append (List.map (fun s -> Ast.Item s) (parse_local_decl st)) acc)
+      else loop (Ast.Item (parse_stmt st) :: acc)
+  in
+  loop []
+
+and parse_case_value st =
+  (* Case labels are integer or character literals, optionally negated. *)
+  match peek st with
+  | Token.Int_lit n ->
+    advance st;
+    n
+  | Token.Char_lit c ->
+    advance st;
+    Char.code c
+  | Token.Minus ->
+    advance st;
+    (match peek st with
+    | Token.Int_lit n ->
+      advance st;
+      -n
+    | tok ->
+      error st (Printf.sprintf "expected integer after '-', found '%s'" (Token.to_string tok)))
+  | tok -> error st (Printf.sprintf "expected case label, found '%s'" (Token.to_string tok))
+
+(* ------------------------------------------------------------------ *)
+(* Top-level declarations                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_struct_def st loc =
+  (* 'struct' has been consumed by the caller's base-type parse; we are
+     called with the struct name and an open brace pending. *)
+  let name = expect_ident st in
+  expect st Token.Lbrace;
+  let rec fields acc =
+    if peek st = Token.Rbrace then List.rev acc
+    else begin
+      let base = parse_base_type st in
+      let rec members acc =
+        let fname, wrap = parse_declarator st ~abstract:false in
+        let acc = (wrap base, fname) :: acc in
+        if accept st Token.Comma then members acc
+        else begin
+          expect st Token.Semi;
+          acc
+        end
+      in
+      fields (members acc)
+    end
+  in
+  let fs = fields [] in
+  expect st Token.Rbrace;
+  expect st Token.Semi;
+  Ast.Dstruct (name, fs, loc)
+
+let parse_global_init st =
+  if accept st Token.Lbrace then begin
+    let rec loop acc =
+      let e = parse_assign_expr st in
+      let acc = e :: acc in
+      if accept st Token.Comma then
+        if peek st = Token.Rbrace then List.rev acc else loop acc
+      else List.rev acc
+    in
+    let es = loop [] in
+    expect st Token.Rbrace;
+    Ast.Init_list es
+  end
+  else
+    match peek st with
+    | Token.Str_lit s ->
+      advance st;
+      Ast.Init_string s
+    | _ -> Ast.Init_expr (parse_assign_expr st)
+
+(* Parameter list of a function *definition*: names are required. *)
+let parse_named_params st =
+  if peek st = Token.Rparen then []
+  else if peek st = Token.Kw_void && peek2 st = Token.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let base = parse_base_type st in
+      let name, wrap = parse_declarator st ~abstract:false in
+      if name = "" then error st "parameter name required in function definition";
+      let acc = (wrap base, name) :: acc in
+      if accept st Token.Comma then loop acc else List.rev acc
+    in
+    loop []
+  end
+
+let parse_toplevel st : Ast.decl list =
+  let loc = peek_loc st in
+  let _static = accept st Token.Kw_static in
+  let is_extern = accept st Token.Kw_extern in
+  ignore is_extern;
+  if peek st = Token.Kw_struct && (match peek2 st with Token.Ident _ -> true | _ -> false)
+  then begin
+    (* Distinguish 'struct S { ... };' from 'struct S x;'. *)
+    let save = st.pos in
+    advance st;
+    let _name = expect_ident st in
+    if peek st = Token.Lbrace then begin
+      st.pos <- save;
+      advance st;
+      (* consume 'struct' *)
+      [ parse_struct_def st loc ]
+    end
+    else begin
+      st.pos <- save;
+      let base = parse_base_type st in
+      let rec globals acc =
+        let name, wrap = parse_declarator st ~abstract:false in
+        let ty = wrap base in
+        let init = if accept st Token.Assign then Some (parse_global_init st) else None in
+        let acc = Ast.Dglobal (ty, name, init, loc) :: acc in
+        if accept st Token.Comma then globals acc
+        else begin
+          expect st Token.Semi;
+          List.rev acc
+        end
+      in
+      globals []
+    end
+  end
+  else begin
+    let base = parse_base_type st in
+    (* Lookahead: function definition/prototype vs. global variable.  We
+       parse one declarator; if it is a function type at the top level and
+       a '{' follows, it is a definition — but definitions need *named*
+       parameters, so we re-parse the parameter list.  To keep this simple
+       we detect the '*... ident (' shape before committing: pointer stars
+       fold into the return type. *)
+    let stars =
+      let rec count i =
+        if st.pos + i < Array.length st.toks && fst st.toks.(st.pos + i) = Token.Star
+        then count (i + 1)
+        else i
+      in
+      count 0
+    in
+    let after k = if st.pos + k < Array.length st.toks then fst st.toks.(st.pos + k) else Token.Eof in
+    let is_function_shape =
+      (match after stars with Token.Ident _ -> true | _ -> false)
+      && after (stars + 1) = Token.Lparen
+    in
+    let base =
+      if is_function_shape && stars > 0 then begin
+        for _ = 1 to stars do advance st done;
+        let rec wrap n ty = if n = 0 then ty else wrap (n - 1) (Ast.Tptr ty) in
+        wrap stars base
+      end
+      else base
+    in
+    match (peek st, peek2 st) with
+    | Token.Ident name, Token.Lparen ->
+      advance st;
+      advance st;
+      (* Could still be a prototype; definitions and prototypes share the
+         named-parameter grammar (prototypes may also use bare types via
+         abstract declarators, which parse_named_params does not accept —
+         so prototypes in our subset always name or omit parameters). *)
+      if peek st = Token.Rparen || peek st = Token.Kw_void || is_type_start st then begin
+        let named =
+          (* Try named parameters first; fall back to types-only. *)
+          let save = st.pos in
+          try Some (parse_named_params st) with Parse_error _ ->
+            st.pos <- save;
+            None
+        in
+        match named with
+        | Some params ->
+          expect st Token.Rparen;
+          if peek st = Token.Lbrace then begin
+            advance st;
+            let body = parse_block_items st in
+            expect st Token.Rbrace;
+            [ Ast.Dfunc (base, name, params, body, loc) ]
+          end
+          else begin
+            expect st Token.Semi;
+            [ Ast.Dproto (base, name, List.map fst params, loc) ]
+          end
+        | None ->
+          let tys = parse_param_types st in
+          expect st Token.Rparen;
+          expect st Token.Semi;
+          [ Ast.Dproto (base, name, tys, loc) ]
+      end
+      else error st "malformed parameter list"
+    | _ ->
+      let rec globals acc =
+        let name, wrap = parse_declarator st ~abstract:false in
+        let ty = wrap base in
+        (match ty with
+        | Ast.Tfun (ret, params) ->
+          (* Function pointer declarators yield Tptr (Tfun ...); a bare
+             Tfun here is a prototype spelled with a complex declarator. *)
+          expect st Token.Semi;
+          raise_notrace (Return_proto (Ast.Dproto (ret, name, params, loc)))
+        | _ -> ());
+        let init = if accept st Token.Assign then Some (parse_global_init st) else None in
+        let acc = Ast.Dglobal (ty, name, init, loc) :: acc in
+        if accept st Token.Comma then globals acc
+        else begin
+          expect st Token.Semi;
+          List.rev acc
+        end
+      in
+      (try globals [] with Return_proto d -> [ d ])
+  end
+
+let parse_program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let rec loop acc =
+    if peek st = Token.Eof then List.rev acc
+    else loop (List.rev_append (parse_toplevel st) acc)
+  in
+  loop []
+
+let parse_expr_string src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let e = parse_comma_expr st in
+  if peek st <> Token.Eof then error st "trailing tokens after expression";
+  e

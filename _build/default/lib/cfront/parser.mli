@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the C subset.
+
+    The grammar covers declarations with full C declarators (so function
+    pointers and arrays of function pointers parse as in C), the statement
+    forms of {!Ast.stmt}, and the complete expression grammar with the
+    standard C precedences. *)
+
+(** Raised on a syntax error; carries a message and the location. *)
+exception Parse_error of string * Srcloc.t
+
+(** [parse_program src] parses a translation unit.
+    @raise Parse_error on a syntax error.
+    @raise Lexer.Lex_error on malformed tokens. *)
+val parse_program : string -> Ast.program
+
+(** [parse_expr_string src] parses [src] as a single expression followed
+    by end of input; used by tests and the const-folder's property suite.
+    @raise Parse_error on a syntax error. *)
+val parse_expr_string : string -> Ast.expr

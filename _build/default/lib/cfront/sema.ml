@@ -1,0 +1,893 @@
+exception Sema_error of string * Srcloc.t
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Sema_error (msg, loc))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Struct layout                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type layout = {
+  l_fields : (string * (int * Ast.ty)) list;  (* name -> (offset, type) *)
+  l_size : int;
+  l_align : int;
+}
+
+type fun_sig = {
+  fs_ret : Ast.ty;
+  fs_params : Ast.ty list;
+  fs_defined : bool;
+}
+
+type env = {
+  structs : (string, layout) Hashtbl.t;
+  fun_sigs : (string, fun_sig) Hashtbl.t;
+  globals : (string, Tast.global_info) Hashtbl.t;
+  mutable global_order : Tast.global_info list;  (* reverse order *)
+  strings : (string, int) Hashtbl.t;
+  mutable string_order : string list;  (* reverse order *)
+  addr_taken_funcs : (string, unit) Hashtbl.t;
+}
+
+let struct_layout env loc name =
+  match Hashtbl.find_opt env.structs name with
+  | Some l -> l
+  | None -> error loc "undefined struct '%s'" name
+
+let sizeof env loc ty =
+  try Tast.sizeof ~struct_size:(fun name -> (struct_layout env loc name).l_size) ty
+  with Invalid_argument msg -> error loc "%s" msg
+
+let rec alignof env loc = function
+  | Ast.Tint | Ast.Tptr _ -> Tast.word_size
+  | Ast.Tchar -> 1
+  | Ast.Tarray (elem, _) -> alignof env loc elem
+  | Ast.Tstruct name -> (struct_layout env loc name).l_align
+  | (Ast.Tvoid | Ast.Tfun _) as ty ->
+    error loc "type %s has no alignment" (Ast.string_of_ty ty)
+
+let round_up n align = (n + align - 1) / align * align
+
+let define_struct env loc name fields =
+  if Hashtbl.mem env.structs name then error loc "duplicate struct '%s'" name;
+  let offset = ref 0 in
+  let align = ref 1 in
+  let place (ty, fname) =
+    (match ty with
+    | Ast.Tvoid | Ast.Tfun _ ->
+      error loc "field '%s' has invalid type %s" fname (Ast.string_of_ty ty)
+    | Ast.Tint | Ast.Tchar | Ast.Tptr _ | Ast.Tarray _ | Ast.Tstruct _ -> ());
+    let a = alignof env loc ty in
+    let off = round_up !offset a in
+    offset := off + sizeof env loc ty;
+    align := max !align a;
+    (fname, (off, ty))
+  in
+  let placed = List.map place fields in
+  (* Detect duplicate field names. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (fname, _) ->
+      if Hashtbl.mem seen fname then error loc "duplicate field '%s' in struct %s" fname name;
+      Hashtbl.add seen fname ())
+    placed;
+  Hashtbl.add env.structs name
+    { l_fields = placed; l_size = round_up !offset !align; l_align = !align }
+
+(* ------------------------------------------------------------------ *)
+(* Small type utilities                                                *)
+(* ------------------------------------------------------------------ *)
+
+let is_scalar = function
+  | Ast.Tint | Ast.Tchar | Ast.Tptr _ -> true
+  | Ast.Tvoid | Ast.Tarray _ | Ast.Tstruct _ | Ast.Tfun _ -> false
+
+let is_aggregate = function
+  | Ast.Tarray _ | Ast.Tstruct _ -> true
+  | Ast.Tvoid | Ast.Tint | Ast.Tchar | Ast.Tptr _ | Ast.Tfun _ -> false
+
+(* Array and function types decay when used as parameter types. *)
+let decay_param_ty = function
+  | Ast.Tarray (elem, _) -> Ast.Tptr elem
+  | Ast.Tfun _ as f -> Ast.Tptr f
+  | (Ast.Tvoid | Ast.Tint | Ast.Tchar | Ast.Tptr _ | Ast.Tstruct _) as ty -> ty
+
+let intern_string env s =
+  match Hashtbl.find_opt env.strings s with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length env.strings in
+    Hashtbl.add env.strings s id;
+    env.string_order <- s :: env.string_order;
+    id
+
+let mark_func_addr_taken env name = Hashtbl.replace env.addr_taken_funcs name ()
+
+(* ------------------------------------------------------------------ *)
+(* Constant evaluation (global initialisers)                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec const_eval env (e : Ast.expr) : Tast.gval =
+  let loc = e.Ast.eloc in
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> Tast.Gword n
+  | Ast.Char_lit c -> Tast.Gword (Char.code c)
+  | Ast.Str_lit s -> Tast.Gptr_string (intern_string env s)
+  | Ast.Unop (op, e1) ->
+    (match const_eval env e1 with
+    | Tast.Gword n ->
+      Tast.Gword
+        (match op with
+        | Ast.Neg -> -n
+        | Ast.Bnot -> lnot n
+        | Ast.Lnot -> if n = 0 then 1 else 0)
+    | Tast.Gbyte _ | Tast.Gptr_string _ | Tast.Gptr_func _ | Tast.Gptr_global _ ->
+      error loc "constant expression: operand is not an integer")
+  | Ast.Binop (op, e1, e2) ->
+    (match (const_eval env e1, const_eval env e2) with
+    | Tast.Gword a, Tast.Gword b -> Tast.Gword (const_binop loc op a b)
+    | _, _ -> error loc "constant expression: operands are not integers")
+  | Ast.Sizeof_ty ty -> Tast.Gword (sizeof env loc ty)
+  | Ast.Ident name -> (
+    if Hashtbl.mem env.fun_sigs name then begin
+      mark_func_addr_taken env name;
+      Tast.Gptr_func name
+    end
+    else
+      match Hashtbl.find_opt env.globals name with
+      | Some g when is_aggregate g.Tast.g_ty -> Tast.Gptr_global name
+      | Some _ -> error loc "global initialiser may not read variable '%s'" name
+      | None -> error loc "undefined identifier '%s' in constant expression" name)
+  | Ast.Addr_of { Ast.edesc = Ast.Ident name; _ } -> (
+    if Hashtbl.mem env.fun_sigs name then begin
+      mark_func_addr_taken env name;
+      Tast.Gptr_func name
+    end
+    else
+      match Hashtbl.find_opt env.globals name with
+      | Some _ -> Tast.Gptr_global name
+      | None -> error loc "undefined identifier '%s' in constant expression" name)
+  | Ast.Cast (_, e1) -> const_eval env e1
+  | _ -> error loc "expression is not a compile-time constant"
+
+and const_binop loc op a b =
+  match op with
+  | Ast.Add -> a + b
+  | Ast.Sub -> a - b
+  | Ast.Mul -> a * b
+  | Ast.Div -> if b = 0 then error loc "division by zero in constant" else a / b
+  | Ast.Mod -> if b = 0 then error loc "division by zero in constant" else a mod b
+  | Ast.Shl -> a lsl b
+  | Ast.Shr -> a asr b
+  | Ast.Band -> a land b
+  | Ast.Bor -> a lor b
+  | Ast.Bxor -> a lxor b
+  | Ast.Lt -> if a < b then 1 else 0
+  | Ast.Le -> if a <= b then 1 else 0
+  | Ast.Gt -> if a > b then 1 else 0
+  | Ast.Ge -> if a >= b then 1 else 0
+  | Ast.Eq -> if a = b then 1 else 0
+  | Ast.Ne -> if a <> b then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* Globals                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let elem_gval loc ty (v : Tast.gval) : Tast.gval =
+  match (ty, v) with
+  | Ast.Tchar, Tast.Gword n -> Tast.Gbyte (n land 0xff)
+  | Ast.Tchar, _ -> error loc "char initialiser must be an integer constant"
+  | _, v -> v
+
+let define_global env loc ty name (init : Ast.init option) =
+  if Hashtbl.mem env.globals name then error loc "duplicate global '%s'" name;
+  if Hashtbl.mem env.fun_sigs name then
+    error loc "'%s' is declared both as a function and a global" name;
+  (* Infer the size of [] arrays from the initialiser. *)
+  let ty =
+    match (ty, init) with
+    | Ast.Tarray (elem, 0), Some (Ast.Init_list es) ->
+      Ast.Tarray (elem, List.length es)
+    | Ast.Tarray (Ast.Tchar, 0), Some (Ast.Init_string s) ->
+      Ast.Tarray (Ast.Tchar, String.length s + 1)
+    | ty, _ -> ty
+  in
+  (match ty with
+  | Ast.Tvoid | Ast.Tfun _ ->
+    error loc "global '%s' has invalid type %s" name (Ast.string_of_ty ty)
+  | Ast.Tarray (_, 0) -> error loc "global array '%s' has unknown size" name
+  | Ast.Tint | Ast.Tchar | Ast.Tptr _ | Ast.Tarray _ | Ast.Tstruct _ -> ());
+  let size = sizeof env loc ty in
+  let g_init =
+    match init with
+    | None -> []
+    | Some (Ast.Init_expr e) ->
+      if not (is_scalar ty) then
+        error loc "scalar initialiser for non-scalar global '%s'" name;
+      [ (0, elem_gval loc ty (const_eval env e)) ]
+    | Some (Ast.Init_list es) -> (
+      match ty with
+      | Ast.Tarray (elem, n) ->
+        if List.length es > n then error loc "too many initialisers for '%s'" name;
+        if not (is_scalar elem) then
+          error loc "array-of-aggregate initialisers are not supported";
+        let esize = sizeof env loc elem in
+        List.mapi (fun i e -> (i * esize, elem_gval loc elem (const_eval env e))) es
+      | _ -> error loc "brace initialiser for non-array global '%s'" name)
+    | Some (Ast.Init_string s) -> (
+      match ty with
+      | Ast.Tarray (Ast.Tchar, n) ->
+        if String.length s + 1 > n then
+          error loc "string initialiser too long for '%s'" name;
+        List.init (String.length s) (fun i -> (i, Tast.Gbyte (Char.code s.[i])))
+      | Ast.Tptr Ast.Tchar -> [ (0, Tast.Gptr_string (intern_string env s)) ]
+      | _ -> error loc "string initialiser for non-char-array global '%s'" name)
+  in
+  let g =
+    {
+      Tast.g_id = Hashtbl.length env.globals;
+      g_name = name;
+      g_ty = ty;
+      g_size = size;
+      g_init;
+    }
+  in
+  Hashtbl.add env.globals name g;
+  env.global_order <- g :: env.global_order
+
+(* ------------------------------------------------------------------ *)
+(* Function bodies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type fenv = {
+  env : env;
+  mutable scopes : (string, Tast.var_info) Hashtbl.t list;
+  vars : Tast.var_info Impact_support.Vec.t;
+  ret_ty : Ast.ty;
+  fname : string;
+  mutable loop_depth : int;
+  mutable switch_depth : int;
+}
+
+let push_scope fenv = fenv.scopes <- Hashtbl.create 8 :: fenv.scopes
+
+let pop_scope fenv =
+  match fenv.scopes with
+  | _ :: rest -> fenv.scopes <- rest
+  | [] -> assert false
+
+let lookup_var fenv name =
+  let rec search = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some v -> Some v
+      | None -> search rest)
+  in
+  search fenv.scopes
+
+let declare_var fenv loc kind ty name =
+  (match ty with
+  | Ast.Tvoid | Ast.Tfun _ ->
+    error loc "variable '%s' has invalid type %s" name (Ast.string_of_ty ty)
+  | Ast.Tarray (_, 0) -> error loc "array '%s' has unknown size" name
+  | Ast.Tint | Ast.Tchar | Ast.Tptr _ | Ast.Tarray _ | Ast.Tstruct _ -> ());
+  (* Force a layout check for aggregates now, so undefined structs are
+     reported at the declaration. *)
+  ignore (sizeof fenv.env loc ty);
+  let v =
+    {
+      Tast.v_id = Impact_support.Vec.length fenv.vars;
+      v_name = name;
+      v_ty = ty;
+      v_kind = kind;
+      v_addr_taken = is_aggregate ty;
+    }
+  in
+  (match fenv.scopes with
+  | scope :: _ ->
+    if Hashtbl.mem scope name then error loc "duplicate declaration of '%s'" name;
+    Hashtbl.add scope name v
+  | [] -> assert false);
+  Impact_support.Vec.push fenv.vars v;
+  v
+
+let mk ty desc = { Tast.ty; desc }
+
+let is_int_like = function
+  | Ast.Tint | Ast.Tchar -> true
+  | Ast.Tvoid | Ast.Tptr _ | Ast.Tarray _ | Ast.Tstruct _ | Ast.Tfun _ -> false
+
+(* Load a scalar of type [ty] from address [addr]; decay aggregates to
+   their address. *)
+let load_or_decay loc addr ty =
+  match ty with
+  | Ast.Tarray (elem, _) -> mk (Ast.Tptr elem) addr.Tast.desc
+  | Ast.Tstruct _ ->
+    (* A struct value: representable only as its address; consumers
+       (member access, address-of) handle it.  We give it the struct
+       type so misuse is caught. *)
+    mk ty addr.Tast.desc
+  | Ast.Tint | Ast.Tchar | Ast.Tptr _ -> mk ty (Tast.Tload (addr, ty))
+  | Ast.Tvoid | Ast.Tfun _ ->
+    error loc "cannot load a value of type %s" (Ast.string_of_ty ty)
+
+let rec check_expr fenv (e : Ast.expr) : Tast.texpr =
+  let loc = e.Ast.eloc in
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> mk Ast.Tint (Tast.Tconst n)
+  | Ast.Char_lit c -> mk Ast.Tint (Tast.Tconst (Char.code c))
+  | Ast.Str_lit s ->
+    mk (Ast.Tptr Ast.Tchar) (Tast.Tstring (intern_string fenv.env s))
+  | Ast.Ident name -> (
+    match lookup_var fenv name with
+    | Some v -> (
+      match v.Tast.v_ty with
+      | Ast.Tarray (elem, _) -> mk (Ast.Tptr elem) (Tast.Taddr_var v)
+      | Ast.Tstruct _ -> mk v.Tast.v_ty (Tast.Taddr_var v)
+      | Ast.Tint | Ast.Tchar | Ast.Tptr _ -> mk v.Tast.v_ty (Tast.Tvar_read v)
+      | Ast.Tvoid | Ast.Tfun _ -> assert false)
+    | None -> (
+      match Hashtbl.find_opt fenv.env.globals name with
+      | Some g -> (
+        match g.Tast.g_ty with
+        | Ast.Tarray (elem, _) -> mk (Ast.Tptr elem) (Tast.Taddr_global g)
+        | Ast.Tstruct _ -> mk g.Tast.g_ty (Tast.Taddr_global g)
+        | Ast.Tint | Ast.Tchar | Ast.Tptr _ ->
+          mk g.Tast.g_ty (Tast.Tglobal_read (g, g.Tast.g_ty))
+        | Ast.Tvoid | Ast.Tfun _ -> assert false)
+      | None -> (
+        match Hashtbl.find_opt fenv.env.fun_sigs name with
+        | Some fs ->
+          (* A function name used as a value decays to a pointer. *)
+          mark_func_addr_taken fenv.env name;
+          mk (Ast.Tptr (Ast.Tfun (fs.fs_ret, fs.fs_params))) (Tast.Taddr_func name)
+        | None -> error loc "undefined identifier '%s'" name)))
+  | Ast.Binop (op, e1, e2) -> check_binop fenv loc op e1 e2
+  | Ast.Logand (e1, e2) ->
+    let t1 = check_scalar fenv e1 in
+    let t2 = check_scalar fenv e2 in
+    mk Ast.Tint (Tast.Tlogand (t1, t2))
+  | Ast.Logor (e1, e2) ->
+    let t1 = check_scalar fenv e1 in
+    let t2 = check_scalar fenv e2 in
+    mk Ast.Tint (Tast.Tlogor (t1, t2))
+  | Ast.Unop (op, e1) ->
+    let t1 = check_scalar fenv e1 in
+    (match op with
+    | Ast.Neg | Ast.Bnot ->
+      if not (is_int_like t1.Tast.ty) then
+        error loc "operand of %s must be an integer"
+          (match op with Ast.Neg -> "unary '-'" | _ -> "'~'");
+      mk Ast.Tint (Tast.Tun (op, t1))
+    | Ast.Lnot -> mk Ast.Tint (Tast.Tun (op, t1)))
+  | Ast.Assign (lhs, rhs) ->
+    let lv, lty = check_lval fenv lhs in
+    let rv = check_scalar fenv rhs in
+    check_assignable loc lty rv.Tast.ty;
+    mk lty (Tast.Tassign (lv, rv))
+  | Ast.Assign_op (op, lhs, rhs) ->
+    let lv, lty = check_lval fenv lhs in
+    let rv = check_scalar fenv rhs in
+    let scale =
+      match (lty, op) with
+      | Ast.Tptr t, (Ast.Add | Ast.Sub) -> sizeof fenv.env loc t
+      | Ast.Tptr _, _ -> error loc "invalid operator on pointer"
+      | _, _ ->
+        if not (is_int_like rv.Tast.ty || rv.Tast.ty = Ast.Tptr Ast.Tvoid) then ();
+        1
+    in
+    mk lty (Tast.Tassign_op (lv, op, rv, scale))
+  | Ast.Incdec (op, prefix, e1) ->
+    let lv, lty = check_lval fenv e1 in
+    let step =
+      match lty with
+      | Ast.Tptr t -> sizeof fenv.env loc t
+      | _ -> 1
+    in
+    mk lty (Tast.Tincdec (lv, op, prefix, step))
+  | Ast.Cond (c, e1, e2) ->
+    let tc = check_scalar fenv c in
+    let t1 = check_scalar fenv e1 in
+    let t2 = check_scalar fenv e2 in
+    let ty =
+      match (t1.Tast.ty, t2.Tast.ty) with
+      | (Ast.Tptr _ as p), _ | _, (Ast.Tptr _ as p) -> p
+      | _, _ -> Ast.Tint
+    in
+    mk ty (Tast.Tcond (tc, t1, t2))
+  | Ast.Comma (e1, e2) ->
+    let t1 = check_expr fenv e1 in
+    let t2 = check_expr fenv e2 in
+    mk t2.Tast.ty (Tast.Tseq (t1, t2))
+  | Ast.Call (callee, args) -> check_call fenv loc callee args
+  | Ast.Index _ | Ast.Member _ | Ast.Arrow _ ->
+    let addr, ty = addr_of_expr fenv e in
+    load_or_decay loc addr ty
+  | Ast.Deref e1 -> (
+    let t1 = check_expr fenv e1 in
+    match t1.Tast.ty with
+    | Ast.Tptr (Ast.Tfun _) ->
+      (* *fp is the same function designator as fp. *)
+      t1
+    | Ast.Tptr ty -> load_or_decay loc t1 ty
+    | ty -> error loc "cannot dereference a value of type %s" (Ast.string_of_ty ty))
+  | Ast.Addr_of e1 -> (
+    match e1.Ast.edesc with
+    | Ast.Ident name when lookup_var fenv name = None
+                          && not (Hashtbl.mem fenv.env.globals name)
+                          && Hashtbl.mem fenv.env.fun_sigs name ->
+      let fs = Hashtbl.find fenv.env.fun_sigs name in
+      mark_func_addr_taken fenv.env name;
+      mk (Ast.Tptr (Ast.Tfun (fs.fs_ret, fs.fs_params))) (Tast.Taddr_func name)
+    | _ ->
+      let addr, ty = addr_of_expr fenv e1 in
+      mk (Ast.Tptr ty) addr.Tast.desc)
+  | Ast.Cast (ty, e1) -> (
+    let t1 = check_expr fenv e1 in
+    match ty with
+    | Ast.Tvoid -> mk Ast.Tvoid t1.Tast.desc
+    | Ast.Tchar ->
+      if t1.Tast.ty = Ast.Tchar then t1
+      else mk Ast.Tchar (Tast.Tbin (Ast.Band, t1, mk Ast.Tint (Tast.Tconst 0xff)))
+    | Ast.Tint | Ast.Tptr _ -> mk ty t1.Tast.desc
+    | Ast.Tarray _ | Ast.Tstruct _ | Ast.Tfun _ ->
+      error loc "cannot cast to %s" (Ast.string_of_ty ty))
+  | Ast.Sizeof_ty ty -> mk Ast.Tint (Tast.Tconst (sizeof fenv.env loc ty))
+  | Ast.Sizeof_expr e1 ->
+    let ty = sizeof_expr_ty fenv e1 in
+    mk Ast.Tint (Tast.Tconst (sizeof fenv.env loc ty))
+
+(* The type an expression would have before decay, for sizeof. *)
+and sizeof_expr_ty fenv (e : Ast.expr) : Ast.ty =
+  match e.Ast.edesc with
+  | Ast.Ident name -> (
+    match lookup_var fenv name with
+    | Some v -> v.Tast.v_ty
+    | None -> (
+      match Hashtbl.find_opt fenv.env.globals name with
+      | Some g -> g.Tast.g_ty
+      | None -> (check_expr fenv e).Tast.ty))
+  | Ast.Str_lit s -> Ast.Tarray (Ast.Tchar, String.length s + 1)
+  | Ast.Index _ | Ast.Member _ | Ast.Arrow _ ->
+    let _, ty = addr_of_expr fenv e in
+    ty
+  | _ -> (check_expr fenv e).Tast.ty
+
+and check_scalar fenv e =
+  let t = check_expr fenv e in
+  if not (is_scalar t.Tast.ty) then
+    error e.Ast.eloc "expected a scalar value, found %s" (Ast.string_of_ty t.Tast.ty);
+  t
+
+and check_assignable loc lty rty =
+  match (lty, rty) with
+  | (Ast.Tint | Ast.Tchar), (Ast.Tint | Ast.Tchar) -> ()
+  | Ast.Tptr _, (Ast.Tptr _ | Ast.Tint | Ast.Tchar) -> ()
+  | (Ast.Tint | Ast.Tchar), Ast.Tptr _ -> ()
+  | _, _ ->
+    error loc "cannot assign %s to %s" (Ast.string_of_ty rty) (Ast.string_of_ty lty)
+
+and check_binop fenv loc op e1 e2 =
+  let t1 = check_scalar fenv e1 in
+  let t2 = check_scalar fenv e2 in
+  let scaled t size =
+    if size = 1 then t
+    else mk Ast.Tint (Tast.Tbin (Ast.Mul, t, mk Ast.Tint (Tast.Tconst size)))
+  in
+  match op with
+  | Ast.Add -> (
+    match (t1.Tast.ty, t2.Tast.ty) with
+    | Ast.Tptr elem, ty when is_int_like ty ->
+      let size = sizeof fenv.env loc elem in
+      mk t1.Tast.ty (Tast.Tbin (Ast.Add, t1, scaled t2 size))
+    | ty, Ast.Tptr elem when is_int_like ty ->
+      let size = sizeof fenv.env loc elem in
+      mk t2.Tast.ty (Tast.Tbin (Ast.Add, scaled t1 size, t2))
+    | ty1, ty2 when is_int_like ty1 && is_int_like ty2 ->
+      mk Ast.Tint (Tast.Tbin (Ast.Add, t1, t2))
+    | ty1, ty2 ->
+      error loc "invalid operands to '+': %s and %s" (Ast.string_of_ty ty1)
+        (Ast.string_of_ty ty2))
+  | Ast.Sub -> (
+    match (t1.Tast.ty, t2.Tast.ty) with
+    | Ast.Tptr elem, ty when is_int_like ty ->
+      let size = sizeof fenv.env loc elem in
+      mk t1.Tast.ty (Tast.Tbin (Ast.Sub, t1, scaled t2 size))
+    | Ast.Tptr e1', Ast.Tptr e2' when Ast.ty_equal e1' e2' ->
+      let size = sizeof fenv.env loc e1' in
+      let diff = mk Ast.Tint (Tast.Tbin (Ast.Sub, t1, t2)) in
+      if size = 1 then diff
+      else mk Ast.Tint (Tast.Tbin (Ast.Div, diff, mk Ast.Tint (Tast.Tconst size)))
+    | ty1, ty2 when is_int_like ty1 && is_int_like ty2 ->
+      mk Ast.Tint (Tast.Tbin (Ast.Sub, t1, t2))
+    | ty1, ty2 ->
+      error loc "invalid operands to '-': %s and %s" (Ast.string_of_ty ty1)
+        (Ast.string_of_ty ty2))
+  | Ast.Mul | Ast.Div | Ast.Mod | Ast.Shl | Ast.Shr | Ast.Band | Ast.Bor | Ast.Bxor ->
+    if not (is_int_like t1.Tast.ty && is_int_like t2.Tast.ty) then
+      error loc "invalid operands to '%s'" (Ast.string_of_binop op);
+    mk Ast.Tint (Tast.Tbin (op, t1, t2))
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    mk Ast.Tint (Tast.Tbin (op, t1, t2))
+
+(* The address and pointee type of an lvalue expression. *)
+and addr_of_expr fenv (e : Ast.expr) : Tast.texpr * Ast.ty =
+  let loc = e.Ast.eloc in
+  match e.Ast.edesc with
+  | Ast.Ident name -> (
+    match lookup_var fenv name with
+    | Some v ->
+      v.Tast.v_addr_taken <- true;
+      (mk (Ast.Tptr v.Tast.v_ty) (Tast.Taddr_var v), v.Tast.v_ty)
+    | None -> (
+      match Hashtbl.find_opt fenv.env.globals name with
+      | Some g -> (mk (Ast.Tptr g.Tast.g_ty) (Tast.Taddr_global g), g.Tast.g_ty)
+      | None -> error loc "undefined identifier '%s'" name))
+  | Ast.Deref e1 -> (
+    let t1 = check_expr fenv e1 in
+    match t1.Tast.ty with
+    | Ast.Tptr ty -> (t1, ty)
+    | ty -> error loc "cannot dereference %s" (Ast.string_of_ty ty))
+  | Ast.Index (base, idx) -> (
+    let tb = check_expr fenv base in
+    let ti = check_scalar fenv idx in
+    match (tb.Tast.ty, ti.Tast.ty) with
+    | Ast.Tptr elem, ity when is_int_like ity ->
+      let size = sizeof fenv.env loc elem in
+      let offset =
+        if size = 1 then ti
+        else mk Ast.Tint (Tast.Tbin (Ast.Mul, ti, mk Ast.Tint (Tast.Tconst size)))
+      in
+      (mk (Ast.Tptr elem) (Tast.Tbin (Ast.Add, tb, offset)), elem)
+    | ity, Ast.Tptr elem when is_int_like ity ->
+      (* C's symmetric indexing: i[p] *)
+      let size = sizeof fenv.env loc elem in
+      let offset =
+        if size = 1 then tb
+        else mk Ast.Tint (Tast.Tbin (Ast.Mul, tb, mk Ast.Tint (Tast.Tconst size)))
+      in
+      (mk (Ast.Tptr elem) (Tast.Tbin (Ast.Add, ti, offset)), elem)
+    | ty, _ -> error loc "cannot index a value of type %s" (Ast.string_of_ty ty))
+  | Ast.Member (base, field) -> (
+    let addr, ty = addr_of_expr fenv base in
+    match ty with
+    | Ast.Tstruct sname ->
+      let layout = struct_layout fenv.env loc sname in
+      (match List.assoc_opt field layout.l_fields with
+      | Some (offset, fty) ->
+        let faddr =
+          if offset = 0 then mk (Ast.Tptr fty) addr.Tast.desc
+          else
+            mk (Ast.Tptr fty)
+              (Tast.Tbin (Ast.Add, addr, mk Ast.Tint (Tast.Tconst offset)))
+        in
+        (faddr, fty)
+      | None -> error loc "struct %s has no field '%s'" sname field)
+    | ty -> error loc "'.%s' applied to non-struct %s" field (Ast.string_of_ty ty))
+  | Ast.Arrow (base, field) -> (
+    let tb = check_expr fenv base in
+    match tb.Tast.ty with
+    | Ast.Tptr (Ast.Tstruct sname) ->
+      let layout = struct_layout fenv.env loc sname in
+      (match List.assoc_opt field layout.l_fields with
+      | Some (offset, fty) ->
+        let faddr =
+          if offset = 0 then mk (Ast.Tptr fty) tb.Tast.desc
+          else
+            mk (Ast.Tptr fty)
+              (Tast.Tbin (Ast.Add, tb, mk Ast.Tint (Tast.Tconst offset)))
+        in
+        (faddr, fty)
+      | None -> error loc "struct %s has no field '%s'" sname field)
+    | ty -> error loc "'->%s' applied to %s" field (Ast.string_of_ty ty))
+  | _ -> error loc "expression is not an lvalue"
+
+(* Lvalue for assignment.  Scalar variables not captured by & stay in
+   virtual registers; everything else goes through memory. *)
+and check_lval fenv (e : Ast.expr) : Tast.tlval * Ast.ty =
+  let loc = e.Ast.eloc in
+  match e.Ast.edesc with
+  | Ast.Ident name -> (
+    match lookup_var fenv name with
+    | Some v ->
+      if not (is_scalar v.Tast.v_ty) then
+        error loc "cannot assign to aggregate '%s'" name;
+      (Tast.Lvar v, v.Tast.v_ty)
+    | None -> (
+      match Hashtbl.find_opt fenv.env.globals name with
+      | Some g ->
+        if not (is_scalar g.Tast.g_ty) then
+          error loc "cannot assign to aggregate '%s'" name;
+        (Tast.Lglobal (g, g.Tast.g_ty), g.Tast.g_ty)
+      | None -> error loc "undefined identifier '%s'" name))
+  | Ast.Deref _ | Ast.Index _ | Ast.Member _ | Ast.Arrow _ ->
+    let addr, ty = addr_of_expr fenv e in
+    if not (is_scalar ty) then
+      error loc "cannot assign a value of type %s" (Ast.string_of_ty ty);
+    (Tast.Lmem (addr, ty), ty)
+  | _ -> error loc "expression is not an lvalue"
+
+and check_call fenv loc callee args =
+  let check_args signature targs =
+    match signature with
+    | Some (ret, params) ->
+      if List.length params <> List.length targs then
+        error loc "wrong number of arguments: expected %d, got %d"
+          (List.length params) (List.length targs);
+      ret
+    | None -> Ast.Tint
+  in
+  let targs () = List.map (fun a -> check_scalar fenv a) args in
+  match callee.Ast.edesc with
+  | Ast.Ident name when lookup_var fenv name = None
+                        && not (Hashtbl.mem fenv.env.globals name) -> (
+    match Hashtbl.find_opt fenv.env.fun_sigs name with
+    | Some fs ->
+      let ta = targs () in
+      let ret = check_args (Some (fs.fs_ret, fs.fs_params)) ta in
+      let target =
+        if fs.fs_defined then Tast.Direct name else Tast.Extern name
+      in
+      mk ret (Tast.Tcall (target, ta, ret))
+    | None -> error loc "call to undeclared function '%s'" name)
+  | Ast.Deref inner ->
+    (* Calling through an explicit dereference of a function pointer. *)
+    check_call fenv loc inner args
+  | _ -> (
+    let tc = check_expr fenv callee in
+    match tc.Tast.ty with
+    | Ast.Tptr (Ast.Tfun (ret, params)) ->
+      let ta = targs () in
+      let ret = check_args (Some (ret, params)) ta in
+      mk ret (Tast.Tcall (Tast.Indirect tc, ta, ret))
+    | ty -> error loc "called object has type %s, not a function" (Ast.string_of_ty ty))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_stmt fenv (s : Ast.stmt) : Tast.tstmt list =
+  let loc = s.Ast.sloc in
+  match s.Ast.sdesc with
+  | Ast.Sexpr e -> [ Tast.Ts_expr (check_expr fenv e) ]
+  | Ast.Sdecl (ty, name, init) -> (
+    (* Infer [] size: not supported for locals (no local initialiser
+       lists in the subset). *)
+    let v = declare_var fenv loc Tast.Klocal ty name in
+    match init with
+    | None -> []
+    | Some e ->
+      if not (is_scalar ty) then
+        error loc "aggregate local '%s' cannot have an initialiser" name;
+      let rv = check_scalar fenv e in
+      check_assignable loc ty rv.Tast.ty;
+      [ Tast.Ts_expr (mk ty (Tast.Tassign (Tast.Lvar v, rv))) ])
+  | Ast.Sif (cond, then_s, else_s) ->
+    let tc = check_scalar fenv cond in
+    let tt = check_stmt_scoped fenv then_s in
+    let te = match else_s with None -> [] | Some s -> check_stmt_scoped fenv s in
+    [ Tast.Ts_if (tc, tt, te) ]
+  | Ast.Swhile (cond, body) ->
+    let tc = check_scalar fenv cond in
+    fenv.loop_depth <- fenv.loop_depth + 1;
+    let tb = check_stmt_scoped fenv body in
+    fenv.loop_depth <- fenv.loop_depth - 1;
+    [ Tast.Ts_while (tc, tb) ]
+  | Ast.Sdo (body, cond) ->
+    fenv.loop_depth <- fenv.loop_depth + 1;
+    let tb = check_stmt_scoped fenv body in
+    fenv.loop_depth <- fenv.loop_depth - 1;
+    let tc = check_scalar fenv cond in
+    [ Tast.Ts_do (tb, tc) ]
+  | Ast.Sfor (init, cond, step, body) ->
+    let ti = Option.map (check_expr fenv) init in
+    let tc = Option.map (check_scalar fenv) cond in
+    let ts = Option.map (check_expr fenv) step in
+    fenv.loop_depth <- fenv.loop_depth + 1;
+    let tb = check_stmt_scoped fenv body in
+    fenv.loop_depth <- fenv.loop_depth - 1;
+    [ Tast.Ts_for (ti, tc, ts, tb) ]
+  | Ast.Sswitch (scrutinee, items) ->
+    let tsc = check_scalar fenv scrutinee in
+    fenv.switch_depth <- fenv.switch_depth + 1;
+    push_scope fenv;
+    let groups = check_switch_items fenv loc items in
+    pop_scope fenv;
+    fenv.switch_depth <- fenv.switch_depth - 1;
+    [ Tast.Ts_switch (tsc, groups) ]
+  | Ast.Sbreak ->
+    if fenv.loop_depth = 0 && fenv.switch_depth = 0 then
+      error loc "'break' outside of a loop or switch";
+    [ Tast.Ts_break ]
+  | Ast.Scontinue ->
+    if fenv.loop_depth = 0 then error loc "'continue' outside of a loop";
+    [ Tast.Ts_continue ]
+  | Ast.Sreturn None ->
+    (* C89 tolerates a bare return in an int function; it returns 0. *)
+    [ Tast.Ts_return None ]
+  | Ast.Sreturn (Some e) ->
+    if fenv.ret_ty = Ast.Tvoid then
+      error loc "void function '%s' returns a value" fenv.fname;
+    let tv = check_scalar fenv e in
+    [ Tast.Ts_return (Some tv) ]
+  | Ast.Sblock stmts ->
+    push_scope fenv;
+    let out = List.concat_map (check_stmt fenv) stmts in
+    pop_scope fenv;
+    [ Tast.Ts_block out ]
+
+and check_stmt_scoped fenv s =
+  match s.Ast.sdesc with
+  | Ast.Sblock _ -> check_stmt fenv s
+  | _ ->
+    push_scope fenv;
+    let out = check_stmt fenv s in
+    pop_scope fenv;
+    out
+
+and check_switch_items fenv loc items : Tast.switch_group list =
+  (* Split the flat item list into groups at each run of labels. *)
+  let groups = ref [] in
+  let cur_labels = ref [] in
+  let cur_default = ref false in
+  let cur_body = ref [] in
+  let have_group = ref false in
+  let seen_labels = Hashtbl.create 16 in
+  let seen_default = ref false in
+  let flush () =
+    if !have_group then
+      groups :=
+        {
+          Tast.labels = List.rev !cur_labels;
+          is_default = !cur_default;
+          body = List.rev !cur_body;
+        }
+        :: !groups;
+    cur_labels := [];
+    cur_default := false;
+    cur_body := [];
+    have_group := false
+  in
+  let add_label_start () =
+    (* A label directly after statements starts a new group. *)
+    if !have_group && !cur_body <> [] then flush ();
+    have_group := true
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.Case (value, lloc) ->
+        if Hashtbl.mem seen_labels value then
+          error lloc "duplicate case label %d" value;
+        Hashtbl.add seen_labels value ();
+        add_label_start ();
+        cur_labels := value :: !cur_labels
+      | Ast.Default lloc ->
+        if !seen_default then error lloc "duplicate default label";
+        seen_default := true;
+        add_label_start ();
+        cur_default := true
+      | Ast.Item s ->
+        if not !have_group then
+          error loc "statement before the first case label in switch";
+        cur_body := List.rev_append (check_stmt fenv s) !cur_body)
+    items;
+  flush ();
+  List.rev !groups
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check (program : Ast.program) : Tast.tprogram =
+  let env =
+    {
+      structs = Hashtbl.create 16;
+      fun_sigs = Hashtbl.create 64;
+      globals = Hashtbl.create 64;
+      global_order = [];
+      strings = Hashtbl.create 64;
+      string_order = [];
+      addr_taken_funcs = Hashtbl.create 16;
+    }
+  in
+  (* Pass 1: struct definitions and function signatures. *)
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Dstruct (name, fields, loc) -> define_struct env loc name fields
+      | Ast.Dfunc (ret, name, params, _, loc) ->
+        let params_tys = List.map (fun (ty, _) -> decay_param_ty ty) params in
+        (match Hashtbl.find_opt env.fun_sigs name with
+        | Some fs when fs.fs_defined -> error loc "duplicate definition of '%s'" name
+        | Some fs ->
+          if not (Ast.ty_equal fs.fs_ret ret)
+             || List.length fs.fs_params <> List.length params_tys
+          then error loc "definition of '%s' conflicts with its prototype" name;
+          Hashtbl.replace env.fun_sigs name
+            { fs_ret = ret; fs_params = params_tys; fs_defined = true }
+        | None ->
+          Hashtbl.add env.fun_sigs name
+            { fs_ret = ret; fs_params = params_tys; fs_defined = true })
+      | Ast.Dproto (ret, name, params, _loc) ->
+        let params_tys = List.map decay_param_ty params in
+        if not (Hashtbl.mem env.fun_sigs name) then
+          Hashtbl.add env.fun_sigs name
+            { fs_ret = ret; fs_params = params_tys; fs_defined = false }
+      | Ast.Dglobal _ -> ())
+    program;
+  (* Pass 2: globals, in declaration order (initialisers may reference
+     functions and earlier globals). *)
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Dglobal (ty, name, init, loc) -> define_global env loc ty name init
+      | Ast.Dstruct _ | Ast.Dfunc _ | Ast.Dproto _ -> ())
+    program;
+  (* Pass 3: function bodies. *)
+  let funcs = ref [] in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Dfunc (ret, name, params, body, loc) ->
+        let fenv =
+          {
+            env;
+            scopes = [];
+            vars = Impact_support.Vec.create ();
+            ret_ty = ret;
+            fname = name;
+            loop_depth = 0;
+            switch_depth = 0;
+          }
+        in
+        push_scope fenv;
+        let tparams =
+          List.map
+            (fun (ty, pname) ->
+              declare_var fenv loc Tast.Kparam (decay_param_ty ty) pname)
+            params
+        in
+        let tbody = List.concat_map (check_stmt fenv) body in
+        pop_scope fenv;
+        funcs :=
+          {
+            Tast.f_name = name;
+            f_ret = ret;
+            f_params = tparams;
+            f_vars = Impact_support.Vec.to_list fenv.vars;
+            f_body = tbody;
+            f_loc = loc;
+          }
+          :: !funcs
+      | Ast.Dstruct _ | Ast.Dglobal _ | Ast.Dproto _ -> ())
+    program;
+  let funcs = List.rev !funcs in
+  (* main must exist and have the right shape. *)
+  (match List.find_opt (fun f -> f.Tast.f_name = "main") funcs with
+  | Some f ->
+    if f.Tast.f_ret <> Ast.Tint || f.Tast.f_params <> [] then
+      raise (Sema_error ("main must have type 'int main()'", f.Tast.f_loc))
+  | None -> raise (Sema_error ("no 'main' function", Srcloc.dummy)));
+  let externs =
+    Hashtbl.fold
+      (fun name fs acc ->
+        if fs.fs_defined then acc
+        else { Tast.x_name = name; x_ret = fs.fs_ret; x_params = fs.fs_params } :: acc)
+      env.fun_sigs []
+    |> List.sort (fun a b -> String.compare a.Tast.x_name b.Tast.x_name)
+  in
+  {
+    Tast.globals = List.rev env.global_order;
+    strings = Array.of_list (List.rev env.string_order);
+    funcs;
+    externs;
+    address_taken_funcs =
+      Hashtbl.fold (fun name () acc -> name :: acc) env.addr_taken_funcs []
+      |> List.sort String.compare;
+    struct_sizes =
+      Hashtbl.fold (fun name l acc -> (name, l.l_size) :: acc) env.structs []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+  }
+
+let check_source src = check (Parser.parse_program src)

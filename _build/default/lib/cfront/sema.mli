@@ -1,0 +1,22 @@
+(** Semantic analysis: {!Ast.program} → {!Tast.tprogram}.
+
+    Performs name resolution with block scoping, type checking, struct
+    layout, array-size inference from initialisers, constant evaluation of
+    global initialisers, desugaring of implicit conversions (array decay,
+    pointer-arithmetic scaling, char masking), and classification of call
+    sites into direct / external / through-pointer — the classification
+    the inliner's call graph is built from. *)
+
+(** Raised on any semantic error, with a message and source location. *)
+exception Sema_error of string * Srcloc.t
+
+(** [check program] elaborates a parsed translation unit.
+
+    Requirements enforced: a [main] function with type [int main()] must
+    exist; every called identifier must be declared; prototypes lacking a
+    definition become external functions.
+    @raise Sema_error on violation. *)
+val check : Ast.program -> Tast.tprogram
+
+(** [check_source src] is [check (Parser.parse_program src)]. *)
+val check_source : string -> Tast.tprogram

@@ -1,0 +1,10 @@
+type t = {
+  line : int;
+  col : int;
+}
+
+let dummy = { line = 0; col = 0 }
+
+let make ~line ~col = { line; col }
+
+let to_string loc = Printf.sprintf "%d:%d" loc.line loc.col

@@ -1,0 +1,18 @@
+(** Source locations.
+
+    Every token and AST node carries the line/column where it started so
+    that front-end diagnostics can point at the offending construct. *)
+
+type t = {
+  line : int;  (** 1-based line number *)
+  col : int;   (** 1-based column number *)
+}
+
+(** A conventional location for synthesised nodes. *)
+val dummy : t
+
+(** [make ~line ~col] is the location at [line], [col]. *)
+val make : line:int -> col:int -> t
+
+(** [to_string loc] is ["line:col"]. *)
+val to_string : t -> string

@@ -1,0 +1,114 @@
+let word_size = 8
+
+type var_kind =
+  | Kparam
+  | Klocal
+
+type var_info = {
+  v_id : int;
+  v_name : string;
+  v_ty : Ast.ty;
+  v_kind : var_kind;
+  mutable v_addr_taken : bool;
+}
+
+type gval =
+  | Gword of int
+  | Gbyte of int
+  | Gptr_string of int
+  | Gptr_func of string
+  | Gptr_global of string
+
+type global_info = {
+  g_id : int;
+  g_name : string;
+  g_ty : Ast.ty;
+  g_size : int;
+  g_init : (int * gval) list;
+}
+
+type call_target =
+  | Direct of string
+  | Extern of string
+  | Indirect of texpr
+
+and texpr = {
+  ty : Ast.ty;
+  desc : tdesc;
+}
+
+and tdesc =
+  | Tconst of int
+  | Tstring of int
+  | Tvar_read of var_info
+  | Tglobal_read of global_info * Ast.ty
+  | Tload of texpr * Ast.ty
+  | Taddr_var of var_info
+  | Taddr_global of global_info
+  | Taddr_func of string
+  | Tbin of Ast.binop * texpr * texpr
+  | Tun of Ast.unop * texpr
+  | Tlogand of texpr * texpr
+  | Tlogor of texpr * texpr
+  | Tcond of texpr * texpr * texpr
+  | Tseq of texpr * texpr
+  | Tassign of tlval * texpr
+  | Tassign_op of tlval * Ast.binop * texpr * int
+  | Tincdec of tlval * Ast.incdec * bool * int
+  | Tcall of call_target * texpr list * Ast.ty
+
+and tlval =
+  | Lvar of var_info
+  | Lglobal of global_info * Ast.ty
+  | Lmem of texpr * Ast.ty
+
+type switch_group = {
+  labels : int list;
+  is_default : bool;
+  body : tstmt list;
+}
+
+and tstmt =
+  | Ts_expr of texpr
+  | Ts_if of texpr * tstmt list * tstmt list
+  | Ts_while of texpr * tstmt list
+  | Ts_do of tstmt list * texpr
+  | Ts_for of texpr option * texpr option * texpr option * tstmt list
+  | Ts_switch of texpr * switch_group list
+  | Ts_break
+  | Ts_continue
+  | Ts_return of texpr option
+  | Ts_block of tstmt list
+
+type tfunc = {
+  f_name : string;
+  f_ret : Ast.ty;
+  f_params : var_info list;
+  f_vars : var_info list;
+  f_body : tstmt list;
+  f_loc : Srcloc.t;
+}
+
+type extern_decl = {
+  x_name : string;
+  x_ret : Ast.ty;
+  x_params : Ast.ty list;
+}
+
+type tprogram = {
+  globals : global_info list;
+  strings : string array;
+  funcs : tfunc list;
+  externs : extern_decl list;
+  address_taken_funcs : string list;
+  struct_sizes : (string * int) list;
+}
+
+let rec sizeof ~struct_size = function
+  | Ast.Tint -> word_size
+  | Ast.Tchar -> 1
+  | Ast.Tptr _ -> word_size
+  | Ast.Tarray (elem, n) -> n * sizeof ~struct_size elem
+  | Ast.Tstruct name -> struct_size name
+  | Ast.Tvoid -> invalid_arg "sizeof: void has no size"
+  | Ast.Tfun _ -> invalid_arg "sizeof: function types have no size"

@@ -1,0 +1,134 @@
+(** Typed abstract syntax — the output of {!Sema}.
+
+    Compared with {!Ast}, names are resolved, every expression carries its
+    type, implicit C conversions are explicit (array decay, pointer
+    arithmetic scaling, char masking), and initialisers are evaluated:
+    global initialisers to byte images, local initialisers to assignment
+    statements.  {!Impact_il.Lower} consumes this form directly. *)
+
+(** Machine word size in bytes; [int] and all pointers occupy one word. *)
+val word_size : int
+
+type var_kind =
+  | Kparam
+  | Klocal
+
+(** A local variable or parameter of one function. *)
+type var_info = {
+  v_id : int;  (** unique within the enclosing function *)
+  v_name : string;
+  v_ty : Ast.ty;
+  v_kind : var_kind;
+  mutable v_addr_taken : bool;
+      (** true when the variable's address escapes ([&v]) or the variable
+          is an aggregate; such variables live in the stack frame rather
+          than in a virtual register *)
+}
+
+(** One word (or byte string) of a global's initial image. *)
+type gval =
+  | Gword of int            (** a word-sized integer *)
+  | Gbyte of int            (** a single byte *)
+  | Gptr_string of int      (** address of interned string [n] *)
+  | Gptr_func of string     (** address of the named function *)
+  | Gptr_global of string   (** address of the named global *)
+
+type global_info = {
+  g_id : int;
+  g_name : string;
+  g_ty : Ast.ty;
+  g_size : int;  (** size in bytes *)
+  g_init : (int * gval) list;  (** (offset, value); uncovered bytes are 0 *)
+}
+
+(** How a call site reaches its callee.  The distinction drives the call
+    graph: [Extern] arcs go to the paper's [$$$] node and [Indirect] arcs
+    to the [###] node. *)
+type call_target =
+  | Direct of string    (** user function with an available body *)
+  | Extern of string    (** external function: body unavailable *)
+  | Indirect of texpr   (** call through a function pointer *)
+
+and texpr = {
+  ty : Ast.ty;
+  desc : tdesc;
+}
+
+and tdesc =
+  | Tconst of int
+  | Tstring of int                       (** address of interned string *)
+  | Tvar_read of var_info
+  | Tglobal_read of global_info * Ast.ty
+  | Tload of texpr * Ast.ty              (** load scalar from address *)
+  | Taddr_var of var_info
+  | Taddr_global of global_info
+  | Taddr_func of string
+  | Tbin of Ast.binop * texpr * texpr
+  | Tun of Ast.unop * texpr
+  | Tlogand of texpr * texpr
+  | Tlogor of texpr * texpr
+  | Tcond of texpr * texpr * texpr
+  | Tseq of texpr * texpr
+  | Tassign of tlval * texpr
+  | Tassign_op of tlval * Ast.binop * texpr * int
+      (** [lv op= e]; the [int] is the scaling factor for pointer
+          arithmetic (1 for plain integers) *)
+  | Tincdec of tlval * Ast.incdec * bool * int
+      (** lvalue, direction, [true] = prefix, step (element size for
+          pointers, 1 otherwise) *)
+  | Tcall of call_target * texpr list * Ast.ty
+
+and tlval =
+  | Lvar of var_info
+  | Lglobal of global_info * Ast.ty
+  | Lmem of texpr * Ast.ty  (** store scalar through computed address *)
+
+type switch_group = {
+  labels : int list;
+  is_default : bool;
+  body : tstmt list;
+}
+
+and tstmt =
+  | Ts_expr of texpr
+  | Ts_if of texpr * tstmt list * tstmt list
+  | Ts_while of texpr * tstmt list
+  | Ts_do of tstmt list * texpr
+  | Ts_for of texpr option * texpr option * texpr option * tstmt list
+  | Ts_switch of texpr * switch_group list
+  | Ts_break
+  | Ts_continue
+  | Ts_return of texpr option
+  | Ts_block of tstmt list
+
+type tfunc = {
+  f_name : string;
+  f_ret : Ast.ty;
+  f_params : var_info list;
+  f_vars : var_info list;  (** every variable of the function, params first *)
+  f_body : tstmt list;
+  f_loc : Srcloc.t;
+}
+
+type extern_decl = {
+  x_name : string;
+  x_ret : Ast.ty;
+  x_params : Ast.ty list;
+}
+
+type tprogram = {
+  globals : global_info list;
+  strings : string array;   (** interned string literals *)
+  funcs : tfunc list;
+  externs : extern_decl list;
+  address_taken_funcs : string list;
+      (** functions whose address is used in a computation — the paper's
+          maximal callee set for calls through pointers *)
+  struct_sizes : (string * int) list;
+      (** byte size of every defined struct, for frame layout *)
+}
+
+(** [sizeof ~struct_size ty] is the byte size of [ty]; [struct_size]
+    resolves struct names.  Function types have no size.
+    @raise Invalid_argument on [Tvoid] and [Tfun]. *)
+val sizeof : struct_size:(string -> int) -> Ast.ty -> int

@@ -1,0 +1,163 @@
+type t =
+  | Int_lit of int
+  | Char_lit of char
+  | Str_lit of string
+  | Ident of string
+  | Kw_int
+  | Kw_char
+  | Kw_void
+  | Kw_struct
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_do
+  | Kw_for
+  | Kw_switch
+  | Kw_case
+  | Kw_default
+  | Kw_break
+  | Kw_continue
+  | Kw_return
+  | Kw_sizeof
+  | Kw_extern
+  | Kw_static
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Arrow
+  | Question
+  | Colon
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | Shl_op
+  | Shr_op
+  | Lt_op
+  | Le_op
+  | Gt_op
+  | Ge_op
+  | Eq_op
+  | Ne_op
+  | Andand
+  | Oror
+  | Plusplus
+  | Minusminus
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Amp_assign
+  | Pipe_assign
+  | Caret_assign
+  | Shl_assign
+  | Shr_assign
+  | Eof
+
+let keywords =
+  [
+    ("int", Kw_int);
+    ("char", Kw_char);
+    ("void", Kw_void);
+    ("struct", Kw_struct);
+    ("if", Kw_if);
+    ("else", Kw_else);
+    ("while", Kw_while);
+    ("do", Kw_do);
+    ("for", Kw_for);
+    ("switch", Kw_switch);
+    ("case", Kw_case);
+    ("default", Kw_default);
+    ("break", Kw_break);
+    ("continue", Kw_continue);
+    ("return", Kw_return);
+    ("sizeof", Kw_sizeof);
+    ("extern", Kw_extern);
+    ("static", Kw_static);
+  ]
+
+let keyword_of_string s = List.assoc_opt s keywords
+
+let to_string = function
+  | Int_lit n -> string_of_int n
+  | Char_lit c -> Printf.sprintf "%C" c
+  | Str_lit s -> Printf.sprintf "%S" s
+  | Ident s -> s
+  | Kw_int -> "int"
+  | Kw_char -> "char"
+  | Kw_void -> "void"
+  | Kw_struct -> "struct"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_do -> "do"
+  | Kw_for -> "for"
+  | Kw_switch -> "switch"
+  | Kw_case -> "case"
+  | Kw_default -> "default"
+  | Kw_break -> "break"
+  | Kw_continue -> "continue"
+  | Kw_return -> "return"
+  | Kw_sizeof -> "sizeof"
+  | Kw_extern -> "extern"
+  | Kw_static -> "static"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Dot -> "."
+  | Arrow -> "->"
+  | Question -> "?"
+  | Colon -> ":"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Bang -> "!"
+  | Shl_op -> "<<"
+  | Shr_op -> ">>"
+  | Lt_op -> "<"
+  | Le_op -> "<="
+  | Gt_op -> ">"
+  | Ge_op -> ">="
+  | Eq_op -> "=="
+  | Ne_op -> "!="
+  | Andand -> "&&"
+  | Oror -> "||"
+  | Plusplus -> "++"
+  | Minusminus -> "--"
+  | Assign -> "="
+  | Plus_assign -> "+="
+  | Minus_assign -> "-="
+  | Star_assign -> "*="
+  | Slash_assign -> "/="
+  | Percent_assign -> "%="
+  | Amp_assign -> "&="
+  | Pipe_assign -> "|="
+  | Caret_assign -> "^="
+  | Shl_assign -> "<<="
+  | Shr_assign -> ">>="
+  | Eof -> "<eof>"

@@ -1,0 +1,81 @@
+(** Tokens of the C subset. *)
+
+type t =
+  (* literals and identifiers *)
+  | Int_lit of int
+  | Char_lit of char
+  | Str_lit of string
+  | Ident of string
+  (* keywords *)
+  | Kw_int
+  | Kw_char
+  | Kw_void
+  | Kw_struct
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_do
+  | Kw_for
+  | Kw_switch
+  | Kw_case
+  | Kw_default
+  | Kw_break
+  | Kw_continue
+  | Kw_return
+  | Kw_sizeof
+  | Kw_extern
+  | Kw_static
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Arrow           (** [->] *)
+  | Question
+  | Colon
+  (* operators *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | Shl_op          (** [<<] *)
+  | Shr_op          (** [>>] *)
+  | Lt_op
+  | Le_op
+  | Gt_op
+  | Ge_op
+  | Eq_op           (** [==] *)
+  | Ne_op           (** [!=] *)
+  | Andand
+  | Oror
+  | Plusplus
+  | Minusminus
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Amp_assign
+  | Pipe_assign
+  | Caret_assign
+  | Shl_assign
+  | Shr_assign
+  | Eof
+
+(** [to_string tok] is a human-readable rendering for diagnostics. *)
+val to_string : t -> string
+
+(** [keyword_of_string s] is the keyword token for [s], if any. *)
+val keyword_of_string : string -> t option

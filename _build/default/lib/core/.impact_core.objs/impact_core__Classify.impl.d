@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Config Impact_callgraph Impact_il List

@@ -1,0 +1,1 @@
+lib/core/classify.mli: Config Impact_callgraph

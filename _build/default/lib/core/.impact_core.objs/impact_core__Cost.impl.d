@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Config Float Impact_callgraph Impact_il

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Config Impact_callgraph Impact_il

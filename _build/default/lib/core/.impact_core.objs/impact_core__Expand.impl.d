@@ -1,0 +1,1 @@
+lib/core/expand.ml: Array Hashtbl Impact_il Impact_support Linearize List Option Printf Select

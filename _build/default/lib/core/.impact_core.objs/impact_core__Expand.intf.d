@@ -1,0 +1,1 @@
+lib/core/expand.mli: Impact_il Linearize Select

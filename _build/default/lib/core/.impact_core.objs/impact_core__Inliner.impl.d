@@ -1,0 +1,1 @@
+lib/core/inliner.ml: Classify Config Expand Hashtbl Impact_callgraph Impact_il Linearize List Select

@@ -1,0 +1,1 @@
+lib/core/inliner.mli: Classify Config Expand Hashtbl Impact_callgraph Impact_il Impact_profile Linearize Select

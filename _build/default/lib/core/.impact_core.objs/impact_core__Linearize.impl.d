@@ -1,0 +1,1 @@
+lib/core/linearize.ml: Array Impact_callgraph Impact_il Impact_support List

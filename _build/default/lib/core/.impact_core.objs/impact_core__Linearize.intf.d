@@ -1,0 +1,1 @@
+lib/core/linearize.mli: Impact_callgraph Impact_il

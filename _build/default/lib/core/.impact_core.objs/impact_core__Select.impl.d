@@ -1,0 +1,1 @@
+lib/core/select.ml: Array Config Cost Float Hashtbl Impact_callgraph Impact_il Linearize List

@@ -1,0 +1,1 @@
+lib/core/select.mli: Config Cost Hashtbl Impact_callgraph Impact_il Linearize

@@ -1,0 +1,1 @@
+lib/core/weights.ml: Array Expand Float Hashtbl Impact_il Impact_profile List

@@ -1,0 +1,1 @@
+lib/core/weights.mli: Expand Impact_il Impact_profile

@@ -1,0 +1,72 @@
+module Callgraph = Impact_callgraph.Callgraph
+module Il = Impact_il.Il
+
+type unsafe_reason =
+  | Low_weight
+  | Recursion_stack
+  | Self_recursion
+
+type kind =
+  | External
+  | Pointer
+  | Unsafe of unsafe_reason
+  | Safe
+
+type classified = {
+  c_arc : Callgraph.arc;
+  c_kind : kind;
+}
+
+let classify_arc (g : Callgraph.t) (config : Config.t) (a : Callgraph.arc) =
+  match a.Callgraph.a_callee with
+  | Callgraph.To_ext -> External
+  | Callgraph.To_ptr -> Pointer
+  | Callgraph.To_func callee ->
+    if callee = a.Callgraph.a_caller then Unsafe Self_recursion
+    else if
+      Callgraph.is_recursive g callee
+      && Il.stack_usage g.Callgraph.prog.Il.funcs.(callee) > config.Config.stack_bound
+    then Unsafe Recursion_stack
+    else if a.Callgraph.a_weight < config.Config.weight_threshold then
+      Unsafe Low_weight
+    else Safe
+
+let classify g config =
+  List.map (fun a -> { c_arc = a; c_kind = classify_arc g config a }) g.Callgraph.arcs
+
+type summary = {
+  total : int;
+  external_ : int;
+  pointer : int;
+  unsafe : int;
+  safe : int;
+}
+
+let static_summary cs =
+  let count p = List.length (List.filter p cs) in
+  {
+    total = List.length cs;
+    external_ = count (fun c -> c.c_kind = External);
+    pointer = count (fun c -> c.c_kind = Pointer);
+    unsafe = count (fun c -> match c.c_kind with Unsafe _ -> true | _ -> false);
+    safe = count (fun c -> c.c_kind = Safe);
+  }
+
+let dynamic_summary cs =
+  let sum p =
+    List.fold_left
+      (fun acc c -> if p c then acc +. c.c_arc.Callgraph.a_weight else acc)
+      0. cs
+  in
+  let total = sum (fun _ -> true) in
+  let ext = sum (fun c -> c.c_kind = External) in
+  let ptr = sum (fun c -> c.c_kind = Pointer) in
+  let uns = sum (fun c -> match c.c_kind with Unsafe _ -> true | _ -> false) in
+  let safe = sum (fun c -> c.c_kind = Safe) in
+  (total, ext, ptr, uns, safe)
+
+let kind_name = function
+  | External -> "external"
+  | Pointer -> "pointer"
+  | Unsafe _ -> "unsafe"
+  | Safe -> "safe"

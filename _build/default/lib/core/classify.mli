@@ -1,0 +1,51 @@
+(** Call-site classification (the paper's Tables 2 and 3).
+
+    Every static call site is exactly one of:
+    - {e external}: the callee body is unavailable (library/system call);
+    - {e pointer}: a call through a pointer, which defeats inlining;
+    - {e unsafe}: a direct call that either would introduce a function
+      body into a recursive path with excessive control-stack usage, is
+      simple recursion, or has an estimated execution count below the
+      threshold (10 in the paper);
+    - {e safe}: everything else — the candidates for inline expansion. *)
+
+type unsafe_reason =
+  | Low_weight         (** arc weight below the threshold *)
+  | Recursion_stack    (** callee on a cycle with stack usage over bound *)
+  | Self_recursion     (** direct self call: "we do not deal with simple
+                           recursion" *)
+
+type kind =
+  | External
+  | Pointer
+  | Unsafe of unsafe_reason
+  | Safe
+
+type classified = {
+  c_arc : Impact_callgraph.Callgraph.arc;
+  c_kind : kind;
+}
+
+(** [classify g config] classifies every arc of the graph. *)
+val classify :
+  Impact_callgraph.Callgraph.t -> Config.t -> classified list
+
+(** Aggregate counts for one program. *)
+type summary = {
+  total : int;
+  external_ : int;
+  pointer : int;
+  unsafe : int;
+  safe : int;
+}
+
+(** [static_summary cs] counts static sites per class. *)
+val static_summary : classified list -> summary
+
+(** [dynamic_summary cs] sums arc weights per class (rounded to dynamic
+    call counts). *)
+val dynamic_summary : classified list -> float * float * float * float * float
+(** (total, external, pointer, unsafe, safe) expected dynamic calls *)
+
+(** [kind_name k] is ["external"], ["pointer"], ["unsafe"] or ["safe"]. *)
+val kind_name : kind -> string

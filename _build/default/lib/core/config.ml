@@ -1,0 +1,33 @@
+type heuristic =
+  | Profile_guided
+  | Static_leaf
+  | Static_small of int
+
+type linearization =
+  | Lin_weight_sorted
+  | Lin_random
+  | Lin_reverse
+  | Lin_topological
+
+type t = {
+  weight_threshold : float;
+  stack_bound : int;
+  func_size_limit : int;
+  program_size_limit_ratio : float;
+  linearize_seed : int;
+  heuristic : heuristic;
+  linearization : linearization;
+  refine_pointer_targets : bool;
+}
+
+let default =
+  {
+    weight_threshold = 10.;
+    stack_bound = 4096;
+    func_size_limit = 4000;
+    program_size_limit_ratio = 1.2;
+    linearize_seed = 42;
+    heuristic = Profile_guided;
+    linearization = Lin_weight_sorted;
+    refine_pointer_targets = false;
+  }

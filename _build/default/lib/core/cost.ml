@@ -1,0 +1,53 @@
+module Callgraph = Impact_callgraph.Callgraph
+module Il = Impact_il.Il
+
+type estimates = {
+  func_size : int array;
+  func_stack : int array;
+  mutable program_size : int;
+  program_limit : int;
+}
+
+let estimates_of (prog : Il.program) ~ratio =
+  let nfuncs = Array.length prog.Il.funcs in
+  let func_size =
+    Array.init nfuncs (fun fid ->
+        let f = prog.Il.funcs.(fid) in
+        if f.Il.alive then Il.code_size f else 0)
+  in
+  let func_stack =
+    Array.init nfuncs (fun fid -> Il.stack_usage prog.Il.funcs.(fid))
+  in
+  let program_size = Array.fold_left ( + ) 0 func_size in
+  {
+    func_size;
+    func_stack;
+    program_size;
+    program_limit = int_of_float (ratio *. float_of_int program_size);
+  }
+
+let infinity = Float.infinity
+
+let cost (g : Callgraph.t) (config : Config.t) est (a : Callgraph.arc) =
+  match a.Callgraph.a_callee with
+  | Callgraph.To_ext | Callgraph.To_ptr -> infinity
+  | Callgraph.To_func callee ->
+    if callee = a.Callgraph.a_caller then infinity
+    else if
+      Callgraph.is_recursive g callee
+      && est.func_stack.(callee) > config.Config.stack_bound
+    then infinity
+    else if a.Callgraph.a_weight < config.Config.weight_threshold then infinity
+    else begin
+      let caller = a.Callgraph.a_caller in
+      let expansion = est.func_size.(callee) in
+      if est.func_size.(caller) + expansion > config.Config.func_size_limit then
+        infinity
+      else if est.program_size + expansion > est.program_limit then infinity
+      else float_of_int expansion
+    end
+
+let accept est ~caller ~callee =
+  est.func_size.(caller) <- est.func_size.(caller) + est.func_size.(callee);
+  est.func_stack.(caller) <- est.func_stack.(caller) + est.func_stack.(callee);
+  est.program_size <- est.program_size + est.func_size.(callee)

@@ -1,0 +1,48 @@
+(** The paper's cost function (§2.3.3), evaluated against the selector's
+    running size estimates:
+
+    {v
+    cost(G, arc Ai) =
+      if callee is recursive and control_stack_usage(Ai) > BOUND
+        then INFINITY
+      else if weight(Ai) < THRESHOLD then INFINITY
+      else if size(caller) + size(callee) > FUNC_LIMIT then INFINITY
+      else if size(program) + size(callee) > PROGRAM_LIMIT then INFINITY
+      else code_expansion_cost
+    v}
+
+    The benefit term is dropped, as the paper argues: register save /
+    restore and control-transfer costs dominate and are approximately
+    equal for all call sites. *)
+
+(** The selector's mutable view of function/program sizes and stack
+    usage, updated after each accepted expansion. *)
+type estimates = {
+  func_size : int array;         (** instruction count per fid *)
+  func_stack : int array;        (** control-stack usage per fid *)
+  mutable program_size : int;
+  program_limit : int;
+}
+
+(** [estimates_of prog ~ratio] snapshots current sizes; the program limit
+    is [ratio *. original size]. *)
+val estimates_of : Impact_il.Il.program -> ratio:float -> estimates
+
+(** [infinity] is the rejection cost. *)
+val infinity : float
+
+(** [cost g config est arc] is the expansion cost of [arc]; {!infinity}
+    when a hazard rejects it.  Only meaningful on arcs to user
+    functions. *)
+val cost :
+  Impact_callgraph.Callgraph.t ->
+  Config.t ->
+  estimates ->
+  Impact_callgraph.Callgraph.arc ->
+  float
+
+(** [accept est ~caller ~callee] commits an expansion: the caller's size
+    and stack estimates absorb the callee's, and the program size grows —
+    "the code size of each function body must be re-evaluated as new
+    function calls are considered for expansion". *)
+val accept : estimates -> caller:Impact_il.Il.fid -> callee:Impact_il.Il.fid -> unit

@@ -1,0 +1,157 @@
+module Il = Impact_il.Il
+module Vec = Impact_support.Vec
+
+type report = {
+  expansions : (Il.site_id * Il.fid * Il.fid) list;
+  copied_sites : (Il.site_id * Il.site_id * Il.site_id) list;
+}
+
+let align_up n a = (n + a - 1) / a * a
+
+(* Rename one callee instruction into the caller's namespaces. *)
+let rename_instr ~reg_off ~label_off ~frame_off ~ret_reg ~exit_label ~fresh_site
+    ~record_copy instr =
+  let reg r = r + reg_off in
+  let lab l = l + label_off in
+  let op = function
+    | Il.Reg r -> Il.Reg (reg r)
+    | Il.Imm _ as i -> i
+  in
+  let ops = List.map op in
+  let ret = Option.map reg in
+  match instr with
+  | Il.Label l -> [ Il.Label (lab l) ]
+  | Il.Mov (r, a) -> [ Il.Mov (reg r, op a) ]
+  | Il.Un (o, r, a) -> [ Il.Un (o, reg r, op a) ]
+  | Il.Bin (o, r, a, b) -> [ Il.Bin (o, reg r, op a, op b) ]
+  | Il.Load (w, r, a) -> [ Il.Load (w, reg r, op a) ]
+  | Il.Store (w, a, v) -> [ Il.Store (w, op a, op v) ]
+  | Il.Lea_frame (r, off) -> [ Il.Lea_frame (reg r, off + frame_off) ]
+  | Il.Lea_global (r, g) -> [ Il.Lea_global (reg r, g) ]
+  | Il.Lea_string (r, s) -> [ Il.Lea_string (reg r, s) ]
+  | Il.Lea_func (r, fid) -> [ Il.Lea_func (reg r, fid) ]
+  | Il.Call (site, callee, args, r) ->
+    let fresh = fresh_site () in
+    record_copy (fresh, site);
+    [ Il.Call (fresh, callee, ops args, ret r) ]
+  | Il.Call_ext (site, name, args, r) ->
+    let fresh = fresh_site () in
+    record_copy (fresh, site);
+    [ Il.Call_ext (fresh, name, ops args, ret r) ]
+  | Il.Call_ind (site, target, args, r) ->
+    let fresh = fresh_site () in
+    record_copy (fresh, site);
+    [ Il.Call_ind (fresh, op target, ops args, ret r) ]
+  | Il.Ret v ->
+    (* return value -> move to the caller's result register, then the
+       return becomes a jump out of the inlined body. *)
+    let moves =
+      match (ret_reg, v) with
+      | Some dst, Some v -> [ Il.Mov (dst, op v) ]
+      | Some dst, None -> [ Il.Mov (dst, Il.Imm 0) ]
+      | None, _ -> []
+    in
+    moves @ [ Il.Jump exit_label ]
+  | Il.Jump l -> [ Il.Jump (lab l) ]
+  | Il.Bnz (a, l) -> [ Il.Bnz (op a, lab l) ]
+  | Il.Switch (a, table, default) ->
+    [ Il.Switch (op a, Array.map (fun (v, l) -> (v, lab l)) table, lab default) ]
+
+let expand_site (prog : Il.program) ~(caller : Il.func) ~site =
+  (* Locate the call instruction. *)
+  let found = ref None in
+  Array.iteri
+    (fun idx instr ->
+      match instr with
+      | Il.Call (s, callee, args, ret) when s = site -> found := Some (idx, callee, args, ret)
+      | _ -> ())
+    caller.Il.body;
+  match !found with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Expand.expand_site: site %d not found in %s" site caller.Il.name)
+  | Some (idx, callee_fid, args, ret) ->
+    let callee = prog.Il.funcs.(callee_fid) in
+    let reg_off = caller.Il.nregs in
+    let label_off = caller.Il.nlabels in
+    let frame_off = align_up caller.Il.frame_size 8 in
+    let entry_label = label_off + callee.Il.nlabels in
+    let exit_label = entry_label + 1 in
+    caller.Il.nregs <- caller.Il.nregs + callee.Il.nregs;
+    caller.Il.nlabels <- caller.Il.nlabels + callee.Il.nlabels + 2;
+    caller.Il.frame_size <- frame_off + callee.Il.frame_size;
+    let copies = ref [] in
+    let record_copy pair = copies := pair :: !copies in
+    let out = Vec.create () in
+    (* Prefix of the caller, untouched. *)
+    for i = 0 to idx - 1 do
+      Vec.push out caller.Il.body.(i)
+    done;
+    (* Parameter passing: the actuals move into the copy's parameter
+       registers. *)
+    List.iteri
+      (fun i arg ->
+        let arg =
+          match arg with
+          | Il.Reg r -> Il.Reg r  (* caller register, unrenamed *)
+          | Il.Imm _ as imm -> imm
+        in
+        Vec.push out (Il.Mov (reg_off + i, arg)))
+      args;
+    (* The call instruction becomes an unconditional jump into the body. *)
+    Vec.push out (Il.Jump entry_label);
+    Vec.push out (Il.Label entry_label);
+    Array.iter
+      (fun instr ->
+        List.iter (Vec.push out)
+          (rename_instr ~reg_off ~label_off ~frame_off ~ret_reg:ret ~exit_label
+             ~fresh_site:(fun () -> Il.fresh_site prog)
+             ~record_copy instr))
+      callee.Il.body;
+    Vec.push out (Il.Label exit_label);
+    (* Suffix of the caller. *)
+    for i = idx + 1 to Array.length caller.Il.body - 1 do
+      Vec.push out caller.Il.body.(i)
+    done;
+    caller.Il.body <- Vec.to_array out;
+    List.rev !copies
+
+let expand_all (prog : Il.program) (linear : Linearize.t) (selection : Select.t) =
+  let expansions = ref [] in
+  let copied = ref [] in
+  (* Group the selected sites by caller for quick lookup. *)
+  let selected = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Select.decision) ->
+      Hashtbl.replace selected d.Select.d_site (d.Select.d_caller, d.Select.d_callee))
+    selection.Select.decisions;
+  Array.iter
+    (fun fid ->
+      let caller = prog.Il.funcs.(fid) in
+      if caller.Il.alive then begin
+        (* Expand until no selected site remains in the (changing) body.
+           Copies get fresh ids that are never selected, so this
+           terminates. *)
+        let rec loop () =
+          let next =
+            List.find_opt
+              (fun (s : Il.site) -> Hashtbl.mem selected s.Il.s_id)
+              (Il.sites_of caller)
+          in
+          match next with
+          | None -> ()
+          | Some s ->
+            let _, callee = Hashtbl.find selected s.Il.s_id in
+            let copies = expand_site prog ~caller ~site:s.Il.s_id in
+            Hashtbl.remove selected s.Il.s_id;
+            copied :=
+              List.rev_append
+                (List.rev_map (fun (fresh, orig) -> (fresh, orig, s.Il.s_id)) copies)
+                !copied;
+            expansions := (s.Il.s_id, fid, callee) :: !expansions;
+            loop ()
+        in
+        loop ()
+      end)
+    linear.Linearize.sequence;
+  { expansions = List.rev !expansions; copied_sites = List.rev !copied }

@@ -1,0 +1,61 @@
+module Il = Impact_il.Il
+module Callgraph = Impact_callgraph.Callgraph
+module Reach = Impact_callgraph.Reach
+
+type report = {
+  program : Il.program;
+  graph : Callgraph.t;
+  classified : Classify.classified list;
+  linear : Linearize.t;
+  selection : Select.t;
+  expansion : Expand.report;
+  size_before : int;
+  size_after : int;
+  dead_removed : int;
+}
+
+let run ?(config = Config.default) prog profile =
+  let prog = Il.copy_program prog in
+  let size_before = Il.program_code_size prog in
+  let graph =
+    Callgraph.build
+      ~refine_pointer_targets:config.Config.refine_pointer_targets prog profile
+  in
+  let classified = Classify.classify graph config in
+  let order =
+    match config.Config.linearization with
+    | Config.Lin_weight_sorted -> Linearize.Weight_sorted
+    | Config.Lin_random -> Linearize.Random_only
+    | Config.Lin_reverse -> Linearize.Reverse_weight
+    | Config.Lin_topological -> Linearize.Topological
+  in
+  let linear = Linearize.linearize ~order graph ~seed:config.Config.linearize_seed in
+  let selection = Select.select graph config linear in
+  let expansion = Expand.expand_all prog linear selection in
+  (* Conservative function-level dead-code elimination.  With external
+     calls present this removes nothing (every function stays reachable
+     through $$$), exactly as the paper observes. *)
+  let graph_after = Callgraph.build prog profile in
+  let dead_removed = Reach.eliminate graph_after in
+  {
+    program = prog;
+    graph;
+    classified;
+    linear;
+    selection;
+    expansion;
+    size_before;
+    size_after = Il.program_code_size prog;
+    dead_removed;
+  }
+
+let expanded_sites report =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (site, _, _) -> Hashtbl.replace tbl site ())
+    report.expansion.Expand.expansions;
+  tbl
+
+let eliminated_weight report =
+  List.fold_left
+    (fun acc (d : Select.decision) -> acc +. d.Select.d_weight)
+    0. report.selection.Select.decisions

@@ -1,0 +1,37 @@
+(** The inline expansion driver — the paper's §3 pipeline:
+
+    profile → weighted call graph → linearisation → selection →
+    physical expansion (→ conservative dead-function elimination).
+
+    The input program is not mutated; the report carries the inlined
+    deep copy. *)
+
+type report = {
+  program : Impact_il.Il.program;  (** the inlined program *)
+  graph : Impact_callgraph.Callgraph.t;
+      (** the weighted call graph of the {e original} program *)
+  classified : Classify.classified list;
+  linear : Linearize.t;
+  selection : Select.t;
+  expansion : Expand.report;
+  size_before : int;  (** IL instructions before expansion *)
+  size_after : int;   (** IL instructions after expansion *)
+  dead_removed : int; (** functions removed as unreachable afterwards *)
+}
+
+(** [run ?config prog profile] performs profile-guided inline expansion
+    of [prog] with the given (averaged) profile. *)
+val run :
+  ?config:Config.t ->
+  Impact_il.Il.program ->
+  Impact_profile.Profile.t ->
+  report
+
+(** [expanded_sites report] is the set of original site ids that were
+    physically expanded. *)
+val expanded_sites : report -> (Impact_il.Il.site_id, unit) Hashtbl.t
+
+(** [eliminated_weight report] is the expected number of dynamic calls
+    removed per run, according to the profile (the sum of the expanded
+    arcs' weights). *)
+val eliminated_weight : report -> float

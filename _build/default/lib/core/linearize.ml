@@ -1,0 +1,67 @@
+module Callgraph = Impact_callgraph.Callgraph
+module Il = Impact_il.Il
+module Rng = Impact_support.Rng
+
+type order =
+  | Weight_sorted
+  | Random_only
+  | Reverse_weight
+  | Topological
+
+type t = {
+  sequence : Il.fid array;
+  position : int array;
+}
+
+let linearize ?(order = Weight_sorted) (g : Callgraph.t) ~seed =
+  let prog = g.Callgraph.prog in
+  let nfuncs = Array.length prog.Il.funcs in
+  let live = ref [] in
+  Array.iteri (fun fid (f : Il.func) -> if f.Il.alive then live := fid :: !live)
+    prog.Il.funcs;
+  let sequence = Array.of_list (List.rev !live) in
+  (* 1. Place all nodes in a list randomly. *)
+  Rng.shuffle (Rng.create seed) sequence;
+  (* 2. Sort the list by the node weights (stable: ties keep the random
+     placement). *)
+  let weight fid = g.Callgraph.node_weight.(fid) in
+  (match order with
+  | Weight_sorted ->
+    let keyed = Array.map (fun fid -> (weight fid, fid)) sequence in
+    let cmp (wa, _) (wb, _) = compare wb wa in
+    let sorted = Array.copy keyed in
+    Array.stable_sort cmp sorted;
+    Array.iteri (fun i (_, fid) -> sequence.(i) <- fid) sorted
+  | Random_only -> ()
+  | Reverse_weight ->
+    let keyed = Array.map (fun fid -> (weight fid, fid)) sequence in
+    let cmp (wa, _) (wb, _) = compare wa wb in
+    let sorted = Array.copy keyed in
+    Array.stable_sort cmp sorted;
+    Array.iteri (fun i (_, fid) -> sequence.(i) <- fid) sorted
+  | Topological ->
+    (* Tarjan assigns component ids in completion order, so a callee's
+       component id never exceeds its caller's; sorting by it puts
+       leaf-level functions first.  Only direct arcs order the list —
+       the $$$/### edges would collapse everything into one component. *)
+    let succ fid =
+      List.filter_map
+        (fun (a : Callgraph.arc) ->
+          match a.Callgraph.a_callee with
+          | Callgraph.To_func callee -> Some callee
+          | Callgraph.To_ext | Callgraph.To_ptr -> None)
+        g.Callgraph.arcs_from.(fid)
+    in
+    let scc = Impact_callgraph.Scc.compute ~n:nfuncs ~succ in
+    let keyed =
+      Array.map (fun fid -> (scc.Impact_callgraph.Scc.component.(fid), fid)) sequence
+    in
+    let cmp (ca, _) (cb, _) = compare ca cb in
+    let sorted = Array.copy keyed in
+    Array.stable_sort cmp sorted;
+    Array.iteri (fun i (_, fid) -> sequence.(i) <- fid) sorted);
+  let position = Array.make nfuncs max_int in
+  Array.iteri (fun pos fid -> position.(fid) <- pos) sequence;
+  { sequence; position }
+
+let allows l ~callee ~caller = l.position.(callee) < l.position.(caller)

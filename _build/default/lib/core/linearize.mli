@@ -1,0 +1,36 @@
+(** Linearisation of the call graph.
+
+    "Inline expansion is constrained to follow a linear order.  A function
+    X can be inlined into another function Y if and only if function X
+    appears before function Y in the linear sequence. ... We have
+    implemented a simple heuristic, which places functions randomly into
+    the list, and then sorts the functions by their execution counts.
+    The most frequently executed function leads the linear list."
+
+    The random placement is the tie-break: functions with equal weights
+    keep the (seeded) random relative order, exactly as a stable sort
+    over a shuffled list behaves. *)
+
+type order =
+  | Weight_sorted  (** the paper's heuristic *)
+  | Random_only    (** ablation: random order, no sort *)
+  | Reverse_weight (** ablation: least frequently executed first *)
+  | Topological
+      (** ablation: callees before callers by SCC condensation order —
+          the paper's alternative sketch, "if the call graph is a tree,
+          it is desirable to have all leaf-level functions appear in
+          front of the linear list" *)
+
+(** The computed linear sequence. *)
+type t = {
+  sequence : Impact_il.Il.fid array;   (** position -> fid *)
+  position : int array;                (** fid -> position *)
+}
+
+(** [linearize ?order g ~seed] computes the sequence over live functions.
+    Dead functions get position [max_int]. *)
+val linearize : ?order:order -> Impact_callgraph.Callgraph.t -> seed:int -> t
+
+(** [allows l ~callee ~caller] is true when [callee] may be inlined into
+    [caller] under the linear constraint. *)
+val allows : t -> callee:Impact_il.Il.fid -> caller:Impact_il.Il.fid -> bool

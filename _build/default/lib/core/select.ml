@@ -1,0 +1,113 @@
+module Callgraph = Impact_callgraph.Callgraph
+module Il = Impact_il.Il
+
+type not_expandable_reason =
+  | Order_violation
+  | Special_node
+  | Self_recursion
+  | Not_candidate
+
+type status =
+  | Not_expandable of not_expandable_reason
+  | Rejected
+  | Selected
+
+type decision = {
+  d_site : Il.site_id;
+  d_caller : Il.fid;
+  d_callee : Il.fid;
+  d_weight : float;
+}
+
+type t = {
+  decisions : decision list;
+  status : (Il.site_id, status) Hashtbl.t;
+  estimates : Cost.estimates;
+}
+
+(* A callee is a leaf when it has no outgoing arcs at all. *)
+let is_leaf (g : Callgraph.t) fid = g.Callgraph.arcs_from.(fid) = []
+
+let select (g : Callgraph.t) (config : Config.t) (linear : Linearize.t) =
+  let est =
+    Cost.estimates_of g.Callgraph.prog ~ratio:config.Config.program_size_limit_ratio
+  in
+  let status = Hashtbl.create 256 in
+  let expandable = ref [] in
+  (* Phase 1: structural filters. *)
+  List.iter
+    (fun (a : Callgraph.arc) ->
+      let verdict =
+        match a.Callgraph.a_callee with
+        | Callgraph.To_ext | Callgraph.To_ptr ->
+          Some (Not_expandable Special_node)
+        | Callgraph.To_func callee ->
+          if callee = a.Callgraph.a_caller then Some (Not_expandable Self_recursion)
+          else if not (Linearize.allows linear ~callee ~caller:a.Callgraph.a_caller)
+          then Some (Not_expandable Order_violation)
+          else begin
+            match config.Config.heuristic with
+            | Config.Profile_guided -> None
+            | Config.Static_leaf ->
+              if is_leaf g callee then None else Some (Not_expandable Not_candidate)
+            | Config.Static_small limit ->
+              if est.Cost.func_size.(callee) < limit then None
+              else Some (Not_expandable Not_candidate)
+          end
+      in
+      match verdict with
+      | Some v -> Hashtbl.replace status a.Callgraph.a_id v
+      | None -> expandable := a :: !expandable)
+    g.Callgraph.arcs;
+  (* Phase 2: order candidates — most important first. *)
+  let candidates =
+    match config.Config.heuristic with
+    | Config.Profile_guided ->
+      List.stable_sort
+        (fun (a : Callgraph.arc) b -> compare b.Callgraph.a_weight a.Callgraph.a_weight)
+        (List.rev !expandable)
+    | Config.Static_leaf | Config.Static_small _ ->
+      List.stable_sort
+        (fun (a : Callgraph.arc) b -> compare a.Callgraph.a_id b.Callgraph.a_id)
+        (List.rev !expandable)
+  in
+  (* Phase 3: greedy acceptance under the cost function. *)
+  let decisions = ref [] in
+  List.iter
+    (fun (a : Callgraph.arc) ->
+      (* Static heuristics bypass the weight threshold by lifting the
+         weight to the threshold for the cost test only. *)
+      let arc_for_cost =
+        match config.Config.heuristic with
+        | Config.Profile_guided -> a
+        | Config.Static_leaf | Config.Static_small _ ->
+          {
+            a with
+            Callgraph.a_weight =
+              Float.max a.Callgraph.a_weight config.Config.weight_threshold;
+          }
+      in
+      let c = Cost.cost g config est arc_for_cost in
+      if c < Cost.infinity then begin
+        match a.Callgraph.a_callee with
+        | Callgraph.To_func callee ->
+          Hashtbl.replace status a.Callgraph.a_id Selected;
+          Cost.accept est ~caller:a.Callgraph.a_caller ~callee;
+          decisions :=
+            {
+              d_site = a.Callgraph.a_id;
+              d_caller = a.Callgraph.a_caller;
+              d_callee = callee;
+              d_weight = a.Callgraph.a_weight;
+            }
+            :: !decisions
+        | Callgraph.To_ext | Callgraph.To_ptr -> assert false
+      end
+      else Hashtbl.replace status a.Callgraph.a_id Rejected)
+    candidates;
+  { decisions = List.rev !decisions; status; estimates = est }
+
+let status_of t site =
+  match Hashtbl.find_opt t.status site with
+  | Some s -> s
+  | None -> Not_expandable Special_node

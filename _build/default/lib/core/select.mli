@@ -1,0 +1,46 @@
+(** Expansion-site selection (§3.4).
+
+    Arcs that violate the linear order, touch the [$$$]/[###] nodes, or
+    are simple recursion are marked not-expandable.  The remaining arcs
+    are considered from the most to the least frequently executed, and an
+    arc is selected when its {!Cost} is finite; the size estimates are
+    updated after every acceptance.
+
+    The two static ablation heuristics ({!Config.heuristic}) replace the
+    weight ordering/threshold with structure-only criteria while keeping
+    the hazard checks, to explore the paper's closing question of whether
+    "inline expansion decisions based on program structure analysis
+    without profile information are sufficient". *)
+
+type not_expandable_reason =
+  | Order_violation   (** callee does not precede caller in the sequence *)
+  | Special_node      (** arc to [$$$] or [###] *)
+  | Self_recursion
+  | Not_candidate     (** filtered out by a static heuristic *)
+
+type status =
+  | Not_expandable of not_expandable_reason
+  | Rejected        (** considered, but the cost was INFINITY *)
+  | Selected
+
+type decision = {
+  d_site : Impact_il.Il.site_id;
+  d_caller : Impact_il.Il.fid;
+  d_callee : Impact_il.Il.fid;
+  d_weight : float;
+}
+
+type t = {
+  decisions : decision list;  (** selected arcs, in selection order *)
+  status : (Impact_il.Il.site_id, status) Hashtbl.t;
+  estimates : Cost.estimates;
+}
+
+(** [select g config linear] decides which arcs to expand. *)
+val select :
+  Impact_callgraph.Callgraph.t -> Config.t -> Linearize.t -> t
+
+(** [status_of t site] is the decision for a site ([Not_expandable
+    Special_node] for unknown sites, which can only be copies created by
+    expansion itself). *)
+val status_of : t -> Impact_il.Il.site_id -> status

@@ -1,0 +1,57 @@
+module Il = Impact_il.Il
+module Profile = Impact_profile.Profile
+
+let after_expansion (profile : Profile.t) (prog : Il.program)
+    (expansion : Expand.report) =
+  let nfuncs = Array.length prog.Il.funcs in
+  let func_weight = Array.make nfuncs 0. in
+  Array.iteri
+    (fun fid _ -> func_weight.(fid) <- Profile.func_weight profile fid)
+    prog.Il.funcs;
+  let site_weight =
+    Array.init (max prog.Il.next_site 1) (fun site -> Profile.site_weight profile site)
+  in
+  (* Per expanded (via) site: the fraction of the callee's executions the
+     absorbed arc accounted for, using the pre-expansion weights. *)
+  let ratio_of_via = Hashtbl.create 64 in
+  List.iter
+    (fun (via, _caller, callee) ->
+      let w = Profile.site_weight profile via in
+      let n = Profile.func_weight profile callee in
+      Hashtbl.replace ratio_of_via via (if n > 0. then w /. n else 0.);
+      func_weight.(callee) <- Float.max 0. (func_weight.(callee) -. w))
+    expansion.Expand.expansions;
+  (* Copies were recorded in splice order, so by the time a copy-of-a-copy
+     appears its origin's weight is already in [site_weight]. *)
+  List.iter
+    (fun (fresh, orig, via) ->
+      let ratio =
+        match Hashtbl.find_opt ratio_of_via via with
+        | Some r -> r
+        | None -> 0.
+      in
+      site_weight.(fresh) <- site_weight.(orig) *. ratio)
+    expansion.Expand.copied_sites;
+  (* The expanded arcs themselves no longer exist. *)
+  List.iter
+    (fun (via, _, _) -> site_weight.(via) <- 0.)
+    expansion.Expand.expansions;
+  (* The original copy of an absorbed callee now runs only for the
+     remaining, unabsorbed arcs, so every site still inside its body
+     scales by (N - W) / N. *)
+  let absorbed = Array.make nfuncs 0. in
+  List.iter
+    (fun (via, _caller, callee) ->
+      absorbed.(callee) <- absorbed.(callee) +. Profile.site_weight profile via)
+    expansion.Expand.expansions;
+  Array.iteri
+    (fun fid w ->
+      if w > 0. then begin
+        let n = Profile.func_weight profile fid in
+        let factor = if n > 0. then Float.max 0. ((n -. w) /. n) else 0. in
+        List.iter
+          (fun (s : Il.site) -> site_weight.(s.Il.s_id) <- site_weight.(s.Il.s_id) *. factor)
+          (Il.sites_of prog.Il.funcs.(fid))
+      end)
+    absorbed;
+  { profile with Profile.func_weight; site_weight }

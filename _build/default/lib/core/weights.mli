@@ -1,0 +1,32 @@
+(** Arc-weight propagation after physical expansion (§2.2).
+
+    "Since a node may be entered from any one of its incoming arcs, it is
+    necessary to know the weights of all outgoing arcs associated with a
+    particular incoming arc.  Therefore, after inline expansion the arc
+    weights remain accurate."
+
+    Full per-incoming-arc weights require path profiling; with the plain
+    node/arc counts the profiler collects, the standard estimate
+    distributes a callee's internal site weights proportionally: if arc
+    [A] carrying weight [w] into callee [K] (node weight [N]) is
+    expanded, each site copied out of [K]'s body inherits
+    [w/N × weight(original site)], the expanded arc's weight drops to
+    zero, [K]'s node weight decreases by [w], and the sites remaining in
+    [K]'s original body scale by [(N-w)/N] — the copy now runs only for
+    the unabsorbed arcs.
+
+    The estimate is exact whenever a callee behaves identically across
+    its incoming arcs (e.g. straight-line helpers) and approximate
+    otherwise; {!val:after_expansion} is validated against a genuine
+    re-profile in the test suite. *)
+
+(** [after_expansion profile prog expansion] is the predicted profile of
+    the expanded program [prog]: weights for fresh sites, zeroed weights
+    for expanded sites, and reduced node weights for absorbed callees.
+    Totals (ILs, CTs) are carried over unchanged — only call-structure
+    weights are updated. *)
+val after_expansion :
+  Impact_profile.Profile.t ->
+  Impact_il.Il.program ->
+  Expand.report ->
+  Impact_profile.Profile.t

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Impact_core Impact_profile Impact_support List Pipeline Printf Tables

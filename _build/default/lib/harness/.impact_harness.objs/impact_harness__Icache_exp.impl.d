@@ -1,0 +1,1 @@
+lib/harness/icache_exp.ml: Impact_bench_progs Impact_core Impact_icache Impact_il Impact_interp Impact_opt Impact_profile List Printf Tables

@@ -1,0 +1,1 @@
+lib/harness/icache_exp.mli: Impact_bench_progs Impact_core Impact_icache

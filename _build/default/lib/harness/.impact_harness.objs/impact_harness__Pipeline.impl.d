@@ -1,0 +1,1 @@
+lib/harness/pipeline.ml: Impact_bench_progs Impact_callgraph Impact_core Impact_il Impact_interp Impact_opt Impact_profile List String

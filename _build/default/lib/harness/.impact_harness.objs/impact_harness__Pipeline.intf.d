@@ -1,0 +1,1 @@
+lib/harness/pipeline.mli: Impact_bench_progs Impact_core Impact_il Impact_profile

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Impact_bench_progs Impact_core Impact_profile Impact_support List Pipeline Printf String Tables

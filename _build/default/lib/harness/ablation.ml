@@ -1,0 +1,102 @@
+module Config = Impact_core.Config
+module Stats = Impact_support.Stats
+module Profile = Impact_profile.Profile
+module Expand = Impact_core.Expand
+module Inliner = Impact_core.Inliner
+
+type point = {
+  label : string;
+  avg_code_increase : float;
+  avg_call_decrease : float;
+  total_expansions : int;
+  avg_post_ils : float;
+}
+
+let measure ?post_cleanup label config =
+  let results = Pipeline.run_suite ~config ?post_cleanup () in
+  {
+    label;
+    avg_code_increase = Stats.mean (List.map Pipeline.code_increase results);
+    avg_call_decrease = Stats.mean (List.map Pipeline.call_decrease results);
+    total_expansions =
+      List.fold_left
+        (fun acc (r : Pipeline.result) ->
+          acc
+          + List.length
+              r.Pipeline.inliner.Inliner.expansion.Expand.expansions)
+        0 results;
+    avg_post_ils =
+      Stats.mean
+        (List.map
+           (fun (r : Pipeline.result) -> r.Pipeline.post_profile.Profile.avg_ils)
+           results);
+  }
+
+let threshold_sweep () =
+  List.map
+    (fun threshold ->
+      measure
+        (Printf.sprintf "threshold=%g" threshold)
+        { Config.default with Config.weight_threshold = threshold })
+    [ 0.; 1.; 10.; 100.; 1000. ]
+
+let growth_sweep () =
+  List.map
+    (fun ratio ->
+      let label =
+        if ratio > 100. then "growth=unbounded"
+        else Printf.sprintf "growth=%.2fx" ratio
+      in
+      measure label { Config.default with Config.program_size_limit_ratio = ratio })
+    [ 1.0; 1.1; 1.2; 1.5; 2.0; 1000. ]
+
+let linearization_sweep () =
+  List.map
+    (fun (label, lin) ->
+      measure label { Config.default with Config.linearization = lin })
+    [
+      ("weight-sorted (paper)", Config.Lin_weight_sorted);
+      ("random order", Config.Lin_random);
+      ("reverse (coldest first)", Config.Lin_reverse);
+      ("topological (leaves first)", Config.Lin_topological);
+    ]
+
+let heuristic_sweep () =
+  List.map
+    (fun (label, h) -> measure label { Config.default with Config.heuristic = h })
+    [
+      ("profile-guided (paper)", Config.Profile_guided);
+      ("static: leaf functions", Config.Static_leaf);
+      ("static: callee < 30 instrs", Config.Static_small 30);
+    ]
+
+let pointer_analysis_sweep () =
+  [
+    measure "worst-case ### (paper)" Config.default;
+    measure "inter-procedural callee sets"
+      { Config.default with Config.refine_pointer_targets = true };
+  ]
+
+let post_opt_sweep () =
+  [
+    measure "no post-inline cleanup (paper)" Config.default;
+    measure ~post_cleanup:true "with post-inline cleanup" Config.default;
+  ]
+
+let render title points =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.label;
+          Tables.pct1 p.avg_code_increase;
+          Tables.pct1 p.avg_call_decrease;
+          string_of_int p.total_expansions;
+          Tables.kcount p.avg_post_ils;
+        ])
+      points
+  in
+  Tables.render ~title
+    ~header:[ "configuration"; "code inc"; "call dec"; "expansions"; "post ILs" ]
+    ~aligns:[ Left; Right; Right; Right; Right ]
+    rows

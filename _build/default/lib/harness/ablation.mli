@@ -1,0 +1,44 @@
+(** Ablation studies over the design choices DESIGN.md calls out.
+
+    Each ablation re-runs the whole twelve-benchmark pipeline under a
+    family of configurations and reports suite-average code increase and
+    dynamic-call decrease (and, where relevant, post-inline instruction
+    counts), so the effect of one knob is visible in isolation. *)
+
+(** One configuration's aggregate outcome. *)
+type point = {
+  label : string;
+  avg_code_increase : float;   (** percent *)
+  avg_call_decrease : float;   (** percent *)
+  total_expansions : int;      (** physical expansions over the suite *)
+  avg_post_ils : float;        (** mean post-inline ILs per run, suite-wide *)
+}
+
+(** [threshold_sweep ()] varies the arc-weight threshold
+    (0, 1, 10, 100, 1000); the paper uses 10. *)
+val threshold_sweep : unit -> point list
+
+(** [growth_sweep ()] varies the program-size growth bound
+    (1.0x, 1.1x, 1.2x, 1.5x, 2.0x, unbounded). *)
+val growth_sweep : unit -> point list
+
+(** [linearization_sweep ()] compares the paper's weight-sorted order
+    against random and reverse orders (§3.3). *)
+val linearization_sweep : unit -> point list
+
+(** [heuristic_sweep ()] compares profile-guided selection against the
+    structure-only PL.8-style leaf heuristic and a MIPS-style small-callee
+    heuristic — the paper's closing research question. *)
+val heuristic_sweep : unit -> point list
+
+(** [pointer_analysis_sweep ()] tests the paper's §2.5 claim that
+    minimal callee sets for calls through pointers "provide little
+    help": the end-to-end results barely move. *)
+val pointer_analysis_sweep : unit -> point list
+
+(** [post_opt_sweep ()] measures the paper's §4.4 prediction: running
+    clean-up optimisation after expansion shrinks ILs and CTs per call. *)
+val post_opt_sweep : unit -> point list
+
+(** [render title points] formats one sweep as a table. *)
+val render : string -> point list -> string

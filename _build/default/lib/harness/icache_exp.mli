@@ -1,0 +1,32 @@
+(** Instruction-cache experiment (the paper's §5 extension).
+
+    "We have obtained good instruction cache performance after inline
+    expansion.  Although inline expansion increases the static code size,
+    it greatly reduces the mapping conflict in instruction caches with
+    small set-associativities."  For each benchmark the suite's programs
+    are run before and after inlining with the interpreter driving a
+    cache model, and per-configuration miss rates are compared. *)
+
+(** Miss rates for one benchmark under one cache configuration. *)
+type row = {
+  bench_name : string;
+  cache_desc : string;
+  miss_before : float;  (** percent *)
+  miss_after : float;   (** percent *)
+}
+
+(** The cache configurations swept: 1KB/2KB/4KB direct-mapped and 2KB
+    2-way, all with 16-byte lines — small caches with low associativity,
+    where the paper's companion study reports the effect. *)
+val configurations : (unit -> Impact_icache.Icache.t) list
+
+(** [measure ?config bench] runs one benchmark (first input only) under
+    every configuration. *)
+val measure :
+  ?config:Impact_core.Config.t -> Impact_bench_progs.Benchmark.t -> row list
+
+(** [run_suite ()] measures all twelve benchmarks. *)
+val run_suite : unit -> row list
+
+(** [render rows] formats the comparison table. *)
+val render : row list -> string

@@ -1,0 +1,93 @@
+module Il = Impact_il.Il
+module Lower = Impact_il.Lower
+module Machine = Impact_interp.Machine
+module Profiler = Impact_profile.Profiler
+module Profile = Impact_profile.Profile
+module Callgraph = Impact_callgraph.Callgraph
+module Inliner = Impact_core.Inliner
+module Classify = Impact_core.Classify
+module Config = Impact_core.Config
+module Benchmark = Impact_bench_progs.Benchmark
+
+type result = {
+  bench : Benchmark.t;
+  c_lines : int;
+  nruns : int;
+  prog : Il.program;
+  profile : Profile.t;
+  classified : Classify.classified list;
+  inliner : Inliner.report;
+  post_profile : Profile.t;
+  post_classified : Classify.classified list;
+  outputs_match : bool;
+}
+
+let count_c_lines src =
+  String.split_on_char '\n' src
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let run ?(config = Config.default) ?(post_cleanup = false) (bench : Benchmark.t) =
+  let prog = Lower.lower_source bench.Benchmark.source in
+  (* The paper's setup: constant folding and jump optimisation run before
+     inline expansion. *)
+  let _ = Impact_opt.Driver.pre_inline prog in
+  let inputs = bench.Benchmark.inputs () in
+  let { Profiler.profile; runs } = Profiler.profile prog ~inputs in
+  let graph =
+    Callgraph.build
+      ~refine_pointer_targets:config.Config.refine_pointer_targets prog profile
+  in
+  let classified = Classify.classify graph config in
+  let inliner = Inliner.run ~config prog profile in
+  if post_cleanup then
+    ignore (Impact_opt.Driver.post_inline_cleanup inliner.Inliner.program);
+  let { Profiler.profile = post_profile; runs = post_runs } =
+    Profiler.profile inliner.Inliner.program ~inputs
+  in
+  let outputs_match =
+    List.for_all2
+      (fun (a : Machine.outcome) (b : Machine.outcome) ->
+        String.equal a.Machine.output b.Machine.output
+        && a.Machine.exit_code = b.Machine.exit_code)
+      runs post_runs
+  in
+  let post_graph = Callgraph.build inliner.Inliner.program post_profile in
+  let post_classified = Classify.classify post_graph config in
+  {
+    bench;
+    c_lines = count_c_lines bench.Benchmark.source;
+    nruns = List.length inputs;
+    prog;
+    profile;
+    classified;
+    inliner;
+    post_profile;
+    post_classified;
+    outputs_match;
+  }
+
+let run_suite ?config ?post_cleanup () =
+  List.map (fun b -> run ?config ?post_cleanup b) Impact_bench_progs.Suite.all
+
+let code_increase r =
+  let before = float_of_int r.inliner.Inliner.size_before in
+  (* Measure the program as it stands, so a post-inline clean-up pass is
+     reflected in the growth number. *)
+  let after = float_of_int (Il.program_code_size r.inliner.Inliner.program) in
+  if before = 0. then 0. else 100. *. (after -. before) /. before
+
+let call_decrease r =
+  let before = r.profile.Profile.avg_calls in
+  let after = r.post_profile.Profile.avg_calls in
+  if before = 0. then 0. else 100. *. (before -. after) /. before
+
+let ils_per_call r =
+  let calls = r.post_profile.Profile.avg_calls in
+  if calls = 0. then r.post_profile.Profile.avg_ils
+  else r.post_profile.Profile.avg_ils /. calls
+
+let cts_per_call r =
+  let calls = r.post_profile.Profile.avg_calls in
+  if calls = 0. then r.post_profile.Profile.avg_cts
+  else r.post_profile.Profile.avg_cts /. calls

@@ -1,0 +1,57 @@
+(** The per-benchmark experiment pipeline (§4 of the paper):
+
+    compile → pre-inline optimisation (constant folding + jump
+    optimisation, as the paper did) → profile over the input set →
+    profile-guided inline expansion → re-profile the expanded program on
+    the same inputs.
+
+    Re-profiling both verifies behaviour (outputs must be identical) and
+    yields the honest post-inline dynamic numbers for Table 4, including
+    the residual call classification of §4.4. *)
+
+type result = {
+  bench : Impact_bench_progs.Benchmark.t;
+  c_lines : int;           (** static size of the C source, in lines *)
+  nruns : int;
+  prog : Impact_il.Il.program;       (** pre-inline (optimised) program *)
+  profile : Impact_profile.Profile.t;
+  classified : Impact_core.Classify.classified list;
+      (** pre-inline call-site classification (Tables 2 and 3) *)
+  inliner : Impact_core.Inliner.report;
+  post_profile : Impact_profile.Profile.t;
+  post_classified : Impact_core.Classify.classified list;
+      (** classification of the expanded program under the re-profile *)
+  outputs_match : bool;
+      (** every run produced byte-identical output before and after *)
+}
+
+(** [run ?config ?post_cleanup bench] executes the full pipeline.
+    [post_cleanup] additionally runs the comprehensive post-inline
+    optimisations the paper skipped (default false — the paper's setup).
+    @raise Impact_interp.Machine.Trap if the program misbehaves. *)
+val run :
+  ?config:Impact_core.Config.t ->
+  ?post_cleanup:bool ->
+  Impact_bench_progs.Benchmark.t ->
+  result
+
+(** [run_suite ?config ?post_cleanup ()] runs all twelve benchmarks. *)
+val run_suite :
+  ?config:Impact_core.Config.t -> ?post_cleanup:bool -> unit -> result list
+
+(** Derived Table 4 quantities. *)
+
+(** [code_increase r] as a percentage. *)
+val code_increase : result -> float
+
+(** [call_decrease r] as a percentage of dynamic calls eliminated. *)
+val call_decrease : result -> float
+
+(** [ils_per_call r] — dynamic ILs between calls, after expansion. *)
+val ils_per_call : result -> float
+
+(** [cts_per_call r] — control transfers between calls, after expansion. *)
+val cts_per_call : result -> float
+
+(** [count_c_lines src] — non-blank source lines (the paper's "C lines"). *)
+val count_c_lines : string -> int

@@ -1,0 +1,179 @@
+module Profile = Impact_profile.Profile
+module Classify = Impact_core.Classify
+module Stats = Impact_support.Stats
+module Benchmark = Impact_bench_progs.Benchmark
+
+let name_of (r : Pipeline.result) = r.Pipeline.bench.Benchmark.name
+
+let table1 results =
+  let rows =
+    List.map
+      (fun (r : Pipeline.result) ->
+        [
+          name_of r;
+          string_of_int r.Pipeline.c_lines;
+          string_of_int r.Pipeline.nruns;
+          Tables.kcount r.Pipeline.profile.Profile.avg_ils;
+          Tables.kcount r.Pipeline.profile.Profile.avg_cts;
+          r.Pipeline.bench.Benchmark.description;
+        ])
+      results
+  in
+  Tables.render ~title:"Table 1. Benchmark characteristics."
+    ~header:[ "benchmark"; "C lines"; "runs"; "IL's"; "control"; "input description" ]
+    ~aligns:[ Left; Right; Right; Right; Right; Left ]
+    rows
+
+let static_row (r : Pipeline.result) =
+  let s = Classify.static_summary r.Pipeline.classified in
+  let p n = Tables.pct (Stats.percent (float_of_int n) (float_of_int s.Classify.total)) in
+  [
+    name_of r;
+    string_of_int s.Classify.total;
+    p s.Classify.external_;
+    p s.Classify.pointer;
+    p s.Classify.unsafe;
+    p s.Classify.safe;
+  ]
+
+let table2 results =
+  Tables.render ~title:"Table 2. Static function call characteristics."
+    ~header:[ "benchmark"; "total"; "external"; "pointer"; "unsafe"; "safe" ]
+    ~aligns:[ Left; Right; Right; Right; Right; Right ]
+    (List.map static_row results)
+
+let dynamic_row classified name =
+  let total, ext, ptr, uns, safe = Classify.dynamic_summary classified in
+  let p x = Tables.pct (Stats.percent x total) in
+  [ name; Tables.kcount total; p ext; p ptr; p uns; p safe ]
+
+let table3 results =
+  Tables.render ~title:"Table 3. Dynamic function call behavior."
+    ~header:[ "benchmark"; "total"; "external"; "pointer"; "unsafe"; "safe" ]
+    ~aligns:[ Left; Right; Right; Right; Right; Right ]
+    (List.map (fun (r : Pipeline.result) -> dynamic_row r.Pipeline.classified (name_of r))
+       results)
+
+(* The paper's Table 4 (code inc, call dec), for side-by-side shape
+   comparison. *)
+let paper_table4 =
+  [
+    ("cccp", (17., 55.));
+    ("cmp", (3., 49.));
+    ("compress", (4., 91.));
+    ("eqn", (22., 81.));
+    ("espresso", (24., 70.));
+    ("grep", (31., 99.));
+    ("lex", (23., 77.));
+    ("make", (34., 59.));
+    ("tar", (16., 43.));
+    ("tee", (0., 0.));
+    ("wc", (0., 0.));
+    ("yacc", (24., 80.));
+  ]
+
+let table4 results =
+  let rows =
+    List.map
+      (fun (r : Pipeline.result) ->
+        let paper_inc, paper_dec =
+          match List.assoc_opt (name_of r) paper_table4 with
+          | Some (i, d) -> (Tables.pct i, Tables.pct d)
+          | None -> ("-", "-")
+        in
+        [
+          name_of r;
+          Tables.pct (Pipeline.code_increase r);
+          paper_inc;
+          Tables.pct (Pipeline.call_decrease r);
+          paper_dec;
+          Tables.f0 (Pipeline.ils_per_call r);
+          Tables.f0 (Pipeline.cts_per_call r);
+        ])
+      results
+  in
+  let incs = List.map Pipeline.code_increase results in
+  let decs = List.map Pipeline.call_decrease results in
+  let ipcs = List.map Pipeline.ils_per_call results in
+  let cpcs = List.map Pipeline.cts_per_call results in
+  let agg label f =
+    [
+      label;
+      Tables.pct1 (f incs);
+      (if label = "AVG" then "16.5%" else "12.0%");
+      Tables.pct1 (f decs);
+      (if label = "AVG" then "58.7%" else "32.1%");
+      Tables.f0 (f ipcs);
+      Tables.f0 (f cpcs);
+    ]
+  in
+  Tables.render ~title:"Table 4. Inline expansion results.  (paper columns shown for shape)"
+    ~header:
+      [
+        "benchmark"; "code inc"; "(paper)"; "call dec"; "(paper)"; "IL's per call";
+        "CT's per call";
+      ]
+    ~aligns:[ Left; Right; Right; Right; Right; Right; Right ]
+    (rows @ [ agg "AVG" Stats.mean; agg "SD" Stats.stddev ])
+
+let stack_table results =
+  let rows =
+    List.map
+      (fun (r : Pipeline.result) ->
+        let before = r.Pipeline.profile.Profile.avg_max_stack in
+        let after = r.Pipeline.post_profile.Profile.avg_max_stack in
+        [
+          name_of r;
+          Tables.f0 before;
+          Tables.f0 after;
+          Tables.pct (Stats.percent (after -. before) before);
+        ])
+      results
+  in
+  Tables.render
+    ~title:
+      "Stack expansion: peak control-stack bytes per run, before/after inlining."
+    ~header:[ "benchmark"; "before"; "after"; "growth" ]
+    ~aligns:[ Left; Right; Right; Right ]
+    rows
+
+let residual_mix results =
+  (* Aggregate the post-inline dynamic mix over the whole suite, like the
+     paper's §4.4 paragraph. *)
+  let totals = ref (0., 0., 0., 0., 0.) in
+  List.iter
+    (fun (r : Pipeline.result) ->
+      let t, e, p, u, s = Classify.dynamic_summary r.Pipeline.post_classified in
+      let t0, e0, p0, u0, s0 = !totals in
+      totals := (t0 +. t, e0 +. e, p0 +. p, u0 +. u, s0 +. s))
+    results;
+  let t, e, p, u, s = !totals in
+  Printf.sprintf
+    "After inline expansion, the dynamic external, pointer, unsafe, and safe\n\
+     calls correspond to %s, %s, %s, and %s of all dynamic calls\n\
+     (paper: 56.1%%, 2.8%%, 18.0%%, 23.1%%).\n"
+    (Tables.pct1 (Stats.percent e t))
+    (Tables.pct1 (Stats.percent p t))
+    (Tables.pct1 (Stats.percent u t))
+    (Tables.pct1 (Stats.percent s t))
+
+let all results =
+  String.concat "\n"
+    [
+      table1 results;
+      table2 results;
+      table3 results;
+      table4 results;
+      stack_table results;
+      residual_mix results;
+      (let broken =
+         List.filter (fun (r : Pipeline.result) -> not r.Pipeline.outputs_match) results
+       in
+       if broken = [] then
+         "Behaviour check: all benchmarks produced identical output before and \
+          after inline expansion.\n"
+       else
+         "WARNING: output mismatch after inlining in: "
+         ^ String.concat ", " (List.map name_of broken)
+         ^ "\n");
+    ]

@@ -1,0 +1,35 @@
+(** Rendering the paper's evaluation tables from pipeline results.
+
+    Table 1 — benchmark characteristics; Table 2 — static call-site
+    classes; Table 3 — dynamic call behaviour; Table 4 — inline expansion
+    results with AVG/SD rows, followed by the §4.4 residual dynamic call
+    mix.  Paper reference values are printed beside ours where the paper
+    gives them, so shape comparisons are immediate. *)
+
+(** [table1 results] — benchmark characteristics. *)
+val table1 : Pipeline.result list -> string
+
+(** [table2 results] — static call-site classification. *)
+val table2 : Pipeline.result list -> string
+
+(** [table3 results] — dynamic call behaviour. *)
+val table3 : Pipeline.result list -> string
+
+(** [table4 results] — inline expansion results (+ AVG/SD). *)
+val table4 : Pipeline.result list -> string
+
+(** [stack_table results] — control-stack extent before/after expansion
+    (the paper's "stack expansion" hazard: frames grow, but the bounds
+    keep the growth modest). *)
+val stack_table : Pipeline.result list -> string
+
+(** [residual_mix results] — the §4.4 post-inline dynamic call mix
+    (paper: 56.1% external, 2.8% pointer, 18.0% unsafe, 23.1% safe). *)
+val residual_mix : Pipeline.result list -> string
+
+(** [all results] — every table, concatenated. *)
+val all : Pipeline.result list -> string
+
+(** Paper values of Table 4 (code increase %, call decrease %) by
+    benchmark name, for EXPERIMENTS.md-style comparisons. *)
+val paper_table4 : (string * (float * float)) list

@@ -1,0 +1,57 @@
+type align =
+  | Left
+  | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ~title ~header ~aligns rows =
+  let ncols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then
+        invalid_arg "Tables.render: row width differs from header")
+    rows;
+  if List.length aligns <> ncols then
+    invalid_arg "Tables.render: aligns width differs from header";
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let line cells =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell) cells)
+  in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.make (List.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let pct x = Printf.sprintf "%.0f%%" x
+
+let pct1 x = Printf.sprintf "%.1f%%" x
+
+let kcount x = Printf.sprintf "%.0fK" (x /. 1000.)
+
+let f0 x = Printf.sprintf "%.0f" x
+
+let f1 x = Printf.sprintf "%.1f" x

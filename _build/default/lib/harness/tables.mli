@@ -1,0 +1,27 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+(** Column alignment. *)
+type align =
+  | Left
+  | Right
+
+(** [render ~title ~header ~aligns rows] lays the table out with padded
+    columns and a rule under the header.
+    @raise Invalid_argument if a row's width differs from the header's. *)
+val render :
+  title:string -> header:string list -> aligns:align list -> string list list -> string
+
+(** [pct x] formats a percentage with no decimals, e.g. ["59%"]. *)
+val pct : float -> string
+
+(** [pct1 x] formats with one decimal, e.g. ["58.7%"]. *)
+val pct1 : float -> string
+
+(** [kcount x] renders a count in thousands, e.g. ["585K"]. *)
+val kcount : float -> string
+
+(** [f0 x] renders a float with no decimals. *)
+val f0 : float -> string
+
+(** [f1 x] renders a float with one decimal. *)
+val f1 : float -> string

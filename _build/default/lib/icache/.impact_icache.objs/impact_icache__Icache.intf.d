@@ -1,0 +1,1 @@
+lib/icache/icache.mli:

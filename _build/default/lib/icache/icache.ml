@@ -1,0 +1,76 @@
+type t = {
+  size : int;
+  assoc : int;
+  line_size : int;
+  nsets : int;
+  tags : int array;  (* nsets * assoc; -1 = empty *)
+  stamps : int array;  (* LRU timestamps, parallel to tags *)
+  mutable tick : int;
+  mutable n_accesses : int;
+  mutable n_misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ~size ~assoc ~line_size () =
+  if not (is_pow2 size && is_pow2 assoc && is_pow2 line_size) then
+    invalid_arg "Icache.create: size, assoc and line_size must be powers of two";
+  if size mod (assoc * line_size) <> 0 then
+    invalid_arg "Icache.create: size must be divisible by assoc * line_size";
+  let nsets = size / (assoc * line_size) in
+  {
+    size;
+    assoc;
+    line_size;
+    nsets;
+    tags = Array.make (nsets * assoc) (-1);
+    stamps = Array.make (nsets * assoc) 0;
+    tick = 0;
+    n_accesses = 0;
+    n_misses = 0;
+  }
+
+let access t addr =
+  t.n_accesses <- t.n_accesses + 1;
+  t.tick <- t.tick + 1;
+  let line = addr / t.line_size in
+  let set = line mod t.nsets in
+  let base = set * t.assoc in
+  (* Hit? *)
+  let rec find i = if i = t.assoc then -1 else if t.tags.(base + i) = line then i else find (i + 1) in
+  let way = find 0 in
+  if way >= 0 then t.stamps.(base + way) <- t.tick
+  else begin
+    t.n_misses <- t.n_misses + 1;
+    (* Fill the LRU way. *)
+    let victim = ref 0 in
+    for i = 1 to t.assoc - 1 do
+      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- line;
+    t.stamps.(base + !victim) <- t.tick
+  end
+
+let accesses t = t.n_accesses
+
+let misses t = t.n_misses
+
+let miss_rate t =
+  if t.n_accesses = 0 then 0. else float_of_int t.n_misses /. float_of_int t.n_accesses
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.tick <- 0;
+  t.n_accesses <- 0;
+  t.n_misses <- 0
+
+let describe t =
+  let size =
+    if t.size >= 1024 then Printf.sprintf "%dKB" (t.size / 1024)
+    else Printf.sprintf "%dB" t.size
+  in
+  let ways =
+    if t.assoc = 1 then "direct-mapped" else Printf.sprintf "%d-way" t.assoc
+  in
+  Printf.sprintf "%s %s, %dB lines" size ways t.line_size

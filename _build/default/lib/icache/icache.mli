@@ -1,0 +1,36 @@
+(** Instruction-cache simulator.
+
+    The paper's conclusion points at a companion study: "we have obtained
+    good instruction cache performance after inline expansion.  Although
+    inline expansion increases the static code size, it greatly reduces
+    the mapping conflict in instruction caches with small
+    set-associativities" (Hwu & Chang, ISCA 1989).  This module provides
+    the cache model for reproducing that claim: a set-associative cache
+    with true-LRU replacement, fed with the addresses of executed IL
+    instructions by {!Impact_interp.Machine.run}. *)
+
+type t
+
+(** [create ~size ~assoc ~line_size ()] builds an empty cache of [size]
+    bytes with [assoc]-way sets of [line_size]-byte lines.
+    @raise Invalid_argument unless all parameters are positive powers of
+    two and [size] is divisible by [assoc * line_size]. *)
+val create : size:int -> assoc:int -> line_size:int -> unit -> t
+
+(** [access t addr] simulates one fetch at byte address [addr]. *)
+val access : t -> int -> unit
+
+(** [accesses t] is the number of fetches simulated so far. *)
+val accesses : t -> int
+
+(** [misses t] is the number of fetches that missed. *)
+val misses : t -> int
+
+(** [miss_rate t] is [misses / accesses]; [0.] before any access. *)
+val miss_rate : t -> float
+
+(** [reset t] clears contents and statistics. *)
+val reset : t -> unit
+
+(** [describe t] is e.g. ["2KB direct-mapped, 16B lines"]. *)
+val describe : t -> string

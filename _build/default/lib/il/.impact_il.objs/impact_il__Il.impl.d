@@ -1,0 +1,1 @@
+lib/il/il.ml: Array List String

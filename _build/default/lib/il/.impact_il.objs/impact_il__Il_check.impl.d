@@ -1,0 +1,1 @@
+lib/il/il_check.ml: Array Hashtbl Il List Printf String

@@ -1,0 +1,1 @@
+lib/il/il_pp.ml: Array Format Il List Printf String

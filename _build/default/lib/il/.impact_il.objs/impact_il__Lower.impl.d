@@ -1,0 +1,1 @@
+lib/il/lower.ml: Array Hashtbl Il Impact_cfront Impact_support List Option Printf

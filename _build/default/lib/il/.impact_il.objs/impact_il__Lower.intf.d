@@ -1,0 +1,1 @@
+lib/il/lower.mli: Il Impact_cfront

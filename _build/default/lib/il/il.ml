@@ -1,0 +1,169 @@
+type reg = int
+
+type label = int
+
+type site_id = int
+
+type fid = int
+
+type operand =
+  | Reg of reg
+  | Imm of int
+
+type width =
+  | Byte
+  | Word
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | And
+  | Or
+  | Xor
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type unop =
+  | Neg
+  | Not
+  | Lnot
+
+type instr =
+  | Label of label
+  | Mov of reg * operand
+  | Un of unop * reg * operand
+  | Bin of binop * reg * operand * operand
+  | Load of width * reg * operand
+  | Store of width * operand * operand
+  | Lea_frame of reg * int
+  | Lea_global of reg * int
+  | Lea_string of reg * int
+  | Lea_func of reg * fid
+  | Call of site_id * fid * operand list * reg option
+  | Call_ext of site_id * string * operand list * reg option
+  | Call_ind of site_id * operand * operand list * reg option
+  | Ret of operand option
+  | Jump of label
+  | Bnz of operand * label
+  | Switch of operand * (int * label) array * label
+
+type func = {
+  fid : fid;
+  name : string;
+  nparams : int;
+  mutable nregs : int;
+  mutable nlabels : int;
+  mutable frame_size : int;
+  mutable body : instr array;
+  mutable alive : bool;
+}
+
+type ginit =
+  | Gword of int
+  | Gbyte of int
+  | Gstr of int
+  | Gfunc of fid
+  | Gglob of int
+
+type global = {
+  g_id : int;
+  g_name : string;
+  g_size : int;
+  g_init : (int * ginit) list;
+}
+
+type program = {
+  funcs : func array;
+  globals : global array;
+  strings : string array;
+  externs : string list;
+  main : fid;
+  mutable next_site : site_id;
+  address_taken : fid list;
+}
+
+type site = {
+  s_id : site_id;
+  s_index : int;
+  s_kind : site_kind;
+}
+
+and site_kind =
+  | To_user of fid
+  | To_extern of string
+  | Through_pointer
+
+let fresh_site prog =
+  let id = prog.next_site in
+  prog.next_site <- id + 1;
+  id
+
+let instr_is_label = function
+  | Label _ -> true
+  | Mov _ | Un _ | Bin _ | Load _ | Store _ | Lea_frame _ | Lea_global _
+  | Lea_string _ | Lea_func _ | Call _ | Call_ext _ | Call_ind _ | Ret _
+  | Jump _ | Bnz _ | Switch _ ->
+    false
+
+let code_size f =
+  Array.fold_left (fun n i -> if instr_is_label i then n else n + 1) 0 f.body
+
+let program_code_size prog =
+  Array.fold_left (fun n f -> if f.alive then n + code_size f else n) 0 prog.funcs
+
+let sites_of f =
+  let out = ref [] in
+  Array.iteri
+    (fun idx instr ->
+      match instr with
+      | Call (site, callee, _, _) ->
+        out := { s_id = site; s_index = idx; s_kind = To_user callee } :: !out
+      | Call_ext (site, name, _, _) ->
+        out := { s_id = site; s_index = idx; s_kind = To_extern name } :: !out
+      | Call_ind (site, _, _, _) ->
+        out := { s_id = site; s_index = idx; s_kind = Through_pointer } :: !out
+      | Label _ | Mov _ | Un _ | Bin _ | Load _ | Store _ | Lea_frame _
+      | Lea_global _ | Lea_string _ | Lea_func _ | Ret _ | Jump _ | Bnz _
+      | Switch _ ->
+        ())
+    f.body;
+  List.rev !out
+
+let find_func prog name =
+  Array.fold_left
+    (fun acc f -> if f.alive && String.equal f.name name then Some f else acc)
+    None prog.funcs
+
+let copy_func f =
+  {
+    fid = f.fid;
+    name = f.name;
+    nparams = f.nparams;
+    nregs = f.nregs;
+    nlabels = f.nlabels;
+    frame_size = f.frame_size;
+    body = Array.copy f.body;
+    alive = f.alive;
+  }
+
+let copy_program prog =
+  {
+    funcs = Array.map copy_func prog.funcs;
+    globals = prog.globals;
+    strings = prog.strings;
+    externs = prog.externs;
+    main = prog.main;
+    next_site = prog.next_site;
+    address_taken = prog.address_taken;
+  }
+
+let stack_usage f = f.frame_size + (f.nregs * 8) + 16

@@ -1,0 +1,148 @@
+(** The IMPACT-style intermediate language.
+
+    A program is a set of functions over virtual registers, plus byte-image
+    globals and interned strings.  Every call instruction carries a
+    program-unique {e site id} — the paper's arc identifier: "It is
+    necessary to assign each arc a unique identifier because there may be
+    several arcs between the same pair of caller and callee."
+
+    Calling convention: the first [nparams] registers of a function are its
+    parameters.  Addresses are plain integers into the interpreter's flat
+    memory; functions are addressable through a reserved low-memory region
+    so that calls through pointers work (see {!Impact_interp.Machine}). *)
+
+type reg = int
+
+type label = int
+
+type site_id = int
+
+type fid = int
+
+type operand =
+  | Reg of reg
+  | Imm of int
+
+type width =
+  | Byte
+  | Word
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | And
+  | Or
+  | Xor
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type unop =
+  | Neg
+  | Not   (** bitwise complement *)
+  | Lnot  (** logical not: 1 if zero, else 0 *)
+
+type instr =
+  | Label of label
+  | Mov of reg * operand
+  | Un of unop * reg * operand
+  | Bin of binop * reg * operand * operand
+  | Load of width * reg * operand          (** dst, address *)
+  | Store of width * operand * operand     (** address, value *)
+  | Lea_frame of reg * int                 (** dst := frame base + offset *)
+  | Lea_global of reg * int                (** dst := address of global id *)
+  | Lea_string of reg * int                (** dst := address of string id *)
+  | Lea_func of reg * fid                  (** dst := address of function *)
+  | Call of site_id * fid * operand list * reg option
+  | Call_ext of site_id * string * operand list * reg option
+  | Call_ind of site_id * operand * operand list * reg option
+  | Ret of operand option
+  | Jump of label
+  | Bnz of operand * label                 (** branch if operand non-zero *)
+  | Switch of operand * (int * label) array * label
+      (** value, (case, target) table, default target *)
+
+type func = {
+  fid : fid;
+  name : string;
+  nparams : int;
+  mutable nregs : int;
+  mutable nlabels : int;
+  mutable frame_size : int;  (** bytes of stack frame (addressed locals) *)
+  mutable body : instr array;
+  mutable alive : bool;
+      (** cleared by function-level dead-code elimination instead of
+          physically removing the function, so fids stay stable *)
+}
+
+type ginit =
+  | Gword of int
+  | Gbyte of int
+  | Gstr of int    (** address of string id *)
+  | Gfunc of fid   (** address of function *)
+  | Gglob of int   (** address of global id *)
+
+type global = {
+  g_id : int;
+  g_name : string;
+  g_size : int;
+  g_init : (int * ginit) list;
+}
+
+type program = {
+  funcs : func array;          (** indexed by fid *)
+  globals : global array;      (** indexed by global id *)
+  strings : string array;      (** indexed by string id *)
+  externs : string list;       (** declared external functions *)
+  main : fid;
+  mutable next_site : site_id; (** generator for fresh site ids *)
+  address_taken : fid list;    (** functions whose address is computed *)
+}
+
+(** A uniform view of one call site inside a function body. *)
+type site = {
+  s_id : site_id;
+  s_index : int;  (** instruction index within the body *)
+  s_kind : site_kind;
+}
+
+and site_kind =
+  | To_user of fid
+  | To_extern of string
+  | Through_pointer
+
+(** [fresh_site prog] allocates a new program-unique site id. *)
+val fresh_site : program -> site_id
+
+(** [code_size f] is the number of instructions in [f]'s body, excluding
+    labels — the unit in which the paper measures code expansion. *)
+val code_size : func -> int
+
+(** [program_code_size prog] sums {!code_size} over live functions. *)
+val program_code_size : program -> int
+
+(** [sites_of f] lists the call sites of [f] in body order. *)
+val sites_of : func -> site list
+
+(** [find_func prog name] is the live function named [name], if any. *)
+val find_func : program -> string -> func option
+
+(** [instr_is_label i] is true on [Label _]. *)
+val instr_is_label : instr -> bool
+
+(** [copy_program prog] is a deep copy: mutating the copy's functions
+    (as inlining does) leaves the original untouched. *)
+val copy_program : program -> program
+
+(** [stack_usage f] estimates the control-stack bytes one activation of
+    [f] consumes: frame slots, virtual-register save area and call
+    overhead — the paper's "summarized control stack usage". *)
+val stack_usage : func -> int

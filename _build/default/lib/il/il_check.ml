@@ -1,0 +1,116 @@
+let check_func (prog : Il.program) (f : Il.func) errors =
+  let err fmt =
+    Printf.ksprintf (fun msg -> errors := Printf.sprintf "%s: %s" f.Il.name msg :: !errors) fmt
+  in
+  let defined = Hashtbl.create 16 in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Il.Label l ->
+        if l < 0 || l >= f.Il.nlabels then err "label L%d out of range" l;
+        if Hashtbl.mem defined l then err "label L%d defined twice" l;
+        Hashtbl.add defined l ()
+      | _ -> ())
+    f.Il.body;
+  let check_reg r = if r < 0 || r >= f.Il.nregs then err "register r%d out of range" r in
+  let check_op = function
+    | Il.Reg r -> check_reg r
+    | Il.Imm _ -> ()
+  in
+  let check_target l =
+    if not (Hashtbl.mem defined l) then err "branch to undefined label L%d" l
+  in
+  let check_args args = List.iter check_op args in
+  let check_ret = function
+    | Some r -> check_reg r
+    | None -> ()
+  in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Il.Label _ -> ()
+      | Il.Mov (r, op) | Il.Un (_, r, op) | Il.Load (_, r, op) ->
+        check_reg r;
+        check_op op
+      | Il.Bin (_, r, a, b) ->
+        check_reg r;
+        check_op a;
+        check_op b
+      | Il.Store (_, addr, v) ->
+        check_op addr;
+        check_op v
+      | Il.Lea_frame (r, off) ->
+        check_reg r;
+        if off < 0 || off >= max f.Il.frame_size 1 then
+          err "frame offset %d outside frame of %d bytes" off f.Il.frame_size
+      | Il.Lea_global (r, g) ->
+        check_reg r;
+        if g < 0 || g >= Array.length prog.Il.globals then err "bad global id %d" g
+      | Il.Lea_string (r, s) ->
+        check_reg r;
+        if s < 0 || s >= Array.length prog.Il.strings then err "bad string id %d" s
+      | Il.Lea_func (r, fid) ->
+        check_reg r;
+        if fid < 0 || fid >= Array.length prog.Il.funcs then err "bad fid %d" fid
+      | Il.Call (_, callee, args, ret) ->
+        if callee < 0 || callee >= Array.length prog.Il.funcs then
+          err "call to bad fid %d" callee
+        else begin
+          let cf = prog.Il.funcs.(callee) in
+          if not cf.Il.alive then err "call to dead function %s" cf.Il.name;
+          if List.length args <> cf.Il.nparams then
+            err "call to %s with %d args, expected %d" cf.Il.name (List.length args)
+              cf.Il.nparams
+        end;
+        check_args args;
+        check_ret ret
+      | Il.Call_ext (_, _, args, ret) ->
+        check_args args;
+        check_ret ret
+      | Il.Call_ind (_, target, args, ret) ->
+        check_op target;
+        check_args args;
+        check_ret ret
+      | Il.Ret (Some op) -> check_op op
+      | Il.Ret None -> ()
+      | Il.Jump l -> check_target l
+      | Il.Bnz (op, l) ->
+        check_op op;
+        check_target l
+      | Il.Switch (op, table, default) ->
+        check_op op;
+        Array.iter (fun (_, l) -> check_target l) table;
+        check_target default)
+    f.Il.body
+
+let check (prog : Il.program) =
+  let errors = ref [] in
+  let sites = Hashtbl.create 256 in
+  Array.iter
+    (fun (f : Il.func) ->
+      if f.Il.alive then begin
+        check_func prog f errors;
+        List.iter
+          (fun (s : Il.site) ->
+            if Hashtbl.mem sites s.Il.s_id then
+              errors :=
+                Printf.sprintf "%s: duplicate site id %d" f.Il.name s.Il.s_id :: !errors
+            else Hashtbl.add sites s.Il.s_id ();
+            if s.Il.s_id >= prog.Il.next_site then
+              errors :=
+                Printf.sprintf "%s: site id %d >= next_site %d" f.Il.name s.Il.s_id
+                  prog.Il.next_site
+                :: !errors)
+          (Il.sites_of f)
+      end)
+    prog.Il.funcs;
+  if prog.Il.main < 0 || prog.Il.main >= Array.length prog.Il.funcs then
+    errors := "main fid out of range" :: !errors;
+  match !errors with
+  | [] -> Ok ()
+  | errs -> Error (List.rev errs)
+
+let check_exn prog =
+  match check prog with
+  | Ok () -> ()
+  | Error errs -> failwith ("ill-formed IL:\n" ^ String.concat "\n" errs)

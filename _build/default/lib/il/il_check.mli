@@ -1,0 +1,13 @@
+(** IL well-formedness checker.
+
+    Used by tests and asserted after inlining: registers within bounds,
+    labels defined exactly once and every branch targeting a defined
+    label, site ids unique across the whole program, and call argument
+    counts matching callee parameter counts. *)
+
+(** [check prog] is [Ok ()] or [Error messages] listing every violation. *)
+val check : Il.program -> (unit, string list) result
+
+(** [check_exn prog] raises [Failure] with the collected messages.
+    @raise Failure when the program is ill-formed. *)
+val check_exn : Il.program -> unit

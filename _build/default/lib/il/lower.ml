@@ -1,0 +1,530 @@
+module Tast = Impact_cfront.Tast
+module Ast = Impact_cfront.Ast
+module Vec = Impact_support.Vec
+
+exception Lower_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Lower_error msg)) fmt
+
+(* Where a variable lives at run time. *)
+type location =
+  | In_reg of Il.reg
+  | In_frame of int  (* byte offset into the stack frame *)
+
+type gstate = {
+  fid_of_name : (string, Il.fid) Hashtbl.t;
+  extern_names : (string, unit) Hashtbl.t;
+  struct_size : string -> int;
+  mutable next_site : Il.site_id;
+}
+
+type fstate = {
+  g : gstate;
+  code : Il.instr Vec.t;
+  locations : location array;  (* indexed by var id *)
+  var_tys : Ast.ty array;
+  mutable nregs : int;
+  mutable nlabels : int;
+  mutable frame_size : int;
+  mutable breaks : Il.label list;
+  mutable continues : Il.label list;
+  ret_ty : Ast.ty;
+}
+
+let emit fs instr = Vec.push fs.code instr
+
+let fresh_reg fs =
+  let r = fs.nregs in
+  fs.nregs <- r + 1;
+  r
+
+let fresh_label fs =
+  let l = fs.nlabels in
+  fs.nlabels <- l + 1;
+  l
+
+let fresh_site fs =
+  let s = fs.g.next_site in
+  fs.g.next_site <- s + 1;
+  s
+
+let width_of_ty = function
+  | Ast.Tchar -> Il.Byte
+  | Ast.Tint | Ast.Tptr _ -> Il.Word
+  | ty -> fail "cannot access memory at type %s" (Ast.string_of_ty ty)
+
+let binop_of_ast = function
+  | Ast.Add -> Il.Add
+  | Ast.Sub -> Il.Sub
+  | Ast.Mul -> Il.Mul
+  | Ast.Div -> Il.Div
+  | Ast.Mod -> Il.Mod
+  | Ast.Shl -> Il.Shl
+  | Ast.Shr -> Il.Shr
+  | Ast.Band -> Il.And
+  | Ast.Bor -> Il.Or
+  | Ast.Bxor -> Il.Xor
+  | Ast.Lt -> Il.Lt
+  | Ast.Le -> Il.Le
+  | Ast.Gt -> Il.Gt
+  | Ast.Ge -> Il.Ge
+  | Ast.Eq -> Il.Eq
+  | Ast.Ne -> Il.Ne
+
+let unop_of_ast = function
+  | Ast.Neg -> Il.Neg
+  | Ast.Bnot -> Il.Not
+  | Ast.Lnot -> Il.Lnot
+
+let frame_addr fs off =
+  let r = fresh_reg fs in
+  emit fs (Il.Lea_frame (r, off));
+  r
+
+let location_of fs (v : Tast.var_info) = fs.locations.(v.Tast.v_id)
+
+(* A resolved lvalue: either a variable register or a memory slot whose
+   address has been computed exactly once. *)
+type slot =
+  | Sreg of Il.reg * Ast.ty
+  | Smem of Il.operand * Ast.ty
+
+let rec lower_expr fs (e : Tast.texpr) : Il.operand =
+  match e.Tast.desc with
+  | Tast.Tconst n -> Il.Imm n
+  | Tast.Tstring id ->
+    let r = fresh_reg fs in
+    emit fs (Il.Lea_string (r, id));
+    Il.Reg r
+  | Tast.Tvar_read v -> (
+    match location_of fs v with
+    | In_reg r -> Il.Reg r
+    | In_frame off ->
+      let addr = frame_addr fs off in
+      let r = fresh_reg fs in
+      emit fs (Il.Load (width_of_ty v.Tast.v_ty, r, Il.Reg addr));
+      Il.Reg r)
+  | Tast.Tglobal_read (g, ty) ->
+    let addr = fresh_reg fs in
+    emit fs (Il.Lea_global (addr, g.Tast.g_id));
+    let r = fresh_reg fs in
+    emit fs (Il.Load (width_of_ty ty, r, Il.Reg addr));
+    Il.Reg r
+  | Tast.Tload (addr, ty) ->
+    let a = lower_expr fs addr in
+    let r = fresh_reg fs in
+    emit fs (Il.Load (width_of_ty ty, r, a));
+    Il.Reg r
+  | Tast.Taddr_var v -> (
+    match location_of fs v with
+    | In_frame off -> Il.Reg (frame_addr fs off)
+    | In_reg _ ->
+      fail "address taken of register variable '%s' (sema invariant broken)"
+        v.Tast.v_name)
+  | Tast.Taddr_global g ->
+    let r = fresh_reg fs in
+    emit fs (Il.Lea_global (r, g.Tast.g_id));
+    Il.Reg r
+  | Tast.Taddr_func name -> (
+    match Hashtbl.find_opt fs.g.fid_of_name name with
+    | Some fid ->
+      let r = fresh_reg fs in
+      emit fs (Il.Lea_func (r, fid));
+      Il.Reg r
+    | None -> fail "cannot take the address of external function '%s'" name)
+  | Tast.Tbin (op, a, b) ->
+    let ra = lower_expr fs a in
+    let rb = lower_expr fs b in
+    let r = fresh_reg fs in
+    emit fs (Il.Bin (binop_of_ast op, r, ra, rb));
+    Il.Reg r
+  | Tast.Tun (op, a) ->
+    let ra = lower_expr fs a in
+    let r = fresh_reg fs in
+    emit fs (Il.Un (unop_of_ast op, r, ra));
+    Il.Reg r
+  | Tast.Tlogand (a, b) ->
+    let r = fresh_reg fs in
+    let l1 = fresh_label fs in
+    let l2 = fresh_label fs in
+    let lend = fresh_label fs in
+    emit fs (Il.Mov (r, Il.Imm 0));
+    let ra = lower_expr fs a in
+    emit fs (Il.Bnz (ra, l1));
+    emit fs (Il.Jump lend);
+    emit fs (Il.Label l1);
+    let rb = lower_expr fs b in
+    emit fs (Il.Bnz (rb, l2));
+    emit fs (Il.Jump lend);
+    emit fs (Il.Label l2);
+    emit fs (Il.Mov (r, Il.Imm 1));
+    emit fs (Il.Label lend);
+    Il.Reg r
+  | Tast.Tlogor (a, b) ->
+    let r = fresh_reg fs in
+    let lend = fresh_label fs in
+    emit fs (Il.Mov (r, Il.Imm 1));
+    let ra = lower_expr fs a in
+    emit fs (Il.Bnz (ra, lend));
+    let rb = lower_expr fs b in
+    emit fs (Il.Bnz (rb, lend));
+    emit fs (Il.Mov (r, Il.Imm 0));
+    emit fs (Il.Label lend);
+    Il.Reg r
+  | Tast.Tcond (c, a, b) ->
+    let r = fresh_reg fs in
+    let lthen = fresh_label fs in
+    let lend = fresh_label fs in
+    let rc = lower_expr fs c in
+    emit fs (Il.Bnz (rc, lthen));
+    let rb = lower_expr fs b in
+    emit fs (Il.Mov (r, rb));
+    emit fs (Il.Jump lend);
+    emit fs (Il.Label lthen);
+    let ra = lower_expr fs a in
+    emit fs (Il.Mov (r, ra));
+    emit fs (Il.Label lend);
+    Il.Reg r
+  | Tast.Tseq (a, b) ->
+    ignore (lower_expr fs a);
+    lower_expr fs b
+  | Tast.Tassign (lv, rhs) ->
+    let v = lower_expr fs rhs in
+    store_lval fs lv v
+  | Tast.Tassign_op (lv, op, rhs, scale) ->
+    let slot = lval_slot fs lv in
+    let cur = read_slot fs slot in
+    let rv = lower_expr fs rhs in
+    let rv =
+      if scale = 1 then rv
+      else begin
+        let r = fresh_reg fs in
+        emit fs (Il.Bin (Il.Mul, r, rv, Il.Imm scale));
+        Il.Reg r
+      end
+    in
+    let res = fresh_reg fs in
+    emit fs (Il.Bin (binop_of_ast op, res, cur, rv));
+    let res = mask_for_slot fs slot (Il.Reg res) in
+    write_slot fs slot res;
+    res
+  | Tast.Tincdec (lv, dir, prefix, step) ->
+    let slot = lval_slot fs lv in
+    let cur = read_slot fs slot in
+    (* The old value must survive the store for postfix results. *)
+    let old_reg = fresh_reg fs in
+    emit fs (Il.Mov (old_reg, cur));
+    let op = match dir with Ast.Incr -> Il.Add | Ast.Decr -> Il.Sub in
+    let new_reg = fresh_reg fs in
+    emit fs (Il.Bin (op, new_reg, Il.Reg old_reg, Il.Imm step));
+    let new_val = mask_for_slot fs slot (Il.Reg new_reg) in
+    write_slot fs slot new_val;
+    if prefix then new_val else Il.Reg old_reg
+  | Tast.Tcall (target, args, ret_ty) ->
+    let ops = List.map (lower_expr fs) args in
+    let ret = if ret_ty = Ast.Tvoid then None else Some (fresh_reg fs) in
+    let site = fresh_site fs in
+    (match target with
+    | Tast.Direct name -> (
+      match Hashtbl.find_opt fs.g.fid_of_name name with
+      | Some fid -> emit fs (Il.Call (site, fid, ops, ret))
+      | None -> fail "direct call to unknown function '%s'" name)
+    | Tast.Extern name -> emit fs (Il.Call_ext (site, name, ops, ret))
+    | Tast.Indirect callee ->
+      let tgt = lower_expr fs callee in
+      emit fs (Il.Call_ind (site, tgt, ops, ret)));
+    (match ret with Some r -> Il.Reg r | None -> Il.Imm 0)
+
+and lval_slot fs (lv : Tast.tlval) : slot =
+  match lv with
+  | Tast.Lvar v -> (
+    match location_of fs v with
+    | In_reg r -> Sreg (r, v.Tast.v_ty)
+    | In_frame off -> Smem (Il.Reg (frame_addr fs off), v.Tast.v_ty))
+  | Tast.Lglobal (g, ty) ->
+    let addr = fresh_reg fs in
+    emit fs (Il.Lea_global (addr, g.Tast.g_id));
+    Smem (Il.Reg addr, ty)
+  | Tast.Lmem (addr, ty) ->
+    let a = lower_expr fs addr in
+    Smem (a, ty)
+
+and read_slot fs = function
+  | Sreg (r, _) -> Il.Reg r
+  | Smem (addr, ty) ->
+    let r = fresh_reg fs in
+    emit fs (Il.Load (width_of_ty ty, r, addr));
+    Il.Reg r
+
+and write_slot fs slot v =
+  match slot with
+  | Sreg (r, _) -> emit fs (Il.Mov (r, v))
+  | Smem (addr, ty) -> emit fs (Il.Store (width_of_ty ty, addr, v))
+
+(* C assigns store the *converted* value; for char lvalues the result of
+   the assignment expression is the value truncated to a byte. *)
+and mask_for_slot fs slot v =
+  let ty = match slot with Sreg (_, ty) -> ty | Smem (_, ty) -> ty in
+  match ty with
+  | Ast.Tchar ->
+    let r = fresh_reg fs in
+    emit fs (Il.Bin (Il.And, r, v, Il.Imm 0xff));
+    Il.Reg r
+  | _ -> v
+
+and store_lval fs lv v =
+  let slot = lval_slot fs lv in
+  let v = mask_for_slot fs slot v in
+  write_slot fs slot v;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt fs (s : Tast.tstmt) =
+  match s with
+  | Tast.Ts_expr e -> ignore (lower_expr fs e)
+  | Tast.Ts_block body -> List.iter (lower_stmt fs) body
+  | Tast.Ts_if (cond, then_b, else_b) ->
+    let lthen = fresh_label fs in
+    let lend = fresh_label fs in
+    let c = lower_expr fs cond in
+    emit fs (Il.Bnz (c, lthen));
+    List.iter (lower_stmt fs) else_b;
+    emit fs (Il.Jump lend);
+    emit fs (Il.Label lthen);
+    List.iter (lower_stmt fs) then_b;
+    emit fs (Il.Label lend)
+  | Tast.Ts_while (cond, body) ->
+    let lcond = fresh_label fs in
+    let lbody = fresh_label fs in
+    let lend = fresh_label fs in
+    emit fs (Il.Label lcond);
+    let c = lower_expr fs cond in
+    emit fs (Il.Bnz (c, lbody));
+    emit fs (Il.Jump lend);
+    emit fs (Il.Label lbody);
+    fs.breaks <- lend :: fs.breaks;
+    fs.continues <- lcond :: fs.continues;
+    List.iter (lower_stmt fs) body;
+    fs.breaks <- List.tl fs.breaks;
+    fs.continues <- List.tl fs.continues;
+    emit fs (Il.Jump lcond);
+    emit fs (Il.Label lend)
+  | Tast.Ts_do (body, cond) ->
+    let lbody = fresh_label fs in
+    let lcond = fresh_label fs in
+    let lend = fresh_label fs in
+    emit fs (Il.Label lbody);
+    fs.breaks <- lend :: fs.breaks;
+    fs.continues <- lcond :: fs.continues;
+    List.iter (lower_stmt fs) body;
+    fs.breaks <- List.tl fs.breaks;
+    fs.continues <- List.tl fs.continues;
+    emit fs (Il.Label lcond);
+    let c = lower_expr fs cond in
+    emit fs (Il.Bnz (c, lbody));
+    emit fs (Il.Label lend)
+  | Tast.Ts_for (init, cond, step, body) ->
+    let lcond = fresh_label fs in
+    let lbody = fresh_label fs in
+    let lstep = fresh_label fs in
+    let lend = fresh_label fs in
+    Option.iter (fun e -> ignore (lower_expr fs e)) init;
+    emit fs (Il.Label lcond);
+    (match cond with
+    | Some cond ->
+      let c = lower_expr fs cond in
+      emit fs (Il.Bnz (c, lbody));
+      emit fs (Il.Jump lend)
+    | None -> ());
+    emit fs (Il.Label lbody);
+    fs.breaks <- lend :: fs.breaks;
+    fs.continues <- lstep :: fs.continues;
+    List.iter (lower_stmt fs) body;
+    fs.breaks <- List.tl fs.breaks;
+    fs.continues <- List.tl fs.continues;
+    emit fs (Il.Label lstep);
+    Option.iter (fun e -> ignore (lower_expr fs e)) step;
+    emit fs (Il.Jump lcond);
+    emit fs (Il.Label lend)
+  | Tast.Ts_switch (scrutinee, groups) ->
+    let lend = fresh_label fs in
+    let c = lower_expr fs scrutinee in
+    let group_labels = List.map (fun _ -> fresh_label fs) groups in
+    let table =
+      List.concat
+        (List.map2
+           (fun (g : Tast.switch_group) l -> List.map (fun v -> (v, l)) g.Tast.labels)
+           groups group_labels)
+    in
+    let default =
+      match
+        List.find_opt
+          (fun ((g : Tast.switch_group), _) -> g.Tast.is_default)
+          (List.combine groups group_labels)
+      with
+      | Some (_, l) -> l
+      | None -> lend
+    in
+    emit fs (Il.Switch (c, Array.of_list table, default));
+    fs.breaks <- lend :: fs.breaks;
+    List.iter2
+      (fun (g : Tast.switch_group) l ->
+        emit fs (Il.Label l);
+        List.iter (lower_stmt fs) g.Tast.body)
+      groups group_labels;
+    fs.breaks <- List.tl fs.breaks;
+    emit fs (Il.Label lend)
+  | Tast.Ts_break -> (
+    match fs.breaks with
+    | l :: _ -> emit fs (Il.Jump l)
+    | [] -> fail "break outside loop/switch (sema invariant broken)")
+  | Tast.Ts_continue -> (
+    match fs.continues with
+    | l :: _ -> emit fs (Il.Jump l)
+    | [] -> fail "continue outside loop (sema invariant broken)")
+  | Tast.Ts_return None ->
+    if fs.ret_ty = Ast.Tvoid then emit fs (Il.Ret None)
+    else emit fs (Il.Ret (Some (Il.Imm 0)))
+  | Tast.Ts_return (Some e) ->
+    let v = lower_expr fs e in
+    emit fs (Il.Ret (Some v))
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let align_up n a = (n + a - 1) / a * a
+
+let lower_func g fid (tf : Tast.tfunc) : Il.func =
+  let nparams = List.length tf.Tast.f_params in
+  let nvars = List.length tf.Tast.f_vars in
+  let locations = Array.make (max nvars 1) (In_reg 0) in
+  let var_tys = Array.make (max nvars 1) Ast.Tint in
+  let fs =
+    {
+      g;
+      code = Vec.create ();
+      locations;
+      var_tys;
+      nregs = nparams;
+      nlabels = 0;
+      frame_size = 0;
+      breaks = [];
+      continues = [];
+      ret_ty = tf.Tast.f_ret;
+    }
+  in
+  (* Assign locations: parameters arrive in registers 0..nparams-1;
+     address-taken variables get frame slots. *)
+  List.iter
+    (fun (v : Tast.var_info) ->
+      var_tys.(v.Tast.v_id) <- v.Tast.v_ty;
+      if v.Tast.v_addr_taken then begin
+        let size = Tast.sizeof ~struct_size:g.struct_size v.Tast.v_ty in
+        let off = align_up fs.frame_size 8 in
+        fs.frame_size <- off + size;
+        locations.(v.Tast.v_id) <- In_frame off
+      end
+      else
+        match v.Tast.v_kind with
+        | Tast.Kparam -> locations.(v.Tast.v_id) <- In_reg v.Tast.v_id
+        | Tast.Klocal -> locations.(v.Tast.v_id) <- In_reg (fresh_reg fs))
+    tf.Tast.f_vars;
+  (* Prologue: copy address-taken parameters into their frame slots. *)
+  List.iteri
+    (fun i (v : Tast.var_info) ->
+      match locations.(v.Tast.v_id) with
+      | In_frame off ->
+        let addr = frame_addr fs off in
+        emit fs (Il.Store (width_of_ty v.Tast.v_ty, Il.Reg addr, Il.Reg i))
+      | In_reg _ -> ())
+    tf.Tast.f_params;
+  List.iter (lower_stmt fs) tf.Tast.f_body;
+  (* Implicit return at the end of the body. *)
+  (match Vec.last fs.code with
+  | Il.Ret _ -> ()
+  | _ | (exception Invalid_argument _) ->
+    if tf.Tast.f_ret = Ast.Tvoid then emit fs (Il.Ret None)
+    else emit fs (Il.Ret (Some (Il.Imm 0))));
+  {
+    Il.fid;
+    name = tf.Tast.f_name;
+    nparams;
+    nregs = fs.nregs;
+    nlabels = fs.nlabels;
+    frame_size = align_up fs.frame_size 8;
+    body = Vec.to_array fs.code;
+    alive = true;
+  }
+
+let lower (tp : Tast.tprogram) : Il.program =
+  let struct_size name =
+    match List.assoc_opt name tp.Tast.struct_sizes with
+    | Some n -> n
+    | None -> fail "unknown struct '%s'" name
+  in
+  let g =
+    {
+      fid_of_name = Hashtbl.create 64;
+      extern_names = Hashtbl.create 16;
+      struct_size;
+      next_site = 0;
+    }
+  in
+  List.iteri (fun fid (f : Tast.tfunc) -> Hashtbl.add g.fid_of_name f.Tast.f_name fid)
+    tp.Tast.funcs;
+  List.iter (fun (x : Tast.extern_decl) -> Hashtbl.add g.extern_names x.Tast.x_name ())
+    tp.Tast.externs;
+  let gid_of_name = Hashtbl.create 64 in
+  List.iter
+    (fun (gi : Tast.global_info) -> Hashtbl.add gid_of_name gi.Tast.g_name gi.Tast.g_id)
+    tp.Tast.globals;
+  let lower_gval = function
+    | Tast.Gword n -> Il.Gword n
+    | Tast.Gbyte n -> Il.Gbyte n
+    | Tast.Gptr_string id -> Il.Gstr id
+    | Tast.Gptr_func name -> (
+      match Hashtbl.find_opt g.fid_of_name name with
+      | Some fid -> Il.Gfunc fid
+      | None -> fail "initialiser takes the address of external function '%s'" name)
+    | Tast.Gptr_global name -> Il.Gglob (Hashtbl.find gid_of_name name)
+  in
+  let globals =
+    Array.of_list
+      (List.map
+         (fun (gi : Tast.global_info) ->
+           {
+             Il.g_id = gi.Tast.g_id;
+             g_name = gi.Tast.g_name;
+             g_size = gi.Tast.g_size;
+             g_init = List.map (fun (off, v) -> (off, lower_gval v)) gi.Tast.g_init;
+           })
+         tp.Tast.globals)
+  in
+  let funcs =
+    Array.of_list (List.mapi (fun fid tf -> lower_func g fid tf) tp.Tast.funcs)
+  in
+  let main =
+    match Hashtbl.find_opt g.fid_of_name "main" with
+    | Some fid -> fid
+    | None -> fail "no main function"
+  in
+  let address_taken =
+    List.filter_map
+      (fun name -> Hashtbl.find_opt g.fid_of_name name)
+      tp.Tast.address_taken_funcs
+  in
+  {
+    Il.funcs;
+    globals;
+    strings = tp.Tast.strings;
+    externs = List.map (fun (x : Tast.extern_decl) -> x.Tast.x_name) tp.Tast.externs;
+    main;
+    next_site = g.next_site;
+    address_taken;
+  }
+
+let lower_source src = lower (Impact_cfront.Sema.check_source src)

@@ -1,0 +1,21 @@
+(** Lowering {!Impact_cfront.Tast} to {!Il}.
+
+    Scalar locals whose address never escapes become virtual registers;
+    address-taken scalars and all aggregates get stack-frame slots, which
+    is what the paper's "function stack frame sizes are estimated in terms
+    of local declarations" refers to.  Every call instruction receives a
+    program-unique site id in source order, so that profile weights can be
+    keyed by site. *)
+
+(** Raised for constructs the IL cannot represent (e.g. taking the address
+    of an external function). *)
+exception Lower_error of string
+
+(** [lower tprog] compiles a typed program to IL. *)
+val lower : Impact_cfront.Tast.tprogram -> Il.program
+
+(** [lower_source src] parses, checks and lowers a C source string.
+    @raise Impact_cfront.Parser.Parse_error
+    @raise Impact_cfront.Sema.Sema_error
+    @raise Lower_error *)
+val lower_source : string -> Il.program

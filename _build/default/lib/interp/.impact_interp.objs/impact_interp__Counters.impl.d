@@ -1,0 +1,1 @@
+lib/interp/counters.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Buffer Bytes Char Counters Impact_icache Impact_il Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Counters Impact_icache Impact_il

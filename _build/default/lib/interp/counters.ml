@@ -1,0 +1,33 @@
+type t = {
+  mutable ils : int;
+  mutable cts : int;
+  mutable calls : int;
+  mutable returns : int;
+  mutable ext_calls : int;
+  func_counts : int array;
+  site_counts : int array;
+}
+
+let create ~nfuncs ~nsites =
+  {
+    ils = 0;
+    cts = 0;
+    calls = 0;
+    returns = 0;
+    ext_calls = 0;
+    func_counts = Array.make (max nfuncs 1) 0;
+    site_counts = Array.make (max nsites 1) 0;
+  }
+
+let add_into acc t =
+  acc.ils <- acc.ils + t.ils;
+  acc.cts <- acc.cts + t.cts;
+  acc.calls <- acc.calls + t.calls;
+  acc.returns <- acc.returns + t.returns;
+  acc.ext_calls <- acc.ext_calls + t.ext_calls;
+  Array.iteri (fun i n -> acc.func_counts.(i) <- acc.func_counts.(i) + n) t.func_counts;
+  Array.iteri (fun i n -> acc.site_counts.(i) <- acc.site_counts.(i) + n) t.site_counts
+
+let summary t =
+  Printf.sprintf "ILs=%d CTs=%d calls=%d returns=%d ext=%d" t.ils t.cts t.calls
+    t.returns t.ext_calls

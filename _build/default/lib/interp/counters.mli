@@ -1,0 +1,31 @@
+(** Dynamic execution counters.
+
+    The quantities the paper measures:
+    - {e IL's}: dynamic intermediate instructions executed (labels are
+      pseudo-instructions and do not count);
+    - {e control transfers} (CT's): executed jumps, conditional branches
+      and switch dispatches, {e excluding} function calls and returns
+      (Table 1's footnote) — but including the unconditional jumps that
+      replace inlined call/return pairs;
+    - {e calls/returns}: counted separately, with per-function entry
+      counts (node weights) and per-site invocation counts (arc
+      weights). *)
+
+type t = {
+  mutable ils : int;
+  mutable cts : int;
+  mutable calls : int;      (** dynamic calls, all kinds *)
+  mutable returns : int;
+  mutable ext_calls : int;  (** subset of [calls] that hit externals *)
+  func_counts : int array;  (** entry count per fid *)
+  site_counts : int array;  (** invocation count per site id *)
+}
+
+(** [create ~nfuncs ~nsites] is a zeroed counter set. *)
+val create : nfuncs:int -> nsites:int -> t
+
+(** [add_into acc t] accumulates [t] into [acc] (for multi-run totals). *)
+val add_into : t -> t -> unit
+
+(** [summary t] is a one-line human-readable rendering. *)
+val summary : t -> string

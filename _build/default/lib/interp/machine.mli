@@ -1,0 +1,71 @@
+(** The IL interpreter — the execution substrate and profiler.
+
+    Programs run against a flat byte-addressed memory:
+
+    {v
+    0 ..... 16         null guard (dereference traps)
+    16 .... 4096       function descriptors: function fid has
+                       "address" 16 + 8*fid, so function pointers
+                       are ordinary integers
+    4096 .. G          globals, 8-byte aligned
+    G ..... S          string literals (NUL-terminated)
+    S ..... H          heap (bump-allocated by malloc)
+    H ..... top        control stack, growing downward
+    v}
+
+    The simulated external world (the paper's unavailable function
+    bodies — "most external function calls in this experiment are system
+    calls") supplies:
+
+    - [getchar () : int] — next byte of the run's input, or -1;
+    - [putchar (c) : int] — append a byte to the output;
+    - [print_int (n) : int] — decimal rendering to the output;
+    - [print_str (p) : int] — NUL-terminated string at address [p];
+    - [read (p, n) : int] — bulk read into memory at [p], like read(2);
+    - [write (p, n) : int] — bulk write from memory at [p];
+    - [malloc (n) : ptr] — bump allocation (never freed);
+    - [free (p) : int] — accepted and ignored;
+    - [exit (code)] — terminate the program;
+    - [abort ()] — trap. *)
+
+(** Raised on a runtime error: null/out-of-range access, division by
+    zero, bad indirect call target, stack overflow, unknown external. *)
+exception Trap of string
+
+(** Raised when execution exceeds the instruction budget. *)
+exception Out_of_fuel
+
+(** The result of one run. *)
+type outcome = {
+  exit_code : int;
+  output : string;
+  counters : Counters.t;
+  max_stack : int;
+      (** deepest control-stack extent in bytes, counting each
+          activation's full stack usage (frame + register save area +
+          call overhead, as {!Impact_il.Il.stack_usage} estimates) *)
+}
+
+(** [run ?fuel ?heap_size ?stack_size ?icache prog ~input] executes
+    [prog] from [main] with [input] as its stdin.
+
+    @param fuel instruction budget (default 1_000_000_000)
+    @param heap_size bytes of heap (default 4 MiB)
+    @param stack_size bytes of control stack (default 1 MiB)
+    @param icache when given, every executed instruction's code address
+      (functions laid out back-to-back in fid order, 4 bytes per
+      instruction) is driven through the cache model
+    @raise Trap on runtime errors
+    @raise Out_of_fuel if the budget is exhausted *)
+val run :
+  ?fuel:int ->
+  ?heap_size:int ->
+  ?stack_size:int ->
+  ?icache:Impact_icache.Icache.t ->
+  Impact_il.Il.program ->
+  input:string ->
+  outcome
+
+(** [external_names] lists the externals the machine implements; programs
+    may declare prototypes only for these. *)
+val external_names : string list

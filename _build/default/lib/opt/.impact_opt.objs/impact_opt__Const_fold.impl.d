@@ -1,0 +1,1 @@
+lib/opt/const_fold.ml: Array Hashtbl Impact_il List Option

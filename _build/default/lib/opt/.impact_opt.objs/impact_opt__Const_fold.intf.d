@@ -1,0 +1,1 @@
+lib/opt/const_fold.mli: Impact_il

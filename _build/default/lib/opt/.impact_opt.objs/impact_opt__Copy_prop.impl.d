@@ -1,0 +1,1 @@
+lib/opt/copy_prop.ml: Array Impact_il List Option

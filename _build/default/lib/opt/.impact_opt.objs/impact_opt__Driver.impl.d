@@ -1,0 +1,1 @@
+lib/opt/driver.ml: Const_fold Copy_prop Dce Jump_opt List

@@ -1,0 +1,1 @@
+lib/opt/driver.mli: Impact_il

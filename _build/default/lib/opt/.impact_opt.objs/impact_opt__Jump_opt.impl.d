@@ -1,0 +1,1 @@
+lib/opt/jump_opt.ml: Array Impact_il List

@@ -1,0 +1,1 @@
+lib/opt/jump_opt.mli: Impact_il

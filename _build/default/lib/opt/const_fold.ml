@@ -1,0 +1,117 @@
+module Il = Impact_il.Il
+
+let eval_binop op a b =
+  match op with
+  | Il.Add -> Some (a + b)
+  | Il.Sub -> Some (a - b)
+  | Il.Mul -> Some (a * b)
+  | Il.Div -> if b = 0 then None else Some (a / b)
+  | Il.Mod -> if b = 0 then None else Some (a mod b)
+  | Il.Shl -> Some (a lsl (b land 63))
+  | Il.Shr -> Some (a asr (b land 63))
+  | Il.And -> Some (a land b)
+  | Il.Or -> Some (a lor b)
+  | Il.Xor -> Some (a lxor b)
+  | Il.Lt -> Some (if a < b then 1 else 0)
+  | Il.Le -> Some (if a <= b then 1 else 0)
+  | Il.Gt -> Some (if a > b then 1 else 0)
+  | Il.Ge -> Some (if a >= b then 1 else 0)
+  | Il.Eq -> Some (if a = b then 1 else 0)
+  | Il.Ne -> Some (if a <> b then 1 else 0)
+
+let eval_unop op a =
+  match op with
+  | Il.Neg -> -a
+  | Il.Not -> lnot a
+  | Il.Lnot -> if a = 0 then 1 else 0
+
+let fold_func (f : Il.func) =
+  let known : (Il.reg, int) Hashtbl.t = Hashtbl.create 32 in
+  let rewrites = ref 0 in
+  let subst op =
+    match op with
+    | Il.Reg r -> (
+      match Hashtbl.find_opt known r with
+      | Some v ->
+        incr rewrites;
+        Il.Imm v
+      | None -> op)
+    | Il.Imm _ -> op
+  in
+  let define r v = Hashtbl.replace known r v in
+  let kill r = Hashtbl.remove known r in
+  let body =
+    Array.map
+      (fun instr ->
+        match instr with
+        | Il.Label _ ->
+          (* Join point: control may arrive with different values. *)
+          Hashtbl.reset known;
+          instr
+        | Il.Mov (r, op) -> (
+          let op = subst op in
+          match op with
+          | Il.Imm v ->
+            define r v;
+            Il.Mov (r, op)
+          | Il.Reg _ ->
+            kill r;
+            Il.Mov (r, op))
+        | Il.Un (o, r, a) -> (
+          let a = subst a in
+          match a with
+          | Il.Imm v ->
+            let folded = eval_unop o v in
+            define r folded;
+            incr rewrites;
+            Il.Mov (r, Il.Imm folded)
+          | Il.Reg _ ->
+            kill r;
+            Il.Un (o, r, a))
+        | Il.Bin (o, r, a, b) -> (
+          let a = subst a in
+          let b = subst b in
+          match (a, b) with
+          | Il.Imm va, Il.Imm vb -> (
+            match eval_binop o va vb with
+            | Some folded ->
+              define r folded;
+              incr rewrites;
+              Il.Mov (r, Il.Imm folded)
+            | None ->
+              (* Keep the trapping instruction. *)
+              kill r;
+              Il.Bin (o, r, a, b))
+          | _, _ ->
+            kill r;
+            Il.Bin (o, r, a, b))
+        | Il.Load (w, r, addr) ->
+          kill r;
+          Il.Load (w, r, subst addr)
+        | Il.Store (w, addr, v) -> Il.Store (w, subst addr, subst v)
+        | Il.Lea_frame (r, _) | Il.Lea_global (r, _) | Il.Lea_string (r, _)
+        | Il.Lea_func (r, _) ->
+          kill r;
+          instr
+        | Il.Call (site, callee, args, ret) ->
+          Option.iter kill ret;
+          Il.Call (site, callee, List.map subst args, ret)
+        | Il.Call_ext (site, name, args, ret) ->
+          Option.iter kill ret;
+          Il.Call_ext (site, name, List.map subst args, ret)
+        | Il.Call_ind (site, target, args, ret) ->
+          Option.iter kill ret;
+          Il.Call_ind (site, subst target, List.map subst args, ret)
+        | Il.Ret v -> Il.Ret (Option.map subst v)
+        | Il.Jump _ -> instr
+        | Il.Bnz (op, l) -> Il.Bnz (subst op, l)
+        | Il.Switch (op, table, default) -> Il.Switch (subst op, table, default))
+      f.Il.body
+  in
+  f.Il.body <- body;
+  !rewrites
+
+let fold (prog : Il.program) =
+  Array.fold_left
+    (fun acc (f : Il.func) -> if f.Il.alive then acc + fold_func f else acc)
+    0 prog.Il.funcs

@@ -1,0 +1,25 @@
+(** Constant folding and local constant propagation.
+
+    Within each straight-line segment (reset at labels, which are the
+    only join points in the IL) registers holding known constants are
+    substituted into operands, and arithmetic on two constants folds to a
+    move.  Division and modulo by a constant zero are left in place so
+    that the runtime trap is preserved.
+
+    The paper applies constant folding before inline expansion; the
+    post-inline ablation applies it again to clean up parameter-passing
+    moves. *)
+
+(** [fold_func f] folds one function in place; returns the number of
+    instructions rewritten. *)
+val fold_func : Impact_il.Il.func -> int
+
+(** [fold prog] folds every live function; returns total rewrites. *)
+val fold : Impact_il.Il.program -> int
+
+(** [eval_binop op a b] is the folded value when defined ([None] for
+    division by zero); mirrors the interpreter exactly. *)
+val eval_binop : Impact_il.Il.binop -> int -> int -> int option
+
+(** [eval_unop op a] mirrors the interpreter's unary evaluation. *)
+val eval_unop : Impact_il.Il.unop -> int -> int

@@ -1,0 +1,13 @@
+(** Instruction-level dead-code elimination.
+
+    Removes instructions that define a register never read anywhere in
+    the function and have no other effect (moves, arithmetic, address
+    computations and loads).  Stores, calls and control flow are always
+    kept.  Runs to a fixpoint, since removing one instruction can make
+    its operands' definitions dead too. *)
+
+(** [eliminate_func f] rewrites one function; returns instructions removed. *)
+val eliminate_func : Impact_il.Il.func -> int
+
+(** [eliminate prog] rewrites every live function. *)
+val eliminate : Impact_il.Il.program -> int

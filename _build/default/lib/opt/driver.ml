@@ -1,0 +1,19 @@
+let run_until_fixed ~max_rounds passes prog =
+  let total = ref 0 in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < max_rounds do
+    incr rounds;
+    let n = List.fold_left (fun acc pass -> acc + pass prog) 0 passes in
+    total := !total + n;
+    changed := n > 0
+  done;
+  !total
+
+let pre_inline prog =
+  run_until_fixed ~max_rounds:4 [ Const_fold.fold; Jump_opt.optimize ] prog
+
+let post_inline_cleanup prog =
+  run_until_fixed ~max_rounds:6
+    [ Copy_prop.propagate; Const_fold.fold; Dce.eliminate; Jump_opt.optimize ]
+    prog

@@ -1,0 +1,15 @@
+(** Optimisation pipelines.
+
+    The paper's measurement setup: "constant folding and jump
+    optimization were applied before the inline expansion procedure, but
+    not after it."  {!pre_inline} is that pipeline; {!post_inline_cleanup}
+    is the comprehensive clean-up the paper deliberately skipped, kept
+    here for the ablation benchmark. *)
+
+(** [pre_inline prog] = constant folding + jump optimisation, iterated to
+    a fixpoint (bounded); returns total rewrites. *)
+val pre_inline : Impact_il.Il.program -> int
+
+(** [post_inline_cleanup prog] = copy propagation + constant folding +
+    dead-code elimination + jump optimisation to a bounded fixpoint. *)
+val post_inline_cleanup : Impact_il.Il.program -> int

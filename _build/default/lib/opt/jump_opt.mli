@@ -1,0 +1,22 @@
+(** Jump optimisation.
+
+    - collapses chains: a branch to a label whose first real instruction
+      is an unconditional jump is retargeted at the final destination;
+    - removes jumps to the label that immediately follows them;
+    - deletes unreachable instructions between an unconditional transfer
+      and the next label;
+    - branches over constant conditions ([bnz 0]/[bnz k]) simplify.
+
+    The paper applies jump optimisation before inlining; applying it
+    {e after} inlining removes the jump-in/jump-out pairs that physical
+    expansion introduces — the ablation measuring exactly the effect the
+    paper predicts ("the IL's per call and CT's per call should be
+    somewhat smaller if comprehensive code optimizations have been
+    applied after inline expansion"). *)
+
+(** [optimize_func f] rewrites one function; returns instructions
+    removed or rewritten. *)
+val optimize_func : Impact_il.Il.func -> int
+
+(** [optimize prog] rewrites every live function. *)
+val optimize : Impact_il.Il.program -> int

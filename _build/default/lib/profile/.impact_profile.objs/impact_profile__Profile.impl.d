@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Array Impact_interp List Printf

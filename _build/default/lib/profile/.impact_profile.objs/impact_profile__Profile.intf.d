@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Impact_interp

@@ -1,0 +1,1 @@
+lib/profile/profile_io.ml: Array Buffer List Printf Profile String

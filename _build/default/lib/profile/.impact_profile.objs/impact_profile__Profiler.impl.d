@@ -1,0 +1,1 @@
+lib/profile/profiler.ml: Array Impact_il Impact_interp List Profile

@@ -1,0 +1,1 @@
+lib/profile/profiler.mli: Impact_il Impact_interp Profile

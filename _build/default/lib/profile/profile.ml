@@ -1,0 +1,38 @@
+type t = {
+  nruns : int;
+  func_weight : float array;
+  site_weight : float array;
+  avg_ils : float;
+  avg_cts : float;
+  avg_calls : float;
+  avg_returns : float;
+  avg_ext_calls : float;
+  avg_max_stack : float;
+}
+
+let of_counters ~nruns ~max_stacks (c : Impact_interp.Counters.t) =
+  if nruns <= 0 then invalid_arg "Profile.of_counters: nruns must be positive";
+  let n = float_of_int nruns in
+  let avg x = float_of_int x /. n in
+  {
+    nruns;
+    func_weight = Array.map avg c.Impact_interp.Counters.func_counts;
+    site_weight = Array.map avg c.Impact_interp.Counters.site_counts;
+    avg_ils = avg c.Impact_interp.Counters.ils;
+    avg_cts = avg c.Impact_interp.Counters.cts;
+    avg_calls = avg c.Impact_interp.Counters.calls;
+    avg_returns = avg c.Impact_interp.Counters.returns;
+    avg_ext_calls = avg c.Impact_interp.Counters.ext_calls;
+    avg_max_stack =
+      (List.fold_left (fun acc s -> acc +. float_of_int s) 0. max_stacks /. n);
+  }
+
+let func_weight p fid =
+  if fid >= 0 && fid < Array.length p.func_weight then p.func_weight.(fid) else 0.
+
+let site_weight p site =
+  if site >= 0 && site < Array.length p.site_weight then p.site_weight.(site) else 0.
+
+let to_string p =
+  Printf.sprintf "profile over %d run(s): ILs=%.0f CTs=%.0f calls=%.0f" p.nruns
+    p.avg_ils p.avg_cts p.avg_calls

@@ -1,0 +1,35 @@
+(** Execution profiles.
+
+    "The profiler accumulates the average run-time statistics over many
+    runs of a program.  The node weight is simply the number of times a
+    function is called in a typical run of the program.  The arc weight
+    is the execution count of a call instruction."
+
+    Weights are averages over the run set, kept as floats so low-frequency
+    sites keep a non-zero weight. *)
+
+type t = {
+  nruns : int;
+  func_weight : float array;  (** node weight by fid *)
+  site_weight : float array;  (** arc weight by site id *)
+  avg_ils : float;
+  avg_cts : float;
+  avg_calls : float;
+  avg_returns : float;
+  avg_ext_calls : float;
+  avg_max_stack : float;
+}
+
+(** [of_counters ~nruns ~max_stacks counters] averages accumulated
+    per-run counters; [max_stacks] are the per-run stack extents. *)
+val of_counters : nruns:int -> max_stacks:int list -> Impact_interp.Counters.t -> t
+
+(** [func_weight p fid] is the node weight, 0 when out of range. *)
+val func_weight : t -> int -> float
+
+(** [site_weight p site] is the arc weight, 0 when out of range — sites
+    created by inlining after profiling have no measured weight. *)
+val site_weight : t -> int -> float
+
+(** [to_string p] is a short human-readable summary. *)
+val to_string : t -> string

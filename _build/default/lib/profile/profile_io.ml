@@ -1,0 +1,116 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let magic = "impact-profile 1"
+
+let to_string (p : Profile.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "runs %d\n" p.Profile.nruns);
+  Buffer.add_string buf
+    (Printf.sprintf "totals %.17g %.17g %.17g %.17g %.17g %.17g\n" p.Profile.avg_ils
+       p.Profile.avg_cts p.Profile.avg_calls p.Profile.avg_returns
+       p.Profile.avg_ext_calls p.Profile.avg_max_stack);
+  Buffer.add_string buf
+    (Printf.sprintf "counts %d %d\n"
+       (Array.length p.Profile.func_weight)
+       (Array.length p.Profile.site_weight));
+  Array.iteri
+    (fun fid w ->
+      if w <> 0. then Buffer.add_string buf (Printf.sprintf "func %d %.17g\n" fid w))
+    p.Profile.func_weight;
+  Array.iteri
+    (fun site w ->
+      if w <> 0. then Buffer.add_string buf (Printf.sprintf "site %d %.17g\n" site w))
+    p.Profile.site_weight;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | header :: rest when String.equal header magic ->
+    let nruns = ref 0 in
+    let totals = ref None in
+    let sizes = ref None in
+    let funcs = ref [] in
+    let sites = ref [] in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "runs"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> nruns := n
+          | Some _ | None -> fail "bad run count %S" n)
+        | [ "totals"; a; b; c; d; e; f ] -> (
+          match List.map float_of_string_opt [ a; b; c; d; e; f ] with
+          | [ Some a; Some b; Some c; Some d; Some e; Some f ] ->
+            totals := Some (a, b, c, d, e, f)
+          | _ -> fail "bad totals line %S" line)
+        | [ "counts"; nf; ns ] -> (
+          match (int_of_string_opt nf, int_of_string_opt ns) with
+          | Some nf, Some ns when nf >= 0 && ns >= 0 -> sizes := Some (nf, ns)
+          | _, _ -> fail "bad counts line %S" line)
+        | [ "func"; fid; w ] -> (
+          match (int_of_string_opt fid, float_of_string_opt w) with
+          | Some fid, Some w when fid >= 0 -> funcs := (fid, w) :: !funcs
+          | _, _ -> fail "bad func line %S" line)
+        | [ "site"; id; w ] -> (
+          match (int_of_string_opt id, float_of_string_opt w) with
+          | Some id, Some w when id >= 0 -> sites := (id, w) :: !sites
+          | _, _ -> fail "bad site line %S" line)
+        | _ -> fail "unrecognised line %S" line)
+      rest;
+    let nf, ns =
+      match !sizes with
+      | Some sizes -> sizes
+      | None -> fail "missing counts line"
+    in
+    let a, b, c, d, e, f =
+      match !totals with
+      | Some t -> t
+      | None -> fail "missing totals line"
+    in
+    if !nruns = 0 then fail "missing runs line";
+    let func_weight = Array.make (max nf 1) 0. in
+    let site_weight = Array.make (max ns 1) 0. in
+    List.iter
+      (fun (fid, w) ->
+        if fid >= nf then fail "func id %d out of bounds %d" fid nf;
+        func_weight.(fid) <- w)
+      !funcs;
+    List.iter
+      (fun (id, w) ->
+        if id >= ns then fail "site id %d out of bounds %d" id ns;
+        site_weight.(id) <- w)
+      !sites;
+    {
+      Profile.nruns = !nruns;
+      func_weight;
+      site_weight;
+      avg_ils = a;
+      avg_cts = b;
+      avg_calls = c;
+      avg_returns = d;
+      avg_ext_calls = e;
+      avg_max_stack = f;
+    }
+  | _ -> fail "missing %S header" magic
+
+let save path p =
+  let oc = open_out path in
+  (try output_string oc (to_string p)
+   with exn ->
+     close_out_noerr oc;
+     raise exn);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

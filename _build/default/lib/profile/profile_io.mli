@@ -1,0 +1,33 @@
+(** Profile serialisation — the on-disk half of the paper's "IMPACT-I
+    Profiler to C Compiler interface", which "allows the profile
+    information to be automatically used by the IMPACT-I C Compiler".
+
+    The format is a line-oriented text file:
+
+    {v
+    impact-profile 1
+    runs <n>
+    totals <ils> <cts> <calls> <returns> <ext_calls> <max_stack>
+    func <fid> <weight>      (one line per non-zero node weight)
+    site <id> <weight>       (one line per non-zero arc weight)
+    v}
+
+    Weights are averages over the run set and may be fractional. *)
+
+(** Raised by {!of_string} on malformed input, with a description. *)
+exception Parse_error of string
+
+(** [to_string p] serialises a profile. *)
+val to_string : Profile.t -> string
+
+(** [of_string s] parses a serialised profile.
+    @raise Parse_error on malformed input. *)
+val of_string : string -> Profile.t
+
+(** [save path p] writes [to_string p] to [path]. *)
+val save : string -> Profile.t -> unit
+
+(** [load path] reads and parses a profile file.
+    @raise Parse_error on malformed content.
+    @raise Sys_error if the file cannot be read. *)
+val load : string -> Profile.t

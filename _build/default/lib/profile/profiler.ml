@@ -1,0 +1,19 @@
+module Machine = Impact_interp.Machine
+module Counters = Impact_interp.Counters
+
+type result = {
+  profile : Profile.t;
+  runs : Machine.outcome list;
+}
+
+let profile ?fuel (prog : Impact_il.Il.program) ~inputs =
+  if inputs = [] then invalid_arg "Profiler.profile: no inputs";
+  let runs = List.map (fun input -> Machine.run ?fuel prog ~input) inputs in
+  let acc =
+    Counters.create
+      ~nfuncs:(Array.length prog.Impact_il.Il.funcs)
+      ~nsites:prog.Impact_il.Il.next_site
+  in
+  List.iter (fun (o : Machine.outcome) -> Counters.add_into acc o.Machine.counters) runs;
+  let max_stacks = List.map (fun (o : Machine.outcome) -> o.Machine.max_stack) runs in
+  { profile = Profile.of_counters ~nruns:(List.length runs) ~max_stacks acc; runs }

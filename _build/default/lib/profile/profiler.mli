@@ -1,0 +1,18 @@
+(** Running a program over its input set to collect a profile.
+
+    This is the IMPACT-I "Profiler to C Compiler interface": the same
+    interpreter that measures final results also produces the node/arc
+    weights that drive inline expansion. *)
+
+(** The outcome of profiling: the averaged profile plus each run's raw
+    result, so callers can also check outputs or aggregate differently. *)
+type result = {
+  profile : Profile.t;
+  runs : Impact_interp.Machine.outcome list;
+}
+
+(** [profile ?fuel prog ~inputs] runs [prog] once per input and averages.
+    @raise Invalid_argument if [inputs] is empty.
+    @raise Impact_interp.Machine.Trap if a run traps. *)
+val profile :
+  ?fuel:int -> Impact_il.Il.program -> inputs:string list -> result

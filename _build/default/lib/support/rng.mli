@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator.
+
+    A splitmix64-style generator used by the workload generators and the
+    property-based test harness so that every experiment is reproducible
+    from a seed, independently of the OCaml [Random] state. *)
+
+type t
+
+(** [create seed] is a fresh generator.  Equal seeds yield equal streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [next t] is the next raw 62-bit non-negative value. *)
+val next : t -> int
+
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+val range : t -> int -> int -> int
+
+(** [bool t] is a uniform boolean. *)
+val bool : t -> bool
+
+(** [chance t num den] is true with probability [num/den]. *)
+val chance : t -> int -> int -> bool
+
+(** [choose t arr] is a uniformly chosen element of [arr].
+    @raise Invalid_argument on an empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [letter t] is a uniform lowercase ASCII letter. *)
+val letter : t -> char

@@ -1,0 +1,26 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+      /. float_of_int (List.length xs)
+    in
+    sqrt var
+
+let percent part whole = if whole = 0. then 0. else 100. *. part /. whole
+
+let ratio num den = if den = 0. then 0. else num /. den
+
+let geomean xs =
+  let pos = List.filter (fun x -> x > 0.) xs in
+  match pos with
+  | [] -> 0.
+  | _ ->
+    let s = List.fold_left (fun acc x -> acc +. log x) 0. pos in
+    exp (s /. float_of_int (List.length pos))

@@ -1,0 +1,21 @@
+(** Small numerical helpers for the experiment reports.
+
+    The paper reports per-benchmark values plus an AVG and SD row
+    (Table 4); these helpers compute exactly those aggregates. *)
+
+(** [mean xs] is the arithmetic mean; [0.] on the empty list. *)
+val mean : float list -> float
+
+(** [stddev xs] is the population standard deviation; [0.] on lists of
+    fewer than two elements. *)
+val stddev : float list -> float
+
+(** [percent part whole] is [100 * part / whole]; [0.] when [whole = 0]. *)
+val percent : float -> float -> float
+
+(** [ratio num den] is [num / den]; [0.] when [den = 0]. *)
+val ratio : float -> float -> float
+
+(** [geomean xs] is the geometric mean of the positive entries;
+    [0.] if none are positive. *)
+val geomean : float list -> float

@@ -1,0 +1,96 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let make n x = { data = Array.make n x; size = n }
+
+let length v = v.size
+
+let is_empty v = v.size = 0
+
+let check v i =
+  if i < 0 || i >= v.size then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds [0, %d)" i v.size)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+(* Doubling growth keeps [push] amortised O(1). *)
+let ensure v n =
+  let cap = Array.length v.data in
+  if n > cap then begin
+    let cap' = max n (max 8 (2 * cap)) in
+    let data = Array.make cap' v.data.(0) in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end
+
+let push v x =
+  if Array.length v.data = 0 then begin
+    v.data <- Array.make 8 x;
+    v.size <- 1
+  end else begin
+    ensure v (v.size + 1);
+    v.data.(v.size) <- x;
+    v.size <- v.size + 1
+  end
+
+let pop v =
+  if v.size = 0 then invalid_arg "Vec.pop: empty vector";
+  v.size <- v.size - 1;
+  v.data.(v.size)
+
+let last v =
+  if v.size = 0 then invalid_arg "Vec.last: empty vector";
+  v.data.(v.size - 1)
+
+let clear v = v.size <- 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let append v w = iter (push v) w
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to v.size - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.size && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_array v = Array.sub v.data 0 v.size
+
+let to_list v = Array.to_list (to_array v)
+
+let of_array a = { data = Array.copy a; size = Array.length a }
+
+let of_list l = of_array (Array.of_list l)
+
+let map f v =
+  if v.size = 0 then create ()
+  else begin
+    let data = Array.make v.size (f v.data.(0)) in
+    for i = 0 to v.size - 1 do
+      data.(i) <- f v.data.(i)
+    done;
+    { data; size = v.size }
+  end

@@ -1,0 +1,71 @@
+(** Growable arrays.
+
+    A thin, deterministic growable-array abstraction used throughout the
+    compiler for instruction buffers and work lists.  OCaml 5.1 predates
+    [Dynarray], so we provide our own. *)
+
+type 'a t
+
+(** [create ()] is an empty vector. *)
+val create : unit -> 'a t
+
+(** [make n x] is a vector holding [n] copies of [x]. *)
+val make : int -> 'a -> 'a t
+
+(** [length v] is the number of elements currently stored. *)
+val length : 'a t -> int
+
+(** [is_empty v] is [length v = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [get v i] is the [i]-th element.
+    @raise Invalid_argument if [i] is out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set v i x] replaces the [i]-th element.
+    @raise Invalid_argument if [i] is out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x] at the end. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+val pop : 'a t -> 'a
+
+(** [last v] is the last element without removing it.
+    @raise Invalid_argument on an empty vector. *)
+val last : 'a t -> 'a
+
+(** [clear v] removes all elements (capacity is retained). *)
+val clear : 'a t -> unit
+
+(** [append v w] pushes all elements of [w] onto [v], in order. *)
+val append : 'a t -> 'a t -> unit
+
+(** [iter f v] applies [f] to every element, in index order. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [iteri f v] is [iter] with the index passed first. *)
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+(** [fold_left f init v] folds over the elements in index order. *)
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** [exists p v] tests whether some element satisfies [p]. *)
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** [to_array v] is a fresh array with the same contents. *)
+val to_array : 'a t -> 'a array
+
+(** [to_list v] is the elements as a list, in index order. *)
+val to_list : 'a t -> 'a list
+
+(** [of_array a] is a vector with the contents of [a]. *)
+val of_array : 'a array -> 'a t
+
+(** [of_list l] is a vector with the contents of [l]. *)
+val of_list : 'a list -> 'a t
+
+(** [map f v] is a fresh vector of the images of the elements under [f]. *)
+val map : ('a -> 'b) -> 'a t -> 'b t

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Hashtbl Impact_bench_progs Impact_core Impact_harness Impact_il Impact_interp List Printf String Testutil

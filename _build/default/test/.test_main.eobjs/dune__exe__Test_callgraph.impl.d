@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Alcotest Array Impact_bench_progs Impact_callgraph Impact_il Impact_profile List Option String Testutil

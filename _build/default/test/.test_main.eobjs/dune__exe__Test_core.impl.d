@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Impact_callgraph Impact_core Impact_il Impact_profile List Option Testutil

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Impact_bench_progs Impact_cfront List Testutil

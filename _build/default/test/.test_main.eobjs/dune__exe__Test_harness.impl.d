@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Impact_bench_progs Impact_harness Impact_il Impact_profile Impact_support List Option String Testutil

@@ -1,0 +1,1 @@
+test/test_il.ml: Alcotest Array Hashtbl Impact_il List Option String Testutil

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Impact_core Impact_il Impact_interp Impact_opt Impact_profile List Printf Testutil

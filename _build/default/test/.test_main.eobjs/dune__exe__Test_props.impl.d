@@ -1,0 +1,1 @@
+test/test_props.ml: Gen Impact_cfront Impact_core Impact_il Impact_interp Impact_opt Impact_profile Impact_support List QCheck QCheck_alcotest String Test Testutil

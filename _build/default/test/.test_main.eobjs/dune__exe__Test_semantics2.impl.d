@@ -1,0 +1,1 @@
+test/test_semantics2.ml: Alcotest Gen Impact_support List Printf QCheck QCheck_alcotest String Test Testutil

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Impact_support List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_weights.ml: Alcotest Array Float Impact_bench_progs Impact_core Impact_il Impact_opt Impact_profile List Option Printf Testutil

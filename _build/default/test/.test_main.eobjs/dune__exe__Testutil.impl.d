@@ -1,0 +1,1 @@
+test/testutil.ml: Array Buffer Impact_il Impact_interp Impact_support List Printf

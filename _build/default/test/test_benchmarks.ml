@@ -1,0 +1,221 @@
+(* Integration tests over the twelve-benchmark suite: every program
+   compiles, validates, runs without trapping on its whole input set,
+   matches its oracle where one exists, and survives the full
+   profile-inline-re-measure pipeline with identical outputs. *)
+
+module Il = Impact_il.Il
+module Machine = Impact_interp.Machine
+module Benchmark = Impact_bench_progs.Benchmark
+module Suite = Impact_bench_progs.Suite
+module Pipeline = Impact_harness.Pipeline
+module Classify = Impact_core.Classify
+
+let test_all_present () =
+  Alcotest.(check int) "twelve benchmarks" 12 (List.length Suite.all);
+  Alcotest.(check (list string)) "paper's suite"
+    [ "cccp"; "cmp"; "compress"; "eqn"; "espresso"; "grep"; "lex"; "make";
+      "tar"; "tee"; "wc"; "yacc" ]
+    Suite.names
+
+let test_inputs_deterministic () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      Alcotest.(check bool)
+        (b.Benchmark.name ^ " inputs are reproducible")
+        true
+        (b.Benchmark.inputs () = b.Benchmark.inputs ()))
+    Suite.all
+
+let compile_bench (b : Benchmark.t) = Testutil.compile b.Benchmark.source
+
+let test_compile_and_validate () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let prog = compile_bench b in
+      match Impact_il.Il_check.check prog with
+      | Ok () -> ()
+      | Error errs ->
+        Alcotest.fail (b.Benchmark.name ^ ": " ^ String.concat "; " errs))
+    Suite.all
+
+let test_runs_clean () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let prog = compile_bench b in
+      List.iter
+        (fun input ->
+          let o = Machine.run prog ~input in
+          (* cmp and grep have diff-like exit conventions: 1 is a normal
+             "differences found" / "no match" result, not a failure. *)
+          let ok_codes =
+            match b.Benchmark.name with
+            | "cmp" | "grep" -> [ 0; 1 ]
+            | _ -> [ 0 ]
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s exit code %d acceptable" b.Benchmark.name
+               o.Machine.exit_code)
+            true
+            (List.mem o.Machine.exit_code ok_codes);
+          match Benchmark.expected_output b input with
+          | Some expected ->
+            Alcotest.(check string)
+              (b.Benchmark.name ^ " matches its oracle")
+              expected o.Machine.output
+          | None -> ())
+        (b.Benchmark.inputs ()))
+    Suite.all
+
+let shapes = Hashtbl.create 16
+
+let pipeline name =
+  match Hashtbl.find_opt shapes name with
+  | Some r -> r
+  | None ->
+    let r = Pipeline.run (Suite.find name) in
+    Hashtbl.add shapes name r;
+    r
+
+let test_pipeline_preserves_outputs () =
+  List.iter
+    (fun name ->
+      let r = pipeline name in
+      Alcotest.(check bool) (name ^ " outputs unchanged") true r.Pipeline.outputs_match)
+    Suite.names
+
+let test_paper_shape_zero_rows () =
+  (* wc and tee: the paper's 0%/0% rows. *)
+  List.iter
+    (fun name ->
+      let r = pipeline name in
+      Alcotest.(check (float 0.01)) (name ^ " code unchanged") 0.
+        (Pipeline.code_increase r);
+      Alcotest.(check (float 0.01)) (name ^ " calls unchanged") 0.
+        (Pipeline.call_decrease r))
+    [ "wc"; "tee" ]
+
+let test_paper_shape_call_intensive () =
+  (* The call-intensive programs must eliminate most dynamic calls. *)
+  List.iter
+    (fun name ->
+      let r = pipeline name in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s eliminates >60%% of calls (got %.0f%%)" name
+           (Pipeline.call_decrease r))
+        true
+        (Pipeline.call_decrease r > 60.))
+    [ "grep"; "compress"; "yacc"; "lex"; "espresso" ]
+
+let test_paper_shape_moderate () =
+  List.iter
+    (fun name ->
+      let r = pipeline name in
+      let dec = Pipeline.call_decrease r in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in the moderate band (got %.0f%%)" name dec)
+        true
+        (dec > 20. && dec < 90.))
+    [ "cccp"; "cmp"; "make"; "tar"; "eqn" ]
+
+let test_paper_shape_code_growth_bounded () =
+  List.iter
+    (fun name ->
+      let r = pipeline name in
+      (* The selector bounds growth on its size *estimates*; the splice
+         also adds parameter moves and the jump-in/jump-out pair, so the
+         realised growth can exceed the 20%% bound by a small margin. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s grows by at most the configured bound (got %.0f%%)" name
+           (Pipeline.code_increase r))
+        true
+        (Pipeline.code_increase r <= 25.))
+    Suite.names
+
+let test_pointer_class_present () =
+  (* espresso is the benchmark with calls through pointers. *)
+  let r = pipeline "espresso" in
+  let s = Classify.static_summary r.Pipeline.classified in
+  Alcotest.(check bool) "espresso has pointer sites" true (s.Classify.pointer > 0)
+
+let test_unsafe_class_present_everywhere () =
+  (* The paper's key static observation: cold (unsafe) sites abound. *)
+  List.iter
+    (fun name ->
+      let r = pipeline name in
+      let s = Classify.static_summary r.Pipeline.classified in
+      if name <> "tee" then
+        Alcotest.(check bool) (name ^ " has unsafe sites") true (s.Classify.unsafe > 0))
+    Suite.names
+
+let test_no_dead_function_removal () =
+  (* Every benchmark calls externals, so the conservative rule forbids
+     deleting the original copies of inlined functions. *)
+  List.iter
+    (fun name ->
+      let r = pipeline name in
+      Alcotest.(check int) (name ^ " deletes nothing") 0
+        r.Pipeline.inliner.Impact_core.Inliner.dead_removed)
+    Suite.names
+
+let tests =
+  [
+    Alcotest.test_case "suite is the paper's twelve" `Quick test_all_present;
+    Alcotest.test_case "inputs deterministic" `Quick test_inputs_deterministic;
+    Alcotest.test_case "all compile and validate" `Quick test_compile_and_validate;
+    Alcotest.test_case "all run clean on every input" `Slow test_runs_clean;
+    Alcotest.test_case "pipeline preserves outputs" `Slow test_pipeline_preserves_outputs;
+    Alcotest.test_case "shape: wc/tee zero rows" `Slow test_paper_shape_zero_rows;
+    Alcotest.test_case "shape: call-intensive programs" `Slow
+      test_paper_shape_call_intensive;
+    Alcotest.test_case "shape: moderate programs" `Slow test_paper_shape_moderate;
+    Alcotest.test_case "shape: code growth bounded" `Slow
+      test_paper_shape_code_growth_bounded;
+    Alcotest.test_case "pointer class present" `Slow test_pointer_class_present;
+    Alcotest.test_case "unsafe class everywhere" `Slow
+      test_unsafe_class_present_everywhere;
+    Alcotest.test_case "no dead-function removal" `Slow test_no_dead_function_removal;
+  ]
+
+(* Golden summaries: each benchmark's final bracketed report line on its
+   first input, locking in determinism of both the workload generators
+   and the interpreter across changes. *)
+let golden_summaries =
+  [
+    ("cccp", "[cccp: 2 macros, 50 expansions]");
+    ("cmp", "[cmp: 1 diffs over 5876 bytes]");
+    ("compress", "[compress: 19114 -> 7636]");
+    ("eqn", "[eqn: 150 eqs, width 2548, height 1, errors 0]");
+    ("espresso", "[espresso: 160 -> 1 cubes, 159 reductions, 1 literals]");
+    ("grep", "[grep: 43 of 250 lines]");
+    ("lex", "[lex: 0 4284 772 0 7160 longest 10]");
+    ("make", "[make: 101 targets, 72 rebuilt, 0 cycles]");
+    ("tar", "[tar: 10 members, 30 blocks, 7965 bytes]");
+    ("tee", "[tee: 3419 bytes]");
+    ("wc", "300 2755 16402");
+    ("yacc", "[yacc: 2100 shifts, 975 reduces, 0 errors, sum 838392550]");
+  ]
+
+let summary_of output =
+  (* The final bracketed report, or the last non-empty line. *)
+  match String.rindex_opt output '[' with
+  | Some i -> String.trim (String.sub output i (String.length output - i))
+  | None -> (
+    match
+      List.rev
+        (List.filter (fun l -> l <> "") (String.split_on_char '\n' output))
+    with
+    | last :: _ -> last
+    | [] -> "")
+
+let test_golden_summaries () =
+  List.iter
+    (fun (name, expected) ->
+      let b = Suite.find name in
+      let prog = compile_bench b in
+      let input = List.hd (b.Benchmark.inputs ()) in
+      let o = Machine.run prog ~input in
+      Alcotest.(check string) (name ^ " summary") expected (summary_of o.Machine.output))
+    golden_summaries
+
+let tests =
+  tests @ [ Alcotest.test_case "golden summaries" `Quick test_golden_summaries ]

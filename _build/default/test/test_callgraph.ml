@@ -1,0 +1,284 @@
+(* Call graph, SCC, and reachability tests. *)
+
+module Il = Impact_il.Il
+module Scc = Impact_callgraph.Scc
+module Callgraph = Impact_callgraph.Callgraph
+module Reach = Impact_callgraph.Reach
+module Profiler = Impact_profile.Profiler
+
+let graph_of ?(inputs = [ "" ]) src =
+  let prog = Testutil.compile src in
+  let { Profiler.profile; _ } = Profiler.profile prog ~inputs in
+  Callgraph.build prog profile
+
+let fid g name = (Option.get (Il.find_func g.Callgraph.prog name)).Il.fid
+
+let test_scc_line () =
+  (* 0 -> 1 -> 2: three singleton components. *)
+  let succ = function 0 -> [ 1 ] | 1 -> [ 2 ] | _ -> [] in
+  let r = Scc.compute ~n:3 ~succ in
+  Alcotest.(check int) "three components" 3 r.Scc.count;
+  Alcotest.(check bool) "no cycles" false
+    (List.exists (Scc.on_cycle r ~self_loop:(fun _ -> false)) [ 0; 1; 2 ])
+
+let test_scc_cycle () =
+  (* 0 -> 1 -> 2 -> 0 plus a tail 3. *)
+  let succ = function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 0; 3 ] | _ -> [] in
+  let r = Scc.compute ~n:4 ~succ in
+  Alcotest.(check int) "two components" 2 r.Scc.count;
+  Alcotest.(check bool) "cycle detected" true
+    (Scc.on_cycle r ~self_loop:(fun _ -> false) 0);
+  Alcotest.(check bool) "tail is acyclic" false
+    (Scc.on_cycle r ~self_loop:(fun _ -> false) 3);
+  Alcotest.(check int) "0,1,2 in one component" r.Scc.component.(0) r.Scc.component.(1)
+
+let test_scc_self_loop () =
+  let succ = function 0 -> [ 0 ] | _ -> [] in
+  let r = Scc.compute ~n:2 ~succ in
+  Alcotest.(check bool) "self loop is a cycle" true
+    (Scc.on_cycle r ~self_loop:(fun v -> v = 0) 0)
+
+let test_scc_deep_chain () =
+  (* 100k-node chain: must not blow the OCaml stack. *)
+  let n = 100_000 in
+  let succ v = if v + 1 < n then [ v + 1 ] else [] in
+  let r = Scc.compute ~n ~succ in
+  Alcotest.(check int) "all singletons" n r.Scc.count
+
+let test_arcs_are_sites () =
+  let g =
+    graph_of
+      {|
+int leaf(int x) { return x; }
+int mid(int x) { return leaf(x) + leaf(x + 1); }
+int main() { return mid(1); }
+|}
+  in
+  Alcotest.(check int) "three arcs" 3 (Callgraph.arc_count g);
+  let to_leaf =
+    List.filter
+      (fun a -> a.Callgraph.a_callee = Callgraph.To_func (fid g "leaf"))
+      g.Callgraph.arcs
+  in
+  Alcotest.(check int) "two parallel arcs to leaf" 2 (List.length to_leaf);
+  let ids = List.map (fun a -> a.Callgraph.a_id) to_leaf in
+  Alcotest.(check bool) "parallel arcs have distinct ids" true
+    (List.length (List.sort_uniq compare ids) = 2)
+
+let test_weights_from_profile () =
+  let g =
+    graph_of
+      {|
+int tick(int x) { return x + 1; }
+int main() { int i, s = 0; for (i = 0; i < 25; i++) s = tick(s); return s & 0; }
+|}
+  in
+  let arc = List.find (fun a -> a.Callgraph.a_callee <> Callgraph.To_ext) g.Callgraph.arcs in
+  Alcotest.(check (float 0.01)) "arc weight = 25 calls" 25. arc.Callgraph.a_weight;
+  Alcotest.(check (float 0.01)) "node weight of tick" 25.
+    g.Callgraph.node_weight.(fid g "tick")
+
+let test_recursion_detection () =
+  let g =
+    graph_of
+      {|
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int ping(int n);
+int pong(int n) { return n == 0 ? 0 : ping(n - 1); }
+int ping(int n) { return n == 0 ? 1 : pong(n - 1); }
+int straight(int x) { return x; }
+int main() { return fib(5) + ping(4) + straight(1); }
+|}
+  in
+  Alcotest.(check bool) "self recursion" true (Callgraph.is_simple_recursive g (fid g "fib"));
+  Alcotest.(check bool) "fib on a cycle" true (Callgraph.is_recursive g (fid g "fib"));
+  Alcotest.(check bool) "mutual recursion is a cycle" true
+    (Callgraph.is_recursive g (fid g "ping"));
+  Alcotest.(check bool) "ping is not simple recursion" false
+    (Callgraph.is_simple_recursive g (fid g "ping"));
+  Alcotest.(check bool) "straight-line code has no cycle" false
+    (Callgraph.is_recursive g (fid g "straight"))
+
+let test_external_conservatism () =
+  (* A function calling an external is conservatively on a cycle, because
+     $$$ may call anything — including its caller. *)
+  let g =
+    graph_of
+      {|
+extern int getchar();
+int reads() { return getchar(); }
+int pure(int x) { return x * 2; }
+int main() { return reads() + pure(2); }
+|}
+  in
+  Alcotest.(check bool) "graph has external calls" true g.Callgraph.has_external_call;
+  Alcotest.(check bool) "extern-calling function on conservative cycle" true
+    (Callgraph.is_recursive g (fid g "reads"));
+  Alcotest.(check bool) "pure leaf stays acyclic" false
+    (Callgraph.is_recursive g (fid g "pure"))
+
+let test_pointer_targets () =
+  (* Without externals, ### reaches exactly the address-taken set. *)
+  let g =
+    graph_of
+      {|
+int a(int x) { return x; }
+int b(int x) { return x + 1; }
+int main() { int (*fp)(int) = a; return fp(1) + b(2); }
+|}
+  in
+  let names = List.map (fun f -> (g.Callgraph.prog.Il.funcs.(f)).Il.name) g.Callgraph.pointer_targets in
+  Alcotest.(check (list string)) "targets = address-taken" [ "a" ] names;
+  (* With an external call anywhere, ### widens to every function. *)
+  let g2 =
+    graph_of
+      {|
+extern int getchar();
+int a(int x) { return x; }
+int b(int x) { return x + getchar(); }
+int main() { int (*fp)(int) = a; return fp(1) + b(2); }
+|}
+  in
+  Alcotest.(check int) "targets widen to all functions" 3
+    (List.length g2.Callgraph.pointer_targets)
+
+let test_reachability () =
+  (* No externals: an uncalled function is removable. *)
+  let g =
+    graph_of
+      {|
+int used(int x) { return x; }
+int unused(int x) { return x + 1; }
+int main() { return used(1); }
+|}
+  in
+  let removed = Reach.eliminate g in
+  Alcotest.(check int) "one function removed" 1 removed;
+  Alcotest.(check bool) "unused is dead" false
+    (Option.is_some (Il.find_func g.Callgraph.prog "unused"));
+  (* With externals: nothing may be removed (the paper's rule). *)
+  let g2 =
+    graph_of
+      {|
+extern int getchar();
+int used(int x) { return x + getchar(); }
+int unused(int x) { return x + 1; }
+int main() { return used(1); }
+|}
+  in
+  Alcotest.(check int) "externals forbid deletion" 0 (Reach.eliminate g2)
+
+let tests =
+  [
+    Alcotest.test_case "scc: chain" `Quick test_scc_line;
+    Alcotest.test_case "scc: cycle" `Quick test_scc_cycle;
+    Alcotest.test_case "scc: self loop" `Quick test_scc_self_loop;
+    Alcotest.test_case "scc: deep chain (iterative)" `Quick test_scc_deep_chain;
+    Alcotest.test_case "arcs are call sites" `Quick test_arcs_are_sites;
+    Alcotest.test_case "weights from profile" `Quick test_weights_from_profile;
+    Alcotest.test_case "recursion detection" `Quick test_recursion_detection;
+    Alcotest.test_case "external conservatism" `Quick test_external_conservatism;
+    Alcotest.test_case "pointer target sets" `Quick test_pointer_targets;
+    Alcotest.test_case "reachability / dead functions" `Quick test_reachability;
+  ]
+
+(* ---- inter-procedural pointer-callee analysis (§2.5) ---- *)
+
+module Ptr_analysis = Impact_callgraph.Ptr_analysis
+
+let test_ptr_analysis_direct_flow () =
+  (* fp receives exactly one function; the site's callee set is that
+     singleton even though another function is also address-taken. *)
+  let prog =
+    Testutil.compile
+      {|
+int a(int x) { return x; }
+int b(int x) { return x + 1; }
+int (*spare)(int) = b;
+int main() { int (*fp)(int) = a; return fp(1); }
+|}
+  in
+  let result = Ptr_analysis.analyze prog in
+  let name fid = prog.Il.funcs.(fid).Il.name in
+  let site =
+    List.concat_map Il.sites_of (Array.to_list prog.Il.funcs)
+    |> List.find (fun s -> s.Il.s_kind = Il.Through_pointer)
+  in
+  Alcotest.(check (list string)) "singleton callee set" [ "a" ]
+    (List.map name (Ptr_analysis.targets result site.Il.s_id));
+  Alcotest.(check (list string)) "memory bucket holds the stored one" [ "b" ]
+    (List.map name result.Ptr_analysis.memory_bucket)
+
+let test_ptr_analysis_through_table () =
+  (* Loading from a table yields the memory bucket: both entries. *)
+  let prog =
+    Testutil.compile
+      {|
+int a(int x) { return x; }
+int b(int x) { return x + 1; }
+int unrelated(int x) { return x * 2; }
+int (*tab[2])(int) = { a, b };
+int main() { return tab[0](1) + tab[1](2) + unrelated(3); }
+|}
+  in
+  let result = Ptr_analysis.analyze prog in
+  let name fid = prog.Il.funcs.(fid).Il.name in
+  List.iter
+    (fun (s : Il.site) ->
+      if s.Il.s_kind = Il.Through_pointer then
+        Alcotest.(check (list string)) "table loads see both entries" [ "a"; "b" ]
+          (List.map name (Ptr_analysis.targets result s.Il.s_id)))
+    (List.concat_map Il.sites_of (Array.to_list prog.Il.funcs))
+
+let test_ptr_analysis_through_argument () =
+  (* A function pointer passed as an argument reaches the callee's
+     indirect call. *)
+  let prog =
+    Testutil.compile
+      {|
+int sq(int x) { return x * x; }
+int apply(int (*f)(int), int v) { return f(v); }
+int main() { return apply(sq, 4); }
+|}
+  in
+  let result = Ptr_analysis.analyze prog in
+  let name fid = prog.Il.funcs.(fid).Il.name in
+  let site =
+    List.concat_map Il.sites_of (Array.to_list prog.Il.funcs)
+    |> List.find (fun s -> s.Il.s_kind = Il.Through_pointer)
+  in
+  Alcotest.(check (list string)) "argument flow" [ "sq" ]
+    (List.map name (Ptr_analysis.targets result site.Il.s_id))
+
+let test_refined_graph_shrinks_ptr_node () =
+  (* espresso dispatches through a two-entry strategy table; the refined
+     ### node reaches exactly those two functions, not all twenty-odd. *)
+  let bench = Impact_bench_progs.Suite.find "espresso" in
+  let prog = Testutil.compile bench.Impact_bench_progs.Benchmark.source in
+  let { Profiler.profile; _ } =
+    Profiler.profile prog ~inputs:(bench.Impact_bench_progs.Benchmark.inputs ())
+  in
+  let worst = Callgraph.build prog profile in
+  let refined = Callgraph.build ~refine_pointer_targets:true prog profile in
+  let names g =
+    List.map (fun fid -> prog.Il.funcs.(fid).Il.name) g.Callgraph.pointer_targets
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string)) "refined to the strategy table"
+    [ "weight_first"; "weight_size" ] (names refined);
+  Alcotest.(check bool) "worst case is every function" true
+    (List.length worst.Callgraph.pointer_targets
+    > List.length refined.Callgraph.pointer_targets)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "ptr analysis: direct flow" `Quick
+        test_ptr_analysis_direct_flow;
+      Alcotest.test_case "ptr analysis: table loads" `Quick
+        test_ptr_analysis_through_table;
+      Alcotest.test_case "ptr analysis: argument flow" `Quick
+        test_ptr_analysis_through_argument;
+      Alcotest.test_case "ptr analysis: refined ### node" `Quick
+        test_refined_graph_shrinks_ptr_node;
+    ]

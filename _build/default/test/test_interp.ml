@@ -1,0 +1,335 @@
+(* Interpreter tests: language semantics end to end (compile + run). *)
+
+module Machine = Impact_interp.Machine
+
+let out ?input src = Testutil.run_output ?input src
+
+let check_out name expected ?input src =
+  Alcotest.(check string) name expected (out ?input src)
+
+let check_main name expected body =
+  check_out name expected (Testutil.main_printing body)
+
+let test_arithmetic () =
+  check_main "precedence" "14" "print_int(2 + 3 * 4); return 0;";
+  check_main "division truncates toward zero" "-2" "print_int(-7 / 3); return 0;";
+  check_main "mod sign follows dividend" "-1" "print_int(-7 % 3); return 0;";
+  check_main "shifts" "40" "print_int(5 << 3); return 0;";
+  check_main "arithmetic shift right" "-2" "print_int(-8 >> 2); return 0;";
+  check_main "bitwise" "6" "print_int((12 & 7) | 2); return 0;";
+  check_main "unary" "5" "print_int(-(-5)); return 0;";
+  check_main "complement" "-1" "print_int(~0); return 0;"
+
+let test_comparisons_logic () =
+  check_main "comparison yields 0/1" "10" "print_int((3 < 4) + (4 <= 4) + (5 > 4) + (5 >= 5) + (1 == 1) + (1 != 2) + (4 < 3) + 4); return 0;";
+  check_main "short-circuit and skips rhs" "0;1"
+    "int x = 0; int r = (0 && (x = 1)); print_int(r); putchar(';'); \
+     r = (1 && 1); print_int(r); return 0;";
+  check_main "short-circuit or skips rhs" "1"
+    "int x = 5; int r = (1 || (x = 9)); print_int(x == 5 && r); return 0;";
+  check_main "logical not" "1" "print_int(!0); return 0;"
+
+let test_control_flow () =
+  check_main "if/else chain" "2"
+    "int x = 15; if (x < 10) print_int(1); else if (x < 20) print_int(2); else print_int(3); return 0;";
+  check_main "while" "45"
+    "int i = 0, s = 0; while (i < 10) { s += i; i++; } print_int(s); return 0;";
+  check_main "do-while runs once" "1"
+    "int n = 0; do { n++; } while (0); print_int(n); return 0;";
+  check_main "for with break/continue" "12"
+    "int i, s = 0; for (i = 0; i < 100; i++) { if (i % 2) continue; if (i > 6) break; s += i; } print_int(s); return 0;";
+  check_main "nested loop break is inner-only" "9"
+    "int i, j, c = 0; for (i = 0; i < 3; i++) { for (j = 0; j < 5; j++) { if (j == 3) break; c++; } } print_int(c); return 0;"
+
+let test_switch () =
+  let src =
+    {|
+extern int print_int(int n);
+int classify(int v) {
+  int r = 0;
+  switch (v) {
+    case 1:
+    case 2: r = 10; break;
+    case 3: r = 20;  /* falls through */
+    case 4: r += 1; break;
+    default: r = -1;
+  }
+  return r;
+}
+int main() {
+  print_int(classify(1)); print_int(classify(2)); print_int(classify(3));
+  print_int(classify(4)); print_int(classify(9));
+  return 0;
+}
+|}
+  in
+  check_out "switch with fallthrough and default" "1010211-1" src
+
+let test_ternary_comma () =
+  check_main "ternary" "7" "int x = 3; print_int(x > 2 ? 7 : 9); return 0;";
+  check_main "ternary evaluates one side" "1;5"
+    "int x = 5; int r = 1 ? 1 : (x = 99); print_int(r); putchar(';'); print_int(x); return 0;";
+  check_main "comma" "4" "int x; x = (1, 2, 4); print_int(x); return 0;"
+
+let test_incdec () =
+  check_main "postfix yields old value" "3;4"
+    "int x = 3; print_int(x++); putchar(';'); print_int(x); return 0;";
+  check_main "prefix yields new value" "4;4"
+    "int x = 3; print_int(++x); putchar(';'); print_int(x); return 0;";
+  check_main "compound assignment value" "12"
+    "int x = 4; print_int(x *= 3); return 0;"
+
+let test_pointers_arrays () =
+  check_out "pointer arithmetic walks elements" "30"
+    {|
+extern int print_int(int n);
+int a[5];
+int main() {
+  int *p = a, i, s = 0;
+  for (i = 0; i < 5; i++) a[i] = i * 3;
+  for (i = 0; i < 5; i++) s += *(p + i);
+  print_int(s);
+  return 0;
+}
+|};
+  check_out "pointer difference counts elements" "3"
+    {|
+extern int print_int(int n);
+int a[10];
+int main() { int *p = a + 7; int *q = a + 4; print_int(p - q); return 0; }
+|};
+  check_out "address-of local" "42"
+    {|
+extern int print_int(int n);
+void set(int *out) { *out = 42; }
+int main() { int v = 0; set(&v); print_int(v); return 0; }
+|};
+  check_out "char pointers are byte-grained" "bc"
+    {|
+extern int putchar(int c);
+char s[4];
+int main() {
+  char *p = s;
+  s[0] = 'a'; s[1] = 'b'; s[2] = 'c';
+  p++;
+  putchar(*p);
+  putchar(p[1]);
+  return 0;
+}
+|}
+
+let test_char_semantics () =
+  check_main "char stores truncate to a byte" "44"
+    "char c; c = 300; print_int(c); return 0;";
+  check_main "char assignment value is converted" "44"
+    "char c; print_int(c = 300); return 0;";
+  check_out "string literals are NUL-terminated" "5"
+    {|
+extern int print_int(int n);
+char *msg = "hello";
+int my_strlen(char *s) { int n = 0; while (*s++) n++; return n; }
+int main() { print_int(my_strlen(msg)); return 0; }
+|}
+
+let test_structs () =
+  check_out "struct fields and pointers" "7;9"
+    {|
+extern int print_int(int n);
+extern int putchar(int c);
+struct pair { int a; char tag; int b; };
+void bump(struct pair *p) { p->b = p->a + 2; }
+int main() {
+  struct pair x;
+  x.a = 7; x.tag = 't';
+  bump(&x);
+  print_int(x.a); putchar(';'); print_int(x.b);
+  return 0;
+}
+|};
+  check_out "array of structs" "6"
+    {|
+extern int print_int(int n);
+struct cell { int v; char pad; };
+struct cell cells[3];
+int main() {
+  int i, s = 0;
+  for (i = 0; i < 3; i++) cells[i].v = i + 1;
+  for (i = 0; i < 3; i++) s += cells[i].v;
+  print_int(s);
+  return 0;
+}
+|}
+
+let test_function_pointers () =
+  check_out "call through pointer, both spellings" "25;25"
+    {|
+extern int print_int(int n);
+extern int putchar(int c);
+int sq(int x) { return x * x; }
+int main() {
+  int (*fp)(int) = sq;
+  print_int(fp(5)); putchar(';'); print_int((*fp)(5));
+  return 0;
+}
+|};
+  check_out "function pointer table from initialiser" "3;8"
+    {|
+extern int print_int(int n);
+extern int putchar(int c);
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int (*ops[2])(int, int) = { add, mul };
+int main() { print_int(ops[0](1, 2)); putchar(';'); print_int(ops[1](2, 4)); return 0; }
+|}
+
+let test_recursion () =
+  check_out "recursion" "120"
+    {|
+extern int print_int(int n);
+int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+int main() { print_int(fact(5)); return 0; }
+|};
+  check_out "mutual recursion" "1;0"
+    {|
+extern int print_int(int n);
+extern int putchar(int c);
+int is_odd(int n);
+int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+int main() { print_int(is_even(10)); putchar(';'); print_int(is_even(7)); return 0; }
+|}
+
+let test_globals () =
+  check_out "global initialisers" "1;2;104;0"
+    {|
+extern int print_int(int n);
+extern int putchar(int c);
+int a = 1;
+int tbl[3] = { 2, 3, 4 };
+char text[] = "hi";
+int zero;
+int main() {
+  print_int(a); putchar(';');
+  print_int(tbl[0]); putchar(';');
+  print_int(text[0] + 0); putchar(';');
+  print_int(zero);
+  return 0;
+}
+|}
+
+let test_externals () =
+  Alcotest.(check string) "getchar/putchar copy" "xyz"
+    (out ~input:"xyz"
+       {|
+extern int getchar();
+extern int putchar(int c);
+int main() { int c; while ((c = getchar()) != -1) putchar(c); return 0; }
+|});
+  Alcotest.(check string) "read fills a buffer" "5:abcde"
+    (out ~input:"abcde"
+       {|
+extern int read(char *buf, int n);
+extern int write(char *buf, int n);
+extern int print_int(int n);
+extern int putchar(int c);
+char buf[16];
+int main() { int n = read(buf, 16); print_int(n); putchar(':'); write(buf, n); return 0; }
+|});
+  let o =
+    Testutil.run
+      {|
+extern char *malloc(int n);
+extern int print_int(int n);
+int main() {
+  int *p = (int*) malloc(80);
+  int i, s = 0;
+  for (i = 0; i < 10; i++) p[i] = i;
+  for (i = 0; i < 10; i++) s += p[i];
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "malloc memory is usable" "45" o.Machine.output
+
+let test_exit_code () =
+  let o =
+    Testutil.run
+      {|
+extern void exit(int code);
+int main() { exit(3); return 0; }
+|}
+  in
+  Alcotest.(check int) "exit() sets the code" 3 o.Machine.exit_code;
+  let o = Testutil.run "int main() { return 7; }" in
+  Alcotest.(check int) "main's return is the code" 7 o.Machine.exit_code
+
+let expect_trap name src =
+  match Testutil.run src with
+  | exception Machine.Trap _ -> ()
+  | _ -> Alcotest.fail ("expected a trap: " ^ name)
+
+let test_traps () =
+  expect_trap "division by zero"
+    "int main() { int z = 0; return 1 / z; }";
+  expect_trap "null dereference" "int main() { int *p = 0; return *p; }";
+  expect_trap "stack overflow"
+    "int f(int n) { int big[512]; big[0] = n; return f(n + 1) + big[0]; }\n\
+     int main() { return f(0); }";
+  expect_trap "bad indirect call"
+    "int main() { int (*fp)(int) = (int (*)(int)) 12345; return fp(1); }"
+
+let test_fuel () =
+  match
+    Machine.run ~fuel:1000 (Testutil.compile "int main() { while (1) { } return 0; }")
+      ~input:""
+  with
+  | exception Machine.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected Out_of_fuel on an infinite loop"
+
+let test_counters () =
+  let o =
+    Testutil.run
+      {|
+int noop(int x) { return x; }
+int main() { int i, s = 0; for (i = 0; i < 10; i++) s += noop(i); return s & 0; }
+|}
+  in
+  let c = o.Machine.counters in
+  Alcotest.(check int) "10 calls + returns" 10 c.Impact_interp.Counters.calls;
+  Alcotest.(check int) "returns = calls + main" 11 c.Impact_interp.Counters.returns;
+  Alcotest.(check bool) "ILs counted" true (c.Impact_interp.Counters.ils > 50);
+  Alcotest.(check bool) "CTs exclude calls" true
+    (c.Impact_interp.Counters.cts < c.Impact_interp.Counters.ils)
+
+let test_max_stack () =
+  let o =
+    Testutil.run
+      {|
+int deep(int n) { int pad[8]; pad[0] = n; return n == 0 ? pad[0] : deep(n - 1); }
+int main() { return deep(10) & 0; }
+|}
+  in
+  Alcotest.(check bool) "recursion grows the stack" true (o.Machine.max_stack > 10 * 64)
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons and logic" `Quick test_comparisons_logic;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "switch" `Quick test_switch;
+    Alcotest.test_case "ternary and comma" `Quick test_ternary_comma;
+    Alcotest.test_case "increment/decrement" `Quick test_incdec;
+    Alcotest.test_case "pointers and arrays" `Quick test_pointers_arrays;
+    Alcotest.test_case "char semantics" `Quick test_char_semantics;
+    Alcotest.test_case "structs" `Quick test_structs;
+    Alcotest.test_case "function pointers" `Quick test_function_pointers;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "global initialisers" `Quick test_globals;
+    Alcotest.test_case "externals" `Quick test_externals;
+    Alcotest.test_case "exit codes" `Quick test_exit_code;
+    Alcotest.test_case "runtime traps" `Quick test_traps;
+    Alcotest.test_case "fuel limit" `Quick test_fuel;
+    Alcotest.test_case "dynamic counters" `Quick test_counters;
+    Alcotest.test_case "stack tracking" `Quick test_max_stack;
+  ]

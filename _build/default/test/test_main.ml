@@ -1,0 +1,19 @@
+(* Aggregated test runner for the whole repository. *)
+
+let () =
+  Alcotest.run "impact"
+    [
+      ("support", Test_support.tests);
+      ("frontend", Test_frontend.tests);
+      ("il", Test_il.tests);
+      ("interp", Test_interp.tests);
+      ("semantics2", Test_semantics2.tests);
+      ("opt", Test_opt.tests);
+      ("callgraph", Test_callgraph.tests);
+      ("core", Test_core.tests);
+      ("properties", Test_props.tests);
+      ("benchmarks", Test_benchmarks.tests);
+      ("harness", Test_harness.tests);
+      ("extensions", Test_extensions.tests);
+      ("weights", Test_weights.tests);
+    ]

@@ -1,0 +1,209 @@
+(* Second semantics batch: C corner cases and an arithmetic oracle that
+   checks the whole compile+execute path against OCaml's own integer
+   semantics. *)
+
+module Rng = Impact_support.Rng
+
+let out ?input src = Testutil.run_output ?input src
+
+let check_out name expected ?input src =
+  Alcotest.(check string) name expected (out ?input src)
+
+let test_symmetric_indexing () =
+  (* C's i[p] spelling. *)
+  check_out "i[p] equals p[i]" "7"
+    {|
+extern int print_int(int n);
+int a[4];
+int main() { a[2] = 7; print_int(2[a]); return 0; }
+|}
+
+let test_cast_to_char_masks () =
+  check_out "cast truncates like a byte store" "44;255"
+    {|
+extern int print_int(int n);
+extern int putchar(int c);
+int main() { print_int((char) 300); putchar(';'); print_int((char) -1); return 0; }
+|}
+
+let test_sizeof_forms () =
+  check_out "sizeof arrays, pointers, structs" "40;8;16;1;8"
+    {|
+extern int print_int(int n);
+extern int putchar(int c);
+struct s { char c; int n; };
+int arr[5];
+int main() {
+  int *p = arr;
+  print_int(sizeof arr); putchar(';');
+  print_int(sizeof p); putchar(';');
+  print_int(sizeof(struct s)); putchar(';');
+  print_int(sizeof(char)); putchar(';');
+  print_int(sizeof(int(*)(int)));
+  return 0;
+}
+|}
+
+let test_nested_structs () =
+  check_out "struct containing struct and array" "5;6;9"
+    {|
+extern int print_int(int n);
+extern int putchar(int c);
+struct inner { int v; char tag; };
+struct outer { struct inner first; int xs[3]; struct inner second; };
+struct outer o;
+int main() {
+  o.first.v = 5;
+  o.xs[1] = 6;
+  o.second.v = o.first.v + 4;
+  print_int(o.first.v); putchar(';');
+  print_int(o.xs[1]); putchar(';');
+  print_int(o.second.v);
+  return 0;
+}
+|}
+
+let test_struct_array_walk () =
+  check_out "pointer walk over struct array" "30"
+    {|
+extern int print_int(int n);
+struct cell { int v; int pad; };
+struct cell cells[5];
+int main() {
+  struct cell *p;
+  int s = 0, i;
+  for (i = 0; i < 5; i++) cells[i].v = (i + 1) * 2;
+  for (p = cells; p < cells + 5; p++) s += p->v;
+  print_int(s);
+  return 0;
+}
+|}
+
+let test_comma_in_for () =
+  check_out "comma expressions in for header" "9"
+    {|
+extern int print_int(int n);
+int main() {
+  int i, j, s = 0;
+  for (i = 0, j = 3; i < 3; i++, j--) s += i + j;
+  print_int(s);
+  return 0;
+}
+|}
+
+let test_logical_on_pointers () =
+  check_out "pointers are truthy scalars" "1;0;1"
+    {|
+extern int print_int(int n);
+extern int putchar(int c);
+int g;
+int main() {
+  int *p = &g;
+  int *q = 0;
+  print_int(p && 1); putchar(';');
+  print_int(q && 1); putchar(';');
+  print_int(!q);
+  return 0;
+}
+|}
+
+let test_string_pointer_global () =
+  check_out "global char* initialiser and indexing" "el"
+    {|
+extern int putchar(int c);
+char *msg = "hello";
+int main() { putchar(msg[1]); putchar(*(msg + 2)); return 0; }
+|}
+
+let test_global_cross_reference () =
+  check_out "global initialised with another global's address" "9"
+    {|
+extern int print_int(int n);
+int cell;
+int *alias = &cell;
+int main() { *alias = 9; print_int(cell); return 0; }
+|}
+
+let test_deep_expression () =
+  (* Deeply right-nested expression: parser recursion depth. *)
+  let n = 200 in
+  let expr = String.concat "" (List.init n (fun _ -> "(1 + ")) ^ "0"
+             ^ String.concat "" (List.init n (fun _ -> ")")) in
+  check_out "200-deep nesting" (string_of_int n)
+    (Printf.sprintf "extern int print_int(int n);\nint main() { print_int(%s); return 0; }" expr)
+
+let test_switch_no_default () =
+  check_out "switch without default falls past" "0"
+    {|
+extern int print_int(int n);
+int main() { int r = 0; switch (9) { case 1: r = 1; } print_int(r); return 0; }
+|}
+
+let test_negative_switch_case () =
+  check_out "negative case labels" "ok"
+    {|
+extern int print_str(char *s);
+int main() { switch (0 - 3) { case -3: print_str("ok"); break; default: print_str("no"); } return 0; }
+|}
+
+(* Oracle: the same random (op, a, b) computed by the compiled C program
+   and natively in OCaml, which shares two's-complement semantics for
+   these operators on the interpreter's int domain. *)
+let oracle_eval op a b =
+  match op with
+  | "+" -> Some (a + b)
+  | "-" -> Some (a - b)
+  | "*" -> Some (a * b)
+  | "/" -> if b = 0 then None else Some (a / b)
+  | "%" -> if b = 0 then None else Some (a mod b)
+  | "&" -> Some (a land b)
+  | "|" -> Some (a lor b)
+  | "^" -> Some (a lxor b)
+  | "<<" -> Some (a lsl (b land 63))
+  | ">>" -> Some (a asr (b land 63))
+  | "<" -> Some (if a < b then 1 else 0)
+  | "==" -> Some (if a = b then 1 else 0)
+  | _ -> None
+
+let arith_oracle_prop =
+  let open QCheck in
+  let gen =
+    Gen.(
+      triple
+        (oneofl [ "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "<<"; ">>"; "<"; "==" ])
+        (int_range (-10000) 10000)
+        (int_range (-10000) 10000))
+  in
+  Test.make ~count:150 ~name:"compiled arithmetic matches the OCaml oracle"
+    (make ~print:(fun (op, a, b) -> Printf.sprintf "%d %s %d" a op b) gen)
+    (fun (op, a, b) ->
+      let b = if (op = "<<" || op = ">>") && (b < 0 || b > 62) then b land 31 else b in
+      match oracle_eval op a b with
+      | None -> true
+      | Some expected ->
+        let src =
+          Printf.sprintf
+            "extern int print_int(int n);\n\
+             int lhs = %d;\n\
+             int rhs = %d;\n\
+             int main() { print_int(lhs %s rhs); return 0; }" a b op
+        in
+        String.equal (string_of_int expected) (Testutil.run_output src))
+
+let tests =
+  [
+    Alcotest.test_case "symmetric indexing" `Quick test_symmetric_indexing;
+    Alcotest.test_case "cast to char masks" `Quick test_cast_to_char_masks;
+    Alcotest.test_case "sizeof forms" `Quick test_sizeof_forms;
+    Alcotest.test_case "nested structs" `Quick test_nested_structs;
+    Alcotest.test_case "struct array pointer walk" `Quick test_struct_array_walk;
+    Alcotest.test_case "comma in for header" `Quick test_comma_in_for;
+    Alcotest.test_case "pointers as booleans" `Quick test_logical_on_pointers;
+    Alcotest.test_case "char* global indexing" `Quick test_string_pointer_global;
+    Alcotest.test_case "global address cross-reference" `Quick
+      test_global_cross_reference;
+    Alcotest.test_case "deep expression nesting" `Quick test_deep_expression;
+    Alcotest.test_case "switch without default" `Quick test_switch_no_default;
+    Alcotest.test_case "negative case labels" `Quick test_negative_switch_case;
+    QCheck_alcotest.to_alcotest arith_oracle_prop;
+  ]

@@ -1,0 +1,124 @@
+(* Unit and property tests for the support library. *)
+
+module Vec = Impact_support.Vec
+module Rng = Impact_support.Rng
+module Stats = Impact_support.Stats
+
+let check_int = Alcotest.(check int)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh vector is empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get 7" 49 (Vec.get v 7);
+  check_int "last" (99 * 99) (Vec.last v);
+  Vec.set v 7 (-1);
+  check_int "set/get" (-1) (Vec.get v 7)
+
+let test_vec_pop_clear () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check_int "pop" 3 (Vec.pop v);
+  check_int "length after pop" 2 (Vec.length v);
+  Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Vec.is_empty v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty vector")
+    (fun () -> ignore (Vec.pop v))
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index 3 out of bounds [0, 1)") (fun () ->
+      ignore (Vec.get v 3))
+
+let test_vec_conversions () =
+  let v = Vec.of_array [| 5; 6; 7 |] in
+  Alcotest.(check (list int)) "to_list" [ 5; 6; 7 ] (Vec.to_list v);
+  Alcotest.(check (array int)) "to_array" [| 5; 6; 7 |] (Vec.to_array v);
+  let w = Vec.map (fun x -> x * 2) v in
+  Alcotest.(check (list int)) "map" [ 10; 12; 14 ] (Vec.to_list w);
+  Vec.append v w;
+  Alcotest.(check (list int)) "append" [ 5; 6; 7; 10; 12; 14 ] (Vec.to_list v)
+
+let test_vec_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check_int "fold_left sum" 10 (Vec.fold_left ( + ) 0 v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check (list (pair int int)))
+    "iteri order"
+    [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+    (List.rev !seen);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 in
+  let b = Rng.create 7 in
+  for _ = 1 to 50 do
+    check_int "same seed, same stream" (Rng.next a) (Rng.next b)
+  done;
+  let c = Rng.copy a in
+  check_int "copy continues the stream" (Rng.next a) (Rng.next c)
+
+let test_rng_ranges () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let y = Rng.range rng (-5) 5 in
+    Alcotest.(check bool) "range inclusive" true (y >= -5 && y <= 5)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 99 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_stats_mean_stddev () =
+  check_float "mean empty" 0. (Stats.mean []);
+  check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "stddev singleton" 0. (Stats.stddev [ 5. ]);
+  (* population SD of 2,4,4,4,5,5,7,9 is exactly 2 *)
+  check_float "stddev known" 2. (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ]);
+  check_float "percent" 25. (Stats.percent 1. 4.);
+  check_float "percent of zero" 0. (Stats.percent 1. 0.);
+  check_float "ratio" 2.5 (Stats.ratio 5. 2.);
+  check_float "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ])
+
+let props =
+  let open QCheck in
+  [
+    Test.make ~name:"vec: of_list/to_list roundtrip" (small_list int) (fun l ->
+        Vec.to_list (Vec.of_list l) = l);
+    Test.make ~name:"rng: chance 0 never fires" small_int (fun seed ->
+        let rng = Rng.create seed in
+        not (Rng.chance rng 0 10));
+    Test.make ~name:"stats: stddev is non-negative" (small_list (float_bound_exclusive 100.))
+      (fun xs -> Stats.stddev xs >= 0.);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "vec push/get/set" `Quick test_vec_push_get;
+    Alcotest.test_case "vec pop/clear" `Quick test_vec_pop_clear;
+    Alcotest.test_case "vec bounds checking" `Quick test_vec_bounds;
+    Alcotest.test_case "vec conversions" `Quick test_vec_conversions;
+    Alcotest.test_case "vec iteration/folding" `Quick test_vec_iter_fold;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "stats aggregates" `Quick test_stats_mean_stddev;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest props

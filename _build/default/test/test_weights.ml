@@ -1,0 +1,136 @@
+(* Tests for post-expansion arc-weight propagation (§2.2): predicted
+   weights must track a genuine re-profile. *)
+
+module Il = Impact_il.Il
+module Profile = Impact_profile.Profile
+module Profiler = Impact_profile.Profiler
+module Inliner = Impact_core.Inliner
+module Weights = Impact_core.Weights
+
+let setup ?(config = Impact_core.Config.default) ?(inputs = [ "" ]) src =
+  let prog = Testutil.compile src in
+  let { Profiler.profile; _ } = Profiler.profile prog ~inputs in
+  let report = Inliner.run ~config prog profile in
+  let predicted =
+    Weights.after_expansion profile report.Inliner.program
+      report.Inliner.expansion
+  in
+  let { Profiler.profile = actual; _ } =
+    Profiler.profile report.Inliner.program ~inputs
+  in
+  (report, predicted, actual)
+
+let roomy = { Impact_core.Config.default with program_size_limit_ratio = 5.0 }
+
+let check_sites_close label (prog : Il.program) predicted actual =
+  Array.iter
+    (fun (f : Il.func) ->
+      if f.Il.alive then
+        List.iter
+          (fun (s : Il.site) ->
+            let p = Profile.site_weight predicted s.Il.s_id in
+            let a = Profile.site_weight actual s.Il.s_id in
+            if Float.abs (p -. a) > 0.01 +. (0.05 *. Float.max p a) then
+              Alcotest.failf "%s: site %d in %s predicted %.2f, measured %.2f" label
+                s.Il.s_id f.Il.name p a)
+          (Il.sites_of f))
+    prog.Il.funcs
+
+let test_single_level () =
+  (* A chain where inner is called only through outer: the proportional
+     estimate is exact. *)
+  let src =
+    {|
+extern int putchar(int c);
+int inner(int x) { putchar('i' & 0); return x + 1; }
+int outer(int x) { return inner(x) * 2; }
+int main() { int i, s = 0; for (i = 0; i < 40; i++) s += outer(i); putchar('0' + (s & 1)); return 0; }
+|}
+  in
+  let report, predicted, actual = setup ~config:roomy src in
+  Alcotest.(check bool) "something was expanded" true
+    (report.Inliner.expansion.Impact_core.Expand.expansions <> []);
+  check_sites_close "single level" report.Inliner.program predicted actual
+
+let test_nested_copies () =
+  (* outer absorbs inner, then main absorbs outer: the copies of copies
+     exercise the ordered propagation. *)
+  let src =
+    {|
+int inner(int x) { return x + 1; }
+int outer(int x) { return inner(x) + inner(x + 1); }
+int main() { int i, s = 0; for (i = 0; i < 60; i++) s += outer(i); return s & 0; }
+|}
+  in
+  let report, predicted, actual = setup ~config:roomy src in
+  Alcotest.(check bool) "nested expansions happened" true
+    (List.length report.Inliner.expansion.Impact_core.Expand.expansions >= 2);
+  check_sites_close "nested" report.Inliner.program predicted actual
+
+let test_expanded_sites_zeroed () =
+  let src =
+    {|
+int hot(int x) { return x * 2; }
+int main() { int i, s = 0; for (i = 0; i < 30; i++) s += hot(i); return s & 0; }
+|}
+  in
+  let report, predicted, _ = setup ~config:roomy src in
+  List.iter
+    (fun (via, _, _) ->
+      Alcotest.(check (float 0.)) "expanded arc weight is zero" 0.
+        (Profile.site_weight predicted via))
+    report.Inliner.expansion.Impact_core.Expand.expansions
+
+let test_node_weight_reduced () =
+  let src =
+    {|
+int hot(int x) { return x * 2; }
+int cold_caller(int x) { return hot(x) + 1; }
+int main() { int i, s = 0; for (i = 0; i < 30; i++) s += hot(i); s += cold_caller(s); return s & 0; }
+|}
+  in
+  let report, predicted, actual = setup ~config:roomy src in
+  let hot = Option.get (Il.find_func report.Inliner.program "hot") in
+  (* main's 30 calls were absorbed; cold_caller's single call remains. *)
+  Alcotest.(check (float 0.01)) "predicted node weight" 1.
+    (Profile.func_weight predicted hot.Il.fid);
+  Alcotest.(check (float 0.01)) "matches re-profile"
+    (Profile.func_weight actual hot.Il.fid)
+    (Profile.func_weight predicted hot.Il.fid)
+
+let test_on_benchmark () =
+  (* The whole yacc pipeline: predictions within tolerance of re-profile
+     for every surviving site. *)
+  let bench = Impact_bench_progs.Suite.find "yacc" in
+  let prog = Testutil.compile bench.Impact_bench_progs.Benchmark.source in
+  let _ = Impact_opt.Driver.pre_inline prog in
+  let inputs = bench.Impact_bench_progs.Benchmark.inputs () in
+  let { Profiler.profile; _ } = Profiler.profile prog ~inputs in
+  let report = Inliner.run prog profile in
+  let predicted =
+    Weights.after_expansion profile report.Inliner.program
+      report.Inliner.expansion
+  in
+  let { Profiler.profile = actual; _ } =
+    Profiler.profile report.Inliner.program ~inputs
+  in
+  (* Aggregate check: total predicted call volume within 10% of measured
+     (the proportional estimate cannot be exact for context-dependent
+     callees). *)
+  let total p =
+    Array.fold_left ( +. ) 0. p.Profile.site_weight
+  in
+  let p = total predicted and a = total actual in
+  Alcotest.(check bool)
+    (Printf.sprintf "total arc weight predicted %.0f vs measured %.0f" p a)
+    true
+    (Float.abs (p -. a) <= 0.10 *. a)
+
+let tests =
+  [
+    Alcotest.test_case "single-level propagation is exact" `Quick test_single_level;
+    Alcotest.test_case "copies of copies" `Quick test_nested_copies;
+    Alcotest.test_case "expanded arcs zeroed" `Quick test_expanded_sites_zeroed;
+    Alcotest.test_case "callee node weight reduced" `Quick test_node_weight_reduced;
+    Alcotest.test_case "benchmark-scale aggregate accuracy" `Slow test_on_benchmark;
+  ]
