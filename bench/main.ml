@@ -4,6 +4,7 @@
    Usage:
      dune exec bench/main.exe              tables 1-4 + residual mix + timings
      dune exec bench/main.exe tables       tables only
+     dune exec bench/main.exe tables-json  tables 1-4 + aggregates as JSON
      dune exec bench/main.exe ablation     the five ablation sweeps
      dune exec bench/main.exe icache       the instruction-cache extension
      dune exec bench/main.exe speed        Bechamel microbenchmarks only *)
@@ -116,6 +117,9 @@ let print_icache () =
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
   | "tables" -> ignore (print_tables ())
+  | "tables-json" ->
+    let results = Pipeline.run_suite () in
+    print_endline (Impact_obs.Sink.json_to_string (Report.to_json results))
   | "ablation" -> print_ablations ()
   | "icache" -> print_icache ()
   | "speed" ->
@@ -129,5 +133,6 @@ let () =
     print_icache ();
     run_speed results
   | other ->
-    Printf.eprintf "unknown mode '%s' (expected tables|ablation|icache|speed)\n" other;
+    Printf.eprintf
+      "unknown mode '%s' (expected tables|tables-json|ablation|icache|speed)\n" other;
     exit 2

@@ -1,0 +1,120 @@
+(* bench/smoke — observability smoke test seeding the perf trajectory.
+
+   Runs one small benchmark through the full pipeline with tracing
+   enabled, re-parses the emitted JSONL (so an encoder regression fails
+   the build), checks structural invariants (balanced spans, one
+   decision per call-graph arc), and writes a BENCH_obs.json summary:
+   per-stage wall-clock timings plus the benchmark's headline numbers.
+
+   Usage: smoke.exe [--bench NAME] [--trace FILE] [--out FILE]
+   Built by `dune build @bench-smoke`. *)
+
+module Pipeline = Impact_harness.Pipeline
+module Suite = Impact_bench_progs.Suite
+module Obs = Impact_obs.Obs
+module Sink = Impact_obs.Sink
+module Callgraph = Impact_callgraph.Callgraph
+module Inliner = Impact_core.Inliner
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("smoke: " ^ msg); exit 1) fmt
+
+let () =
+  let bench_name = ref "cmp" in
+  let trace_file = ref "smoke_trace.jsonl" in
+  let out_file = ref "BENCH_obs.json" in
+  let rec parse_args = function
+    | [] -> ()
+    | "--bench" :: v :: rest -> bench_name := v; parse_args rest
+    | "--trace" :: v :: rest -> trace_file := v; parse_args rest
+    | "--out" :: v :: rest -> out_file := v; parse_args rest
+    | arg :: _ -> fail "unknown argument '%s'" arg
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let bench =
+    try Suite.find !bench_name with Not_found -> fail "unknown benchmark '%s'" !bench_name
+  in
+  (* 1. Run the pipeline with a JSONL sink. *)
+  let oc = open_out !trace_file in
+  let obs = Obs.create (Sink.jsonl oc) in
+  let r = Pipeline.run ~obs bench in
+  Obs.finish obs;
+  close_out oc;
+  (* 2. Re-parse every line: the trace must be valid JSONL. *)
+  let ic = open_in !trace_file in
+  let events = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Sink.event_of_line line with
+         | ev -> events := ev :: !events
+         | exception Sink.Parse_error msg -> fail "invalid JSONL line: %s (%s)" line msg
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let events = List.rev !events in
+  if events = [] then fail "trace is empty";
+  (* 3. Structural invariants. *)
+  let count p = List.length (List.filter p events) in
+  let begins = count (fun e -> e.Sink.ev_kind = "span_begin") in
+  let ends = count (fun e -> e.Sink.ev_kind = "span_end") in
+  if begins <> ends then fail "unbalanced spans: %d begin, %d end" begins ends;
+  let decisions = count (fun e -> e.Sink.ev_kind = "decision") in
+  let arcs = Callgraph.arc_count r.Pipeline.inliner.Inliner.graph in
+  if decisions <> arcs then
+    fail "decision log covers %d arcs, call graph has %d" decisions arcs;
+  (* 4. Per-stage timings from span_end durations. *)
+  let stages = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Sink.event) ->
+      if e.Sink.ev_kind = "span_end" then begin
+        let dur =
+          match Sink.mem "dur_ms" (Sink.Obj e.Sink.ev_attrs) with
+          | Sink.Float x -> x
+          | Sink.Int n -> float_of_int n
+          | _ -> 0.
+        in
+        let prev = try Hashtbl.find stages e.Sink.ev_name with Not_found -> 0. in
+        Hashtbl.replace stages e.Sink.ev_name (prev +. dur)
+      end)
+    events;
+  let stages_json =
+    Hashtbl.fold (fun k v acc -> (k, Sink.Float v) :: acc) stages []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let verdicts verdict =
+    count (fun e ->
+        e.Sink.ev_kind = "decision"
+        && Sink.mem "verdict" (Sink.Obj e.Sink.ev_attrs) = Sink.String verdict)
+  in
+  let summary =
+    Sink.Obj
+      [
+        ("benchmark", Sink.String !bench_name);
+        ("events", Sink.Int (List.length events));
+        ("stages_ms", Sink.Obj stages_json);
+        ( "decisions",
+          Sink.Obj
+            [
+              ("total", Sink.Int decisions);
+              ("selected", Sink.Int (verdicts "selected"));
+              ("rejected", Sink.Int (verdicts "rejected"));
+              ("not_expandable", Sink.Int (verdicts "not_expandable"));
+            ] );
+        ( "aggregates",
+          Sink.Obj
+            [
+              ("code_increase_pct", Sink.Float (Pipeline.code_increase r));
+              ("call_decrease_pct", Sink.Float (Pipeline.call_decrease r));
+              ("size_before", Sink.Int r.Pipeline.inliner.Inliner.size_before);
+              ("size_after", Sink.Int r.Pipeline.inliner.Inliner.size_after);
+              ("outputs_match", Sink.Bool r.Pipeline.outputs_match);
+            ] );
+      ]
+  in
+  let out = open_out !out_file in
+  output_string out (Sink.json_to_string summary);
+  output_char out '\n';
+  close_out out;
+  Printf.printf "bench-smoke ok: %s, %d events, %d decisions -> %s\n" !bench_name
+    (List.length events) decisions !out_file

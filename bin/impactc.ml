@@ -48,6 +48,51 @@ let with_frontend_errors f =
 let source_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file")
 
+(* Observability: --trace/--metrics-out build an Obs context over a
+   JSONL (or, metrics-only, in-memory) sink; with neither flag the
+   context is Obs.null and behaviour is byte-identical to before. *)
+
+module Obs = Impact_obs.Obs
+module Sink = Impact_obs.Sink
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL event trace (spans, metrics, decision log) to $(docv)")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the final counter/gauge snapshot as JSON to $(docv)")
+
+let with_obs ~trace ~metrics_out f =
+  match (trace, metrics_out) with
+  | None, None -> f Obs.null
+  | _ ->
+    let open_or_die path =
+      try open_out path
+      with Sys_error msg ->
+        Printf.eprintf "cannot open trace file: %s\n" msg;
+        exit 1
+    in
+    let oc = Option.map open_or_die trace in
+    let sink =
+      match oc with Some oc -> Sink.jsonl oc | None -> Sink.memory ()
+    in
+    let obs = Obs.create sink in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Obs.finish ?metrics_out obs
+         with Sys_error msg ->
+           Printf.eprintf "cannot write metrics file: %s\n" msg;
+           exit 1);
+        Option.iter close_out oc)
+      (fun () -> f obs)
+
 let input_arg =
   Arg.(
     value
@@ -109,19 +154,25 @@ let il_cmd =
 (* run *)
 
 let run_cmd =
-  let run src input optimize =
+  let run src input optimize trace metrics_out =
     with_frontend_errors (fun () ->
-        let prog = Lower.lower_source (read_file src) in
-        if optimize then ignore (Impact_opt.Driver.pre_inline prog);
-        let stdin_data = match input with Some f -> read_file f | None -> "" in
-        let outcome = Machine.run prog ~input:stdin_data in
-        print_string outcome.Machine.output;
-        Printf.eprintf "[exit %d; %s]\n" outcome.Machine.exit_code
-          (Impact_interp.Counters.summary outcome.Machine.counters);
-        exit outcome.Machine.exit_code)
+        with_obs ~trace ~metrics_out (fun obs ->
+            let prog =
+              Obs.span obs "lower" (fun () -> Lower.lower_source (read_file src))
+            in
+            if optimize then
+              ignore
+                (Obs.span obs "pre_opt" (fun () -> Impact_opt.Driver.pre_inline prog));
+            let stdin_data = match input with Some f -> read_file f | None -> "" in
+            let outcome = Machine.run ~obs prog ~input:stdin_data in
+            print_string outcome.Machine.output;
+            Printf.eprintf "[exit %d; %s]\n" outcome.Machine.exit_code
+              (Impact_interp.Counters.summary outcome.Machine.counters);
+            outcome.Machine.exit_code)
+        |> exit)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a C file")
-    Term.(const run $ source_arg $ input_arg $ optimize_arg)
+    Term.(const run $ source_arg $ input_arg $ optimize_arg $ trace_arg $ metrics_out_arg)
 
 (* profile *)
 
@@ -167,10 +218,13 @@ let profile_cmd =
 (* inline *)
 
 let inline_cmd =
-  let run src inputs profile_file =
+  let run src inputs profile_file trace metrics_out =
     with_frontend_errors (fun () ->
-        let prog = Lower.lower_source (read_file src) in
-        ignore (Impact_opt.Driver.pre_inline prog);
+        with_obs ~trace ~metrics_out (fun obs ->
+        let prog =
+          Obs.span obs "lower" (fun () -> Lower.lower_source (read_file src))
+        in
+        ignore (Obs.span obs "pre_opt" (fun () -> Impact_opt.Driver.pre_inline prog));
         let profile =
           match profile_file with
           | Some path -> Impact_profile.Profile_io.load path
@@ -178,9 +232,10 @@ let inline_cmd =
             let inputs =
               match inputs with [] -> [ "" ] | files -> List.map read_file files
             in
-            (Profiler.profile prog ~inputs).Profiler.profile
+            Obs.span obs "profile" (fun () ->
+                (Profiler.profile ~obs prog ~inputs).Profiler.profile)
         in
-        let report = Inliner.run prog profile in
+        let report = Obs.span obs "inline" (fun () -> Inliner.run ~obs prog profile) in
         Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
           report.Inliner.size_before report.Inliner.size_after
           (100.
@@ -195,11 +250,12 @@ let inline_cmd =
         Printf.printf
           "call sites: %d total (%d external, %d pointer, %d unsafe, %d safe)\n"
           counts.Classify.total counts.Classify.external_ counts.Classify.pointer
-          counts.Classify.unsafe counts.Classify.safe)
+          counts.Classify.unsafe counts.Classify.safe))
   in
   Cmd.v
     (Cmd.info "inline" ~doc:"Profile-guided inline expansion of a C program")
-    Term.(const run $ source_arg $ inputs_arg $ profile_file_arg)
+    Term.(const run $ source_arg $ inputs_arg $ profile_file_arg $ trace_arg
+          $ metrics_out_arg)
 
 (* bench *)
 
@@ -213,13 +269,30 @@ let bench_cmd =
             (Printf.sprintf "Benchmark name (one of: %s)"
                (String.concat ", " Impact_bench_progs.Suite.names)))
   in
-  let run name =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the benchmark's table rows (Report.to_json) to $(docv)")
+  in
+  let run name trace metrics_out json =
     match Impact_bench_progs.Suite.find name with
     | exception Not_found ->
       Printf.eprintf "unknown benchmark '%s'\n" name;
       exit 1
     | bench ->
-      let r = Impact_harness.Pipeline.run bench in
+      let r =
+        with_obs ~trace ~metrics_out (fun obs ->
+            Impact_harness.Pipeline.run ~obs bench)
+      in
+      (match json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Sink.json_to_string (Impact_harness.Report.to_json [ r ]));
+        output_char oc '\n';
+        close_out oc
+      | None -> ());
       Printf.printf "%s: code %+.0f%%, calls -%.0f%%, outputs match: %b\n"
         name
         (Impact_harness.Pipeline.code_increase r)
@@ -227,11 +300,60 @@ let bench_cmd =
         r.Impact_harness.Pipeline.outputs_match
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
-    Term.(const run $ name_arg)
+    Term.(const run $ name_arg $ trace_arg $ metrics_out_arg $ json_arg)
+
+(* Default command: the full observed pipeline over a user C file —
+   `impactc --trace t.jsonl --metrics-out m.json -O file.c` compiles,
+   profiles, inlines and re-profiles, with every stage in its own
+   span. *)
+
+let default_term =
+  let run src inputs optimize trace metrics_out =
+    match src with
+    | None -> `Help (`Pager, None)
+    | Some src ->
+      with_frontend_errors (fun () ->
+          let source = read_file src in
+          let bench =
+            {
+              Benchmark.name = Filename.basename src;
+              description = "user program";
+              source;
+              inputs =
+                (fun () ->
+                  match inputs with
+                  | [] -> [ "" ]
+                  | files -> List.map read_file files);
+            }
+          in
+          let r =
+            with_obs ~trace ~metrics_out (fun obs ->
+                Impact_harness.Pipeline.run ~obs ~pre_opt:optimize bench)
+          in
+          Printf.printf "%s\n" (Profile.to_string r.Impact_harness.Pipeline.profile);
+          Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
+            r.Impact_harness.Pipeline.inliner.Inliner.size_before
+            r.Impact_harness.Pipeline.inliner.Inliner.size_after
+            (Impact_harness.Pipeline.code_increase r);
+          Printf.printf "dynamic calls: %.0f -> %.0f per run (-%.0f%%)\n"
+            r.Impact_harness.Pipeline.profile.Profile.avg_calls
+            r.Impact_harness.Pipeline.post_profile.Profile.avg_calls
+            (Impact_harness.Pipeline.call_decrease r);
+          Printf.printf "outputs match: %b\n" r.Impact_harness.Pipeline.outputs_match);
+      `Ok ()
+  in
+  let opt_source_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file")
+  in
+  Term.(
+    ret
+      (const run $ opt_source_arg $ inputs_arg $ optimize_arg $ trace_arg
+     $ metrics_out_arg))
 
 let () =
   let doc = "profile-guided inline function expansion for C (PLDI 1989)" in
   let info = Cmd.info "impactc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ parse_cmd; il_cmd; run_cmd; profile_cmd; inline_cmd; bench_cmd ]))
+       (Cmd.group ~default:default_term info
+          [ parse_cmd; il_cmd; run_cmd; profile_cmd; inline_cmd; bench_cmd ]))

@@ -31,8 +31,33 @@ let classify_arc (g : Callgraph.t) (config : Config.t) (a : Callgraph.arc) =
       Unsafe Low_weight
     else Safe
 
-let classify g config =
-  List.map (fun a -> { c_arc = a; c_kind = classify_arc g config a }) g.Callgraph.arcs
+let classify ?(obs = Impact_obs.Obs.null) ?(stage = "classify") g config =
+  let cs =
+    List.map (fun a -> { c_arc = a; c_kind = classify_arc g config a }) g.Callgraph.arcs
+  in
+  if Impact_obs.Obs.enabled obs then begin
+    let count p = List.length (List.filter p cs) in
+    let ext = count (fun c -> c.c_kind = External) in
+    let ptr = count (fun c -> c.c_kind = Pointer) in
+    let uns = count (fun c -> match c.c_kind with Unsafe _ -> true | _ -> false) in
+    let safe = count (fun c -> c.c_kind = Safe) in
+    Impact_obs.Obs.gauge_int obs (stage ^ ".total") (List.length cs);
+    Impact_obs.Obs.gauge_int obs (stage ^ ".external") ext;
+    Impact_obs.Obs.gauge_int obs (stage ^ ".pointer") ptr;
+    Impact_obs.Obs.gauge_int obs (stage ^ ".unsafe") uns;
+    Impact_obs.Obs.gauge_int obs (stage ^ ".safe") safe;
+    Impact_obs.Obs.instant obs ~kind:"classify"
+      ~attrs:
+        [
+          ("total", Impact_obs.Sink.Int (List.length cs));
+          ("external", Impact_obs.Sink.Int ext);
+          ("pointer", Impact_obs.Sink.Int ptr);
+          ("unsafe", Impact_obs.Sink.Int uns);
+          ("safe", Impact_obs.Sink.Int safe);
+        ]
+      stage
+  end;
+  cs
 
 type summary = {
   total : int;

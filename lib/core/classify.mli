@@ -26,8 +26,17 @@ type classified = {
   c_kind : kind;
 }
 
-(** [classify g config] classifies every arc of the graph. *)
+(** [classify_arc g config a] is the class of one arc. *)
+val classify_arc :
+  Impact_callgraph.Callgraph.t -> Config.t -> Impact_callgraph.Callgraph.arc -> kind
+
+(** [classify ?obs ?stage g config] classifies every arc of the graph.
+    With an enabled [obs] context it records per-class arc counts as
+    gauges named [<stage>.external] … [<stage>.safe] ([stage] defaults
+    to ["classify"]) and emits one ["classify"] event. *)
 val classify :
+  ?obs:Impact_obs.Obs.t ->
+  ?stage:string ->
   Impact_callgraph.Callgraph.t -> Config.t -> classified list
 
 (** Aggregate counts for one program. *)

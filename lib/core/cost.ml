@@ -26,26 +26,53 @@ let estimates_of (prog : Il.program) ~ratio =
     program_limit = int_of_float (ratio *. float_of_int program_size);
   }
 
-let infinity = Float.infinity
+type hazard =
+  | Special_node
+  | Self_recursion
+  | Recursive_stack
+  | Below_threshold
+  | Func_size_limit
+  | Program_size_limit
 
-let cost (g : Callgraph.t) (config : Config.t) est (a : Callgraph.arc) =
+type verdict =
+  | Accept of int
+  | Reject of hazard
+
+let hazard_name = function
+  | Special_node -> "special_node"
+  | Self_recursion -> "self_recursion"
+  | Recursive_stack -> "stack_bound"
+  | Below_threshold -> "weight_threshold"
+  | Func_size_limit -> "func_size_limit"
+  | Program_size_limit -> "program_growth_ratio"
+
+let evaluate (g : Callgraph.t) (config : Config.t) est (a : Callgraph.arc) =
   match a.Callgraph.a_callee with
-  | Callgraph.To_ext | Callgraph.To_ptr -> infinity
+  | Callgraph.To_ext | Callgraph.To_ptr -> Reject Special_node
   | Callgraph.To_func callee ->
-    if callee = a.Callgraph.a_caller then infinity
+    if callee = a.Callgraph.a_caller then Reject Self_recursion
     else if
       Callgraph.is_recursive g callee
       && est.func_stack.(callee) > config.Config.stack_bound
-    then infinity
-    else if a.Callgraph.a_weight < config.Config.weight_threshold then infinity
+    then Reject Recursive_stack
+    else if a.Callgraph.a_weight < config.Config.weight_threshold then
+      Reject Below_threshold
     else begin
       let caller = a.Callgraph.a_caller in
       let expansion = est.func_size.(callee) in
       if est.func_size.(caller) + expansion > config.Config.func_size_limit then
-        infinity
-      else if est.program_size + expansion > est.program_limit then infinity
-      else float_of_int expansion
+        Reject Func_size_limit
+      else if est.program_size + expansion > est.program_limit then
+        Reject Program_size_limit
+      else Accept expansion
     end
+
+let infinity = Float.infinity
+
+let cost g config est a =
+  match evaluate g config est a with
+  | Accept expansion -> float_of_int expansion
+  | Reject _ -> infinity
 
 let accept est ~caller ~callee =
   est.func_size.(caller) <- est.func_size.(caller) + est.func_size.(callee);

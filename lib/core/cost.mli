@@ -28,12 +28,45 @@ type estimates = {
     is [ratio *. original size]. *)
 val estimates_of : Impact_il.Il.program -> ratio:float -> estimates
 
+(** The hazard that rejected an arc.  [Recursive_stack] is the BOUND on
+    control-stack usage of recursive callees, [Below_threshold] the arc
+    weight THRESHOLD, [Func_size_limit] and [Program_size_limit] the two
+    size bounds — the four hazard bounds the decision log reports. *)
+type hazard =
+  | Special_node        (** arc to [$$$] or [###] *)
+  | Self_recursion
+  | Recursive_stack
+  | Below_threshold
+  | Func_size_limit
+  | Program_size_limit
+
+(** A cost-function verdict: either the finite code-expansion cost (the
+    callee's current estimated size, in IL instructions) or the hazard
+    that made it infinite. *)
+type verdict =
+  | Accept of int
+  | Reject of hazard
+
+(** [hazard_name h] is the stable string used in telemetry
+    (["weight_threshold"], ["stack_bound"], ["func_size_limit"],
+    ["program_growth_ratio"], …). *)
+val hazard_name : hazard -> string
+
+(** [evaluate g config est arc] applies the cost function and says {e
+    why} when it rejects. *)
+val evaluate :
+  Impact_callgraph.Callgraph.t ->
+  Config.t ->
+  estimates ->
+  Impact_callgraph.Callgraph.arc ->
+  verdict
+
 (** [infinity] is the rejection cost. *)
 val infinity : float
 
 (** [cost g config est arc] is the expansion cost of [arc]; {!infinity}
     when a hazard rejects it.  Only meaningful on arcs to user
-    functions. *)
+    functions.  Equivalent to {!evaluate} with the verdict flattened. *)
 val cost :
   Impact_callgraph.Callgraph.t ->
   Config.t ->

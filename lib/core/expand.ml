@@ -116,7 +116,8 @@ let expand_site (prog : Il.program) ~(caller : Il.func) ~site =
     caller.Il.body <- Vec.to_array out;
     List.rev !copies
 
-let expand_all (prog : Il.program) (linear : Linearize.t) (selection : Select.t) =
+let expand_all ?(obs = Impact_obs.Obs.null) (prog : Il.program) (linear : Linearize.t)
+    (selection : Select.t) =
   let expansions = ref [] in
   let copied = ref [] in
   (* Group the selected sites by caller for quick lookup. *)
@@ -144,6 +145,21 @@ let expand_all (prog : Il.program) (linear : Linearize.t) (selection : Select.t)
             let _, callee = Hashtbl.find selected s.Il.s_id in
             let copies = expand_site prog ~caller ~site:s.Il.s_id in
             Hashtbl.remove selected s.Il.s_id;
+            if Impact_obs.Obs.enabled obs then begin
+              Impact_obs.Obs.incr obs "expand.expansions";
+              Impact_obs.Obs.incr obs ~by:(List.length copies) "expand.copied_sites";
+              Impact_obs.Obs.instant obs ~kind:"expand"
+                ~attrs:
+                  [
+                    ("site", Impact_obs.Sink.Int s.Il.s_id);
+                    ("caller", Impact_obs.Sink.String caller.Il.name);
+                    ( "callee",
+                      Impact_obs.Sink.String prog.Il.funcs.(callee).Il.name );
+                    ("copied_sites", Impact_obs.Sink.Int (List.length copies));
+                    ("caller_size", Impact_obs.Sink.Int (Il.code_size caller));
+                  ]
+                "expand"
+            end;
             copied :=
               List.rev_append
                 (List.rev_map (fun (fresh, orig) -> (fresh, orig, s.Il.s_id)) copies)

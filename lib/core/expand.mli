@@ -43,7 +43,10 @@ val expand_site :
   site:Impact_il.Il.site_id ->
   (Impact_il.Il.site_id * Impact_il.Il.site_id) list
 
-(** [expand_all prog linear selection] performs every selected expansion
-    in linear-sequence order. *)
+(** [expand_all ?obs prog linear selection] performs every selected
+    expansion in linear-sequence order.  With an enabled [obs] context
+    each physical splice emits one ["expand"] event and bumps the
+    [expand.expansions] / [expand.copied_sites] counters. *)
 val expand_all :
+  ?obs:Impact_obs.Obs.t ->
   Impact_il.Il.program -> Linearize.t -> Select.t -> report

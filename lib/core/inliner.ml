@@ -14,14 +14,16 @@ type report = {
   dead_removed : int;
 }
 
-let run ?(config = Config.default) prog profile =
+let run ?(obs = Impact_obs.Obs.null) ?(config = Config.default) prog profile =
+  let module Obs = Impact_obs.Obs in
   let prog = Il.copy_program prog in
   let size_before = Il.program_code_size prog in
   let graph =
-    Callgraph.build
-      ~refine_pointer_targets:config.Config.refine_pointer_targets prog profile
+    Obs.span obs "callgraph" (fun () ->
+        Callgraph.build
+          ~refine_pointer_targets:config.Config.refine_pointer_targets prog profile)
   in
-  let classified = Classify.classify graph config in
+  let classified = Obs.span obs "classify" (fun () -> Classify.classify ~obs graph config) in
   let order =
     match config.Config.linearization with
     | Config.Lin_weight_sorted -> Linearize.Weight_sorted
@@ -29,14 +31,27 @@ let run ?(config = Config.default) prog profile =
     | Config.Lin_reverse -> Linearize.Reverse_weight
     | Config.Lin_topological -> Linearize.Topological
   in
-  let linear = Linearize.linearize ~order graph ~seed:config.Config.linearize_seed in
-  let selection = Select.select graph config linear in
-  let expansion = Expand.expand_all prog linear selection in
+  let linear =
+    Obs.span obs "linearize" (fun () ->
+        Linearize.linearize ~obs ~order graph ~seed:config.Config.linearize_seed)
+  in
+  let selection = Obs.span obs "select" (fun () -> Select.select ~obs graph config linear) in
+  let expansion = Obs.span obs "expand" (fun () -> Expand.expand_all ~obs prog linear selection) in
   (* Conservative function-level dead-code elimination.  With external
      calls present this removes nothing (every function stays reachable
      through $$$), exactly as the paper observes. *)
-  let graph_after = Callgraph.build prog profile in
-  let dead_removed = Reach.eliminate graph_after in
+  let dead_removed =
+    Obs.span obs "dce" (fun () ->
+        let graph_after = Callgraph.build prog profile in
+        Reach.eliminate graph_after)
+  in
+  let size_after = Il.program_code_size prog in
+  if Obs.enabled obs then begin
+    Obs.gauge_int obs "inline.size_before" size_before;
+    Obs.gauge_int obs "inline.size_after" size_after;
+    Obs.gauge_int obs "inline.dead_removed" dead_removed;
+    Obs.incr obs ~by:dead_removed "inline.dead_funcs_removed"
+  end;
   {
     program = prog;
     graph;
@@ -45,7 +60,7 @@ let run ?(config = Config.default) prog profile =
     selection;
     expansion;
     size_before;
-    size_after = Il.program_code_size prog;
+    size_after;
     dead_removed;
   }
 

@@ -19,9 +19,13 @@ type report = {
   dead_removed : int; (** functions removed as unreachable afterwards *)
 }
 
-(** [run ?config prog profile] performs profile-guided inline expansion
-    of [prog] with the given (averaged) profile. *)
+(** [run ?obs ?config prog profile] performs profile-guided inline
+    expansion of [prog] with the given (averaged) profile.  With an
+    enabled [obs] context each internal stage (callgraph, classify,
+    linearize, select, expand, dce) runs in its own span, and the
+    selector's decision log plus size gauges flow through the sink. *)
 val run :
+  ?obs:Impact_obs.Obs.t ->
   ?config:Config.t ->
   Impact_il.Il.program ->
   Impact_profile.Profile.t ->

@@ -13,7 +13,14 @@ type t = {
   position : int array;
 }
 
-let linearize ?(order = Weight_sorted) (g : Callgraph.t) ~seed =
+let order_name = function
+  | Weight_sorted -> "weight_sorted"
+  | Random_only -> "random_only"
+  | Reverse_weight -> "reverse_weight"
+  | Topological -> "topological"
+
+let linearize ?(obs = Impact_obs.Obs.null) ?(order = Weight_sorted) (g : Callgraph.t)
+    ~seed =
   let prog = g.Callgraph.prog in
   let nfuncs = Array.length prog.Il.funcs in
   let live = ref [] in
@@ -62,6 +69,24 @@ let linearize ?(order = Weight_sorted) (g : Callgraph.t) ~seed =
     Array.iteri (fun i (_, fid) -> sequence.(i) <- fid) sorted);
   let position = Array.make nfuncs max_int in
   Array.iteri (fun pos fid -> position.(fid) <- pos) sequence;
+  if Impact_obs.Obs.enabled obs then begin
+    Impact_obs.Obs.gauge_int obs "linearize.live_funcs" (Array.length sequence);
+    Impact_obs.Obs.instant obs ~kind:"linearize"
+      ~attrs:
+        [
+          ("order", Impact_obs.Sink.String (order_name order));
+          ("seed", Impact_obs.Sink.Int seed);
+          ("live_funcs", Impact_obs.Sink.Int (Array.length sequence));
+          ( "sequence",
+            Impact_obs.Sink.List
+              (Array.to_list
+                 (Array.map
+                    (fun fid ->
+                      Impact_obs.Sink.String prog.Il.funcs.(fid).Il.name)
+                    sequence)) );
+        ]
+      "linearize"
+  end;
   { sequence; position }
 
 let allows l ~callee ~caller = l.position.(callee) < l.position.(caller)

@@ -27,9 +27,16 @@ type t = {
   position : int array;                (** fid -> position *)
 }
 
-(** [linearize ?order g ~seed] computes the sequence over live functions.
-    Dead functions get position [max_int]. *)
-val linearize : ?order:order -> Impact_callgraph.Callgraph.t -> seed:int -> t
+(** [order_name o] is the stable telemetry string for [o]. *)
+val order_name : order -> string
+
+(** [linearize ?obs ?order g ~seed] computes the sequence over live
+    functions.  Dead functions get position [max_int].  With an enabled
+    [obs] context it emits one ["linearize"] event carrying the order,
+    seed and final sequence. *)
+val linearize :
+  ?obs:Impact_obs.Obs.t ->
+  ?order:order -> Impact_callgraph.Callgraph.t -> seed:int -> t
 
 (** [allows l ~callee ~caller] is true when [callee] may be inlined into
     [caller] under the linear constraint. *)

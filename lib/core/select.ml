@@ -1,5 +1,7 @@
 module Callgraph = Impact_callgraph.Callgraph
 module Il = Impact_il.Il
+module Obs = Impact_obs.Obs
+module Sink = Impact_obs.Sink
 
 type not_expandable_reason =
   | Order_violation
@@ -25,10 +27,66 @@ type t = {
   estimates : Cost.estimates;
 }
 
+let reason_name = function
+  | Order_violation -> "order_violation"
+  | Special_node -> "special_node"
+  | Self_recursion -> "self_recursion"
+  | Not_candidate -> "not_candidate"
+
 (* A callee is a leaf when it has no outgoing arcs at all. *)
 let is_leaf (g : Callgraph.t) fid = g.Callgraph.arcs_from.(fid) = []
 
-let select (g : Callgraph.t) (config : Config.t) (linear : Linearize.t) =
+(* One structured decision-log record per arc: its classification, arc
+   weight, the size estimates at the moment of the decision, the
+   verdict, and — for rejections — which hazard bound fired. *)
+let log_decision obs (g : Callgraph.t) config (a : Callgraph.arc) ~verdict ~reason
+    ~(est : Cost.estimates option) ~cost =
+  if Obs.enabled obs then begin
+    let prog = g.Callgraph.prog in
+    let callee_str, callee_fid =
+      match a.Callgraph.a_callee with
+      | Callgraph.To_ext -> ("$$$", None)
+      | Callgraph.To_ptr -> ("###", None)
+      | Callgraph.To_func fid -> (prog.Il.funcs.(fid).Il.name, Some fid)
+    in
+    let kind = Classify.classify_arc g config a in
+    let attrs =
+      [
+        ("site", Sink.Int a.Callgraph.a_id);
+        ("caller", Sink.String prog.Il.funcs.(a.Callgraph.a_caller).Il.name);
+        ("callee", Sink.String callee_str);
+        ("class", Sink.String (Classify.kind_name kind));
+        ("weight", Sink.Float a.Callgraph.a_weight);
+        ("verdict", Sink.String verdict);
+      ]
+      @ (match reason with Some r -> [ ("reason", Sink.String r) ] | None -> [])
+      @ (match cost with Some c -> [ ("cost", Sink.Int c) ] | None -> [])
+      @
+      match est with
+      | None -> []
+      | Some est ->
+        let sizes =
+          match callee_fid with
+          | Some fid ->
+            [
+              ("callee_size", Sink.Int est.Cost.func_size.(fid));
+              ("callee_stack", Sink.Int est.Cost.func_stack.(fid));
+            ]
+          | None -> []
+        in
+        sizes
+        @ [
+            ("caller_size", Sink.Int est.Cost.func_size.(a.Callgraph.a_caller));
+            ("program_size", Sink.Int est.Cost.program_size);
+            ("program_limit", Sink.Int est.Cost.program_limit);
+          ]
+    in
+    Obs.instant obs ~kind:"decision" ~attrs
+      (Printf.sprintf "%s->%s" prog.Il.funcs.(a.Callgraph.a_caller).Il.name callee_str)
+  end
+
+let select ?(obs = Obs.null) (g : Callgraph.t) (config : Config.t)
+    (linear : Linearize.t) =
   let est =
     Cost.estimates_of g.Callgraph.prog ~ratio:config.Config.program_size_limit_ratio
   in
@@ -56,8 +114,12 @@ let select (g : Callgraph.t) (config : Config.t) (linear : Linearize.t) =
           end
       in
       match verdict with
-      | Some v -> Hashtbl.replace status a.Callgraph.a_id v
-      | None -> expandable := a :: !expandable)
+      | Some (Not_expandable reason as v) ->
+        Hashtbl.replace status a.Callgraph.a_id v;
+        Obs.incr obs "select.not_expandable";
+        log_decision obs g config a ~verdict:"not_expandable"
+          ~reason:(Some (reason_name reason)) ~est:(Some est) ~cost:None
+      | Some (Rejected | Selected) | None -> expandable := a :: !expandable)
     g.Callgraph.arcs;
   (* Phase 2: order candidates — most important first. *)
   let candidates =
@@ -71,6 +133,8 @@ let select (g : Callgraph.t) (config : Config.t) (linear : Linearize.t) =
         (fun (a : Callgraph.arc) b -> compare a.Callgraph.a_id b.Callgraph.a_id)
         (List.rev !expandable)
   in
+  Obs.incr obs ~by:(List.length g.Callgraph.arcs) "select.arcs";
+  Obs.incr obs ~by:(List.length candidates) "select.candidates";
   (* Phase 3: greedy acceptance under the cost function. *)
   let decisions = ref [] in
   List.iter
@@ -87,11 +151,15 @@ let select (g : Callgraph.t) (config : Config.t) (linear : Linearize.t) =
               Float.max a.Callgraph.a_weight config.Config.weight_threshold;
           }
       in
-      let c = Cost.cost g config est arc_for_cost in
-      if c < Cost.infinity then begin
-        match a.Callgraph.a_callee with
+      Obs.incr obs "select.cost_evals";
+      match Cost.evaluate g config est arc_for_cost with
+      | Cost.Accept c ->
+        (match a.Callgraph.a_callee with
         | Callgraph.To_func callee ->
           Hashtbl.replace status a.Callgraph.a_id Selected;
+          Obs.incr obs "select.selected";
+          log_decision obs g config a ~verdict:"selected" ~reason:None
+            ~est:(Some est) ~cost:(Some c);
           Cost.accept est ~caller:a.Callgraph.a_caller ~callee;
           decisions :=
             {
@@ -101,10 +169,17 @@ let select (g : Callgraph.t) (config : Config.t) (linear : Linearize.t) =
               d_weight = a.Callgraph.a_weight;
             }
             :: !decisions
-        | Callgraph.To_ext | Callgraph.To_ptr -> assert false
-      end
-      else Hashtbl.replace status a.Callgraph.a_id Rejected)
+        | Callgraph.To_ext | Callgraph.To_ptr -> assert false)
+      | Cost.Reject hazard ->
+        Hashtbl.replace status a.Callgraph.a_id Rejected;
+        Obs.incr obs "select.rejected";
+        log_decision obs g config a ~verdict:"rejected"
+          ~reason:(Some (Cost.hazard_name hazard)) ~est:(Some est) ~cost:None)
     candidates;
+  if Obs.enabled obs then begin
+    Obs.gauge_int obs "select.program_size_final" est.Cost.program_size;
+    Obs.gauge_int obs "select.program_limit" est.Cost.program_limit
+  end;
   { decisions = List.rev !decisions; status; estimates = est }
 
 let status_of t site =

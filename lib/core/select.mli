@@ -36,8 +36,19 @@ type t = {
   estimates : Cost.estimates;
 }
 
-(** [select g config linear] decides which arcs to expand. *)
+(** [reason_name r] is the stable telemetry string for [r]. *)
+val reason_name : not_expandable_reason -> string
+
+(** [select ?obs g config linear] decides which arcs to expand.  With an
+    enabled [obs] context every arc produces exactly one structured
+    ["decision"] event recording its classification, weight, the size
+    estimates at the moment of the decision, the verdict
+    ([selected]/[rejected]/[not_expandable]) and — for rejections — which
+    hazard bound fired ({!Cost.hazard_name}); counters
+    [select.cost_evals], [select.selected], [select.rejected] and
+    [select.not_expandable] accumulate alongside. *)
 val select :
+  ?obs:Impact_obs.Obs.t ->
   Impact_callgraph.Callgraph.t -> Config.t -> Linearize.t -> t
 
 (** [status_of t site] is the decision for a site ([Not_expandable

@@ -8,6 +8,7 @@ module Inliner = Impact_core.Inliner
 module Classify = Impact_core.Classify
 module Config = Impact_core.Config
 module Benchmark = Impact_bench_progs.Benchmark
+module Obs = Impact_obs.Obs
 
 type result = {
   bench : Benchmark.t;
@@ -27,48 +28,79 @@ let count_c_lines src =
   |> List.filter (fun l -> String.trim l <> "")
   |> List.length
 
-let run ?(config = Config.default) ?(post_cleanup = false) (bench : Benchmark.t) =
-  let prog = Lower.lower_source bench.Benchmark.source in
-  (* The paper's setup: constant folding and jump optimisation run before
-     inline expansion. *)
-  let _ = Impact_opt.Driver.pre_inline prog in
-  let inputs = bench.Benchmark.inputs () in
-  let { Profiler.profile; runs } = Profiler.profile prog ~inputs in
-  let graph =
-    Callgraph.build
-      ~refine_pointer_targets:config.Config.refine_pointer_targets prog profile
-  in
-  let classified = Classify.classify graph config in
-  let inliner = Inliner.run ~config prog profile in
-  if post_cleanup then
-    ignore (Impact_opt.Driver.post_inline_cleanup inliner.Inliner.program);
-  let { Profiler.profile = post_profile; runs = post_runs } =
-    Profiler.profile inliner.Inliner.program ~inputs
-  in
-  let outputs_match =
-    List.for_all2
-      (fun (a : Machine.outcome) (b : Machine.outcome) ->
-        String.equal a.Machine.output b.Machine.output
-        && a.Machine.exit_code = b.Machine.exit_code)
-      runs post_runs
-  in
-  let post_graph = Callgraph.build inliner.Inliner.program post_profile in
-  let post_classified = Classify.classify post_graph config in
-  {
-    bench;
-    c_lines = count_c_lines bench.Benchmark.source;
-    nruns = List.length inputs;
-    prog;
-    profile;
-    classified;
-    inliner;
-    post_profile;
-    post_classified;
-    outputs_match;
-  }
+let run ?(obs = Obs.null) ?(config = Config.default) ?(pre_opt = true)
+    ?(post_cleanup = false) (bench : Benchmark.t) =
+  Obs.span obs "pipeline"
+    ~attrs:[ ("benchmark", Impact_obs.Sink.String bench.Benchmark.name) ]
+    (fun () ->
+      let ast =
+        Obs.span obs "parse" (fun () ->
+            Impact_cfront.Parser.parse_program bench.Benchmark.source)
+      in
+      let tast = Obs.span obs "sema" (fun () -> Impact_cfront.Sema.check ast) in
+      let prog = Obs.span obs "lower" (fun () -> Lower.lower tast) in
+      Obs.gauge_int obs "il.size_lowered" (Il.program_code_size prog);
+      (* The paper's setup: constant folding and jump optimisation run before
+         inline expansion. *)
+      if pre_opt then
+        ignore (Obs.span obs "pre_opt" (fun () -> Impact_opt.Driver.pre_inline prog));
+      Obs.gauge_int obs "il.size_pre_inline" (Il.program_code_size prog);
+      let inputs = bench.Benchmark.inputs () in
+      let { Profiler.profile; runs } =
+        Obs.span obs "profile" (fun () -> Profiler.profile ~obs prog ~inputs)
+      in
+      let graph =
+        Obs.span obs "callgraph" (fun () ->
+            Callgraph.build
+              ~refine_pointer_targets:config.Config.refine_pointer_targets prog
+              profile)
+      in
+      let classified =
+        Obs.span obs "classify" (fun () ->
+            Classify.classify ~obs ~stage:"classify.pre" graph config)
+      in
+      let inliner =
+        Obs.span obs "inline" (fun () -> Inliner.run ~obs ~config prog profile)
+      in
+      if post_cleanup then
+        ignore
+          (Obs.span obs "post_opt" (fun () ->
+               Impact_opt.Driver.post_inline_cleanup inliner.Inliner.program));
+      Obs.gauge_int obs "il.size_post_inline"
+        (Il.program_code_size inliner.Inliner.program);
+      let { Profiler.profile = post_profile; runs = post_runs } =
+        Obs.span obs "re_profile" (fun () ->
+            Profiler.profile ~obs inliner.Inliner.program ~inputs)
+      in
+      let outputs_match =
+        List.for_all2
+          (fun (a : Machine.outcome) (b : Machine.outcome) ->
+            String.equal a.Machine.output b.Machine.output
+            && a.Machine.exit_code = b.Machine.exit_code)
+          runs post_runs
+      in
+      let post_graph = Callgraph.build inliner.Inliner.program post_profile in
+      let post_classified =
+        Obs.span obs "post_classify" (fun () ->
+            Classify.classify ~obs ~stage:"classify.post" post_graph config)
+      in
+      Obs.gauge_int obs "pipeline.c_lines" (count_c_lines bench.Benchmark.source);
+      Obs.gauge_int obs "pipeline.nruns" (List.length inputs);
+      {
+        bench;
+        c_lines = count_c_lines bench.Benchmark.source;
+        nruns = List.length inputs;
+        prog;
+        profile;
+        classified;
+        inliner;
+        post_profile;
+        post_classified;
+        outputs_match;
+      })
 
-let run_suite ?config ?post_cleanup () =
-  List.map (fun b -> run ?config ?post_cleanup b) Impact_bench_progs.Suite.all
+let run_suite ?obs ?config ?post_cleanup () =
+  List.map (fun b -> run ?obs ?config ?post_cleanup b) Impact_bench_progs.Suite.all
 
 let code_increase r =
   let before = float_of_int r.inliner.Inliner.size_before in

@@ -25,18 +25,28 @@ type result = {
       (** every run produced byte-identical output before and after *)
 }
 
-(** [run ?config ?post_cleanup bench] executes the full pipeline.
+(** [run ?obs ?config ?post_cleanup bench] executes the full pipeline.
     [post_cleanup] additionally runs the comprehensive post-inline
     optimisations the paper skipped (default false — the paper's setup).
+    With an enabled [obs] context every stage (parse, sema, lower,
+    pre_opt, profile, callgraph, classify, inline — with linearize /
+    select / expand / dce children — re_profile, post_classify) runs in
+    its own span under a root ["pipeline"] span, and the decision log,
+    IL-size gauges and run-level counters flow through the sink.
+    [pre_opt] (default true) may be disabled to skip the pre-inline
+    optimisation pass when measuring a raw lowering.
     @raise Impact_interp.Machine.Trap if the program misbehaves. *)
 val run :
+  ?obs:Impact_obs.Obs.t ->
   ?config:Impact_core.Config.t ->
+  ?pre_opt:bool ->
   ?post_cleanup:bool ->
   Impact_bench_progs.Benchmark.t ->
   result
 
-(** [run_suite ?config ?post_cleanup ()] runs all twelve benchmarks. *)
+(** [run_suite ?obs ?config ?post_cleanup ()] runs all twelve benchmarks. *)
 val run_suite :
+  ?obs:Impact_obs.Obs.t ->
   ?config:Impact_core.Config.t -> ?post_cleanup:bool -> unit -> result list
 
 (** Derived Table 4 quantities. *)

@@ -157,6 +157,107 @@ let residual_mix results =
     (Tables.pct1 (Stats.percent u t))
     (Tables.pct1 (Stats.percent s t))
 
+(* Machine-readable export of Tables 1-4 (plus the stack table and the
+   residual mix), with raw unformatted numbers so bench trajectories can
+   be diffed mechanically. *)
+let to_json results =
+  let module J = Impact_obs.Sink in
+  let result_json (r : Pipeline.result) =
+    let s = Classify.static_summary r.Pipeline.classified in
+    let dt, de, dp, du, ds = Classify.dynamic_summary r.Pipeline.classified in
+    let paper =
+      match List.assoc_opt (name_of r) paper_table4 with
+      | Some (inc, dec) ->
+        [ ("paper_code_increase_pct", J.Float inc); ("paper_call_decrease_pct", J.Float dec) ]
+      | None -> []
+    in
+    J.Obj
+      [
+        ("benchmark", J.String (name_of r));
+        ( "table1",
+          J.Obj
+            [
+              ("c_lines", J.Int r.Pipeline.c_lines);
+              ("runs", J.Int r.Pipeline.nruns);
+              ("avg_ils", J.Float r.Pipeline.profile.Profile.avg_ils);
+              ("avg_cts", J.Float r.Pipeline.profile.Profile.avg_cts);
+              ("description", J.String r.Pipeline.bench.Benchmark.description);
+            ] );
+        ( "table2",
+          J.Obj
+            [
+              ("total", J.Int s.Classify.total);
+              ("external", J.Int s.Classify.external_);
+              ("pointer", J.Int s.Classify.pointer);
+              ("unsafe", J.Int s.Classify.unsafe);
+              ("safe", J.Int s.Classify.safe);
+            ] );
+        ( "table3",
+          J.Obj
+            [
+              ("total", J.Float dt);
+              ("external", J.Float de);
+              ("pointer", J.Float dp);
+              ("unsafe", J.Float du);
+              ("safe", J.Float ds);
+            ] );
+        ( "table4",
+          J.Obj
+            ([
+               ("code_increase_pct", J.Float (Pipeline.code_increase r));
+               ("call_decrease_pct", J.Float (Pipeline.call_decrease r));
+               ("ils_per_call", J.Float (Pipeline.ils_per_call r));
+               ("cts_per_call", J.Float (Pipeline.cts_per_call r));
+               ("size_before", J.Int r.Pipeline.inliner.Impact_core.Inliner.size_before);
+               ("size_after", J.Int r.Pipeline.inliner.Impact_core.Inliner.size_after);
+               ( "expansions",
+                 J.Int
+                   (List.length
+                      r.Pipeline.inliner.Impact_core.Inliner.expansion
+                        .Impact_core.Expand.expansions) );
+             ]
+            @ paper) );
+        ( "stack",
+          J.Obj
+            [
+              ("before", J.Float r.Pipeline.profile.Profile.avg_max_stack);
+              ("after", J.Float r.Pipeline.post_profile.Profile.avg_max_stack);
+            ] );
+        ("outputs_match", J.Bool r.Pipeline.outputs_match);
+      ]
+  in
+  let incs = List.map Pipeline.code_increase results in
+  let decs = List.map Pipeline.call_decrease results in
+  let residual =
+    let t, e, p, u, s =
+      List.fold_left
+        (fun (t0, e0, p0, u0, s0) (r : Pipeline.result) ->
+          let t, e, p, u, s = Classify.dynamic_summary r.Pipeline.post_classified in
+          (t0 +. t, e0 +. e, p0 +. p, u0 +. u, s0 +. s))
+        (0., 0., 0., 0., 0.) results
+    in
+    J.Obj
+      [
+        ("external_pct", J.Float (Stats.percent e t));
+        ("pointer_pct", J.Float (Stats.percent p t));
+        ("unsafe_pct", J.Float (Stats.percent u t));
+        ("safe_pct", J.Float (Stats.percent s t));
+      ]
+  in
+  J.Obj
+    [
+      ("benchmarks", J.List (List.map result_json results));
+      ( "aggregates",
+        J.Obj
+          [
+            ("avg_code_increase_pct", J.Float (Stats.mean incs));
+            ("sd_code_increase_pct", J.Float (Stats.stddev incs));
+            ("avg_call_decrease_pct", J.Float (Stats.mean decs));
+            ("sd_call_decrease_pct", J.Float (Stats.stddev decs));
+            ("residual_dynamic_mix", residual);
+          ] );
+    ]
+
 let all results =
   String.concat "\n"
     [

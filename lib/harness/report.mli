@@ -30,6 +30,12 @@ val residual_mix : Pipeline.result list -> string
 (** [all results] — every table, concatenated. *)
 val all : Pipeline.result list -> string
 
+(** [to_json results] — Tables 1–4 plus the stack table and the §4.4
+    residual mix as one JSON object with raw (unformatted) numbers, so
+    benchmark trajectories can be diffed mechanically:
+    [{"benchmarks":[{"benchmark":…,"table1":…,…}],"aggregates":{…}}]. *)
+val to_json : Pipeline.result list -> Impact_obs.Sink.json
+
 (** Paper values of Table 4 (code increase %, call decrease %) by
     benchmark name, for EXPERIMENTS.md-style comparisons. *)
 val paper_table4 : (string * (float * float)) list

@@ -229,7 +229,8 @@ let eval_unop op a =
   | Il.Lnot -> if a = 0 then 1 else 0
 
 let run ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
-    ?(stack_size = 1024 * 1024) ?icache (prog : Il.program) ~input =
+    ?(stack_size = 1024 * 1024) ?icache ?(obs = Impact_obs.Obs.null)
+    (prog : Il.program) ~input =
   (* Lay out globals and strings. *)
   let nglobals = Array.length prog.Il.globals in
   let global_addr = Array.make (max nglobals 1) 0 in
@@ -413,9 +414,38 @@ let run ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
            act := caller)
      done
    with Program_exit code -> exit_code := code);
+  let max_stack = st.stack_top - st.min_sp in
+  (* Run-level counters for the observability layer: one "run" event per
+     execution plus accumulating machine.* counters, so profiling cost
+     is itself a measured quantity. *)
+  if Impact_obs.Obs.enabled obs then begin
+    let module Obs = Impact_obs.Obs in
+    let module Sink = Impact_obs.Sink in
+    let c = st.counters in
+    Obs.incr obs "machine.runs";
+    Obs.incr obs ~by:c.Counters.ils "machine.ils";
+    Obs.incr obs ~by:c.Counters.cts "machine.cts";
+    Obs.incr obs ~by:c.Counters.calls "machine.calls";
+    Obs.incr obs ~by:c.Counters.returns "machine.returns";
+    Obs.incr obs ~by:c.Counters.ext_calls "machine.ext_calls";
+    Obs.instant obs ~kind:"run"
+      ~attrs:
+        [
+          ("ils", Sink.Int c.Counters.ils);
+          ("cts", Sink.Int c.Counters.cts);
+          ("calls", Sink.Int c.Counters.calls);
+          ("returns", Sink.Int c.Counters.returns);
+          ("ext_calls", Sink.Int c.Counters.ext_calls);
+          ("max_stack", Sink.Int max_stack);
+          ("exit_code", Sink.Int !exit_code);
+          ("input_bytes", Sink.Int (String.length input));
+          ("output_bytes", Sink.Int (Buffer.length st.out));
+        ]
+      "machine"
+  end;
   {
     exit_code = !exit_code;
     output = Buffer.contents st.out;
     counters = st.counters;
-    max_stack = st.stack_top - st.min_sp;
+    max_stack;
   }

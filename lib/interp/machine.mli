@@ -55,6 +55,9 @@ type outcome = {
     @param icache when given, every executed instruction's code address
       (functions laid out back-to-back in fid order, 4 bytes per
       instruction) is driven through the cache model
+    @param obs when enabled, one ["run"] event with the run-level
+      counters (ILs, CTs, calls, returns, externals, peak stack) is
+      emitted after the run, and [machine.*] counters accumulate
     @raise Trap on runtime errors
     @raise Out_of_fuel if the budget is exhausted *)
 val run :
@@ -62,6 +65,7 @@ val run :
   ?heap_size:int ->
   ?stack_size:int ->
   ?icache:Impact_icache.Icache.t ->
+  ?obs:Impact_obs.Obs.t ->
   Impact_il.Il.program ->
   input:string ->
   outcome

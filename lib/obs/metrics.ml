@@ -1,0 +1,63 @@
+type t = {
+  sink : Sink.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, Sink.json) Hashtbl.t;
+}
+
+let create sink = { sink; counters = Hashtbl.create 32; gauges = Hashtbl.create 32 }
+
+let null = create Sink.null
+
+let enabled t = Sink.enabled t.sink
+
+let incr t ?(by = 1) name =
+  if enabled t then
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace t.counters name (ref by)
+
+let gauge t name v = if enabled t then Hashtbl.replace t.gauges name v
+
+let gauge_int t name n = gauge t name (Sink.Int n)
+
+let gauge_float t name x = gauge t name (Sink.Float x)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot t =
+  sorted_bindings t.counters (fun r -> Sink.Int !r)
+  @ sorted_bindings t.gauges Fun.id
+
+let to_json t =
+  Sink.Obj
+    [
+      ("counters", Sink.Obj (sorted_bindings t.counters (fun r -> Sink.Int !r)));
+      ("gauges", Sink.Obj (sorted_bindings t.gauges Fun.id));
+    ]
+
+let flush ?trace t =
+  if enabled t then begin
+    let span = match trace with Some tr -> Trace.current_span tr | None -> 0 in
+    List.iter
+      (fun (name, v) ->
+        Sink.emit t.sink
+          {
+            Sink.ev_ts = 0.;
+            ev_kind = "metric";
+            ev_name = name;
+            ev_span = span;
+            ev_attrs = [ ("value", v) ];
+          })
+      (snapshot t)
+  end
+
+let write_json t path =
+  let oc = open_out path in
+  output_string oc (Sink.json_to_string (to_json t));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,44 @@
+(** Counters and gauges.
+
+    A registry accumulates named monotonic counters and last-value
+    gauges in memory; {!flush} reports every metric as one ["metric"]
+    event through the registry's sink, and {!to_json} renders the same
+    snapshot for a [--metrics-out] file.  On the {!Sink.null} sink every
+    operation is a no-op, so default (unobserved) runs accumulate
+    nothing. *)
+
+type t
+
+val create : Sink.t -> t
+
+(** [null] is a registry over {!Sink.null}; all operations no-ops. *)
+val null : t
+
+val enabled : t -> bool
+
+(** [incr t ?by name] bumps counter [name] (default [by = 1]). *)
+val incr : t -> ?by:int -> string -> unit
+
+(** [gauge t name v] sets gauge [name] to [v] (last write wins). *)
+val gauge : t -> string -> Sink.json -> unit
+
+val gauge_int : t -> string -> int -> unit
+
+val gauge_float : t -> string -> float -> unit
+
+(** [counter_value t name] is the current count (0 when absent). *)
+val counter_value : t -> string -> int
+
+(** [snapshot t] is every metric, sorted by name: counters as
+    [Sink.Int], gauges as recorded. *)
+val snapshot : t -> (string * Sink.json) list
+
+(** [to_json t] is [{"counters":{…},"gauges":{…}}], keys sorted. *)
+val to_json : t -> Sink.json
+
+(** [flush ?trace t] emits one ["metric"] event per entry through the
+    sink, tagged with the current span of [trace] when given. *)
+val flush : ?trace:Trace.t -> t -> unit
+
+(** [write_json t path] writes {!to_json} to [path] (pretty: one line). *)
+val write_json : t -> string -> unit

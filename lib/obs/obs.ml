@@ -1,0 +1,29 @@
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+let null = { trace = Trace.null; metrics = Metrics.null }
+
+let create ?clock sink = { trace = Trace.create ?clock sink; metrics = Metrics.create sink }
+
+let enabled t = Trace.enabled t.trace
+
+let sink t = Trace.sink t.trace
+
+let span t ?attrs name f = Trace.with_span t.trace ?attrs name f
+
+let instant t ~kind ?attrs name = Trace.instant t.trace ~kind ?attrs name
+
+let incr t ?by name = Metrics.incr t.metrics ?by name
+
+let gauge_int t name n = Metrics.gauge_int t.metrics name n
+
+let gauge_float t name x = Metrics.gauge_float t.metrics name x
+
+let finish ?metrics_out t =
+  Metrics.flush ~trace:t.trace t.metrics;
+  (match metrics_out with
+  | Some path when enabled t -> Metrics.write_json t.metrics path
+  | _ -> ());
+  Sink.close (sink t)

@@ -1,0 +1,39 @@
+(** The observability context threaded through the pipeline.
+
+    Bundles a {!Trace} tracer and a {!Metrics} registry over one shared
+    {!Sink}.  Every instrumented function takes [?obs:Obs.t] defaulting
+    to {!null}, which makes the whole layer disappear: no events, no
+    allocation, no clock reads — behaviour and output stay byte-identical
+    to an uninstrumented build. *)
+
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+(** [null] observes nothing. *)
+val null : t
+
+(** [create ?clock sink] builds a context over [sink]. *)
+val create : ?clock:(unit -> float) -> Sink.t -> t
+
+val enabled : t -> bool
+
+val sink : t -> Sink.t
+
+(** Shorthands delegating to the bundled tracer/registry. *)
+
+val span : t -> ?attrs:(string * Sink.json) list -> string -> (unit -> 'a) -> 'a
+
+val instant : t -> kind:string -> ?attrs:(string * Sink.json) list -> string -> unit
+
+val incr : t -> ?by:int -> string -> unit
+
+val gauge_int : t -> string -> int -> unit
+
+val gauge_float : t -> string -> float -> unit
+
+(** [finish ?metrics_out t] flushes metrics as ["metric"] events, writes
+    the JSON snapshot to [metrics_out] when given, and flushes the
+    sink. *)
+val finish : ?metrics_out:string -> t -> unit

@@ -1,0 +1,320 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float x -> Buffer.add_string buf (float_to_string x)
+  | String s -> escape_string buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_string buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance p;
+    skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | Some c' -> fail "expected '%c' at %d, found '%c'" c p.pos c'
+  | None -> fail "expected '%c' at %d, found end of input" c p.pos
+
+let parse_literal p word value =
+  let n = String.length word in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = word then begin
+    p.pos <- p.pos + n;
+    value
+  end
+  else fail "invalid literal at %d" p.pos
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek p with
+    | None -> fail "unterminated string at %d" p.pos
+    | Some '"' -> advance p
+    | Some '\\' ->
+      advance p;
+      (match peek p with
+      | Some '"' -> Buffer.add_char buf '"'; advance p
+      | Some '\\' -> Buffer.add_char buf '\\'; advance p
+      | Some '/' -> Buffer.add_char buf '/'; advance p
+      | Some 'n' -> Buffer.add_char buf '\n'; advance p
+      | Some 'r' -> Buffer.add_char buf '\r'; advance p
+      | Some 't' -> Buffer.add_char buf '\t'; advance p
+      | Some 'b' -> Buffer.add_char buf '\b'; advance p
+      | Some 'f' -> Buffer.add_char buf '\012'; advance p
+      | Some 'u' ->
+        advance p;
+        if p.pos + 4 > String.length p.src then fail "bad \\u escape at %d" p.pos;
+        let hex = String.sub p.src p.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> fail "bad \\u escape at %d" p.pos
+        in
+        p.pos <- p.pos + 4;
+        (* The emitter only escapes control characters this way; decode
+           the basic plane as UTF-8 so foreign traces still load. *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+        end
+      | _ -> fail "bad escape at %d" p.pos);
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance p;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_float = ref false in
+  let rec loop () =
+    match peek p with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance p;
+      loop ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance p;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  let s = String.sub p.src start (p.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some x -> Float x
+    | None -> fail "bad number '%s' at %d" s start
+  else
+    match int_of_string_opt s with
+    | Some n -> Int n
+    | None -> (
+      match float_of_string_opt s with
+      | Some x -> Float x
+      | None -> fail "bad number '%s' at %d" s start)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail "unexpected end of input"
+  | Some '{' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some '}' then begin
+      advance p;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec fields_loop () =
+        skip_ws p;
+        let key = parse_string p in
+        skip_ws p;
+        expect p ':';
+        let v = parse_value p in
+        fields := (key, v) :: !fields;
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          advance p;
+          fields_loop ()
+        | Some '}' -> advance p
+        | _ -> fail "expected ',' or '}' at %d" p.pos
+      in
+      fields_loop ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some ']' then begin
+      advance p;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec items_loop () =
+        let v = parse_value p in
+        items := v :: !items;
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          advance p;
+          items_loop ()
+        | Some ']' -> advance p
+        | _ -> fail "expected ',' or ']' at %d" p.pos
+      in
+      items_loop ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string p)
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some 'n' -> parse_literal p "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some c -> fail "unexpected character '%c' at %d" c p.pos
+
+let json_of_string s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail "trailing garbage at %d" p.pos;
+  v
+
+let mem key = function
+  | Obj fields -> ( match List.assoc_opt key fields with Some v -> v | None -> Null)
+  | _ -> Null
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_ts : float;
+  ev_kind : string;
+  ev_name : string;
+  ev_span : int;
+  ev_attrs : (string * json) list;
+}
+
+let event_to_json ev =
+  Obj
+    [
+      ("ts", Float ev.ev_ts);
+      ("kind", String ev.ev_kind);
+      ("name", String ev.ev_name);
+      ("span", Int ev.ev_span);
+      ("attrs", Obj ev.ev_attrs);
+    ]
+
+let event_of_json j =
+  let str key = match mem key j with String s -> s | _ -> fail "event lacks %s" key in
+  let ts = match mem "ts" j with Float x -> x | Int n -> float_of_int n | _ -> fail "event lacks ts" in
+  let span = match mem "span" j with Int n -> n | _ -> fail "event lacks span" in
+  let attrs = match mem "attrs" j with Obj fields -> fields | Null -> [] | _ -> fail "bad attrs" in
+  {
+    ev_ts = ts;
+    ev_kind = str "kind";
+    ev_name = str "name";
+    ev_span = span;
+    ev_attrs = attrs;
+  }
+
+let event_of_line s = event_of_json (json_of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type t =
+  | S_null
+  | S_memory of event list ref
+  | S_jsonl of out_channel
+  | S_custom of (event -> unit)
+
+let null = S_null
+
+let memory () = S_memory (ref [])
+
+let jsonl oc = S_jsonl oc
+
+let custom f = S_custom f
+
+let enabled = function S_null -> false | _ -> true
+
+let emit t ev =
+  match t with
+  | S_null -> ()
+  | S_memory events -> events := ev :: !events
+  | S_jsonl oc ->
+    output_string oc (json_to_string (event_to_json ev));
+    output_char oc '\n'
+  | S_custom f -> f ev
+
+let events = function
+  | S_memory events -> List.rev !events
+  | S_null | S_jsonl _ | S_custom _ -> []
+
+let close = function
+  | S_jsonl oc -> flush oc
+  | S_null | S_memory _ | S_custom _ -> ()

@@ -1,0 +1,89 @@
+(** Telemetry events and the pluggable sinks they flow through.
+
+    Every observation the pipeline makes — a span opening or closing, a
+    metric being reported, an inline decision being taken — is one
+    {!event}.  Producers never format events themselves; they hand them
+    to a {!t} and the sink decides what happens: nothing (the default),
+    buffering in memory (tests), or one JSON object per line on an
+    output channel (the [--trace] file format).
+
+    The module also carries the tiny JSON encoder/parser the rest of the
+    repository uses for machine-readable output ({!Metrics.to_json},
+    [Report.to_json], the bench smoke summary), so observability output
+    round-trips without external dependencies. *)
+
+(** A JSON value.  Integers and floats are kept distinct so counters
+    survive a round-trip exactly. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+(** [json_to_string j] is the compact (single-line) rendering.  Floats
+    are printed with enough digits to round-trip; a float that would
+    print without ['.'], ['e'] or ['n'] gets a trailing [".0"] so it
+    re-parses as a float. *)
+val json_to_string : json -> string
+
+exception Parse_error of string
+
+(** [json_of_string s] parses one JSON value.
+    @raise Parse_error on malformed input or trailing garbage. *)
+val json_of_string : string -> json
+
+(** [mem key obj] is the value bound to [key] in object [obj], or
+    {!Null} when absent or when [obj] is not an object. *)
+val mem : string -> json -> json
+
+(** One telemetry event.  [ev_span] is the id of the innermost enclosing
+    span (0 when emitted outside any span); [ev_ts] is seconds since the
+    trace clock's origin. *)
+type event = {
+  ev_ts : float;
+  ev_kind : string;   (** ["span_begin"], ["span_end"], ["metric"], ["decision"], ["run"], ... *)
+  ev_name : string;
+  ev_span : int;
+  ev_attrs : (string * json) list;
+}
+
+(** [event_to_json ev] / [event_of_json j] convert an event to/from the
+    JSONL object shape [{"ts":…,"kind":…,"name":…,"span":…,"attrs":{…}}].
+    @raise Parse_error when [j] lacks a required field. *)
+val event_to_json : event -> json
+
+val event_of_json : json -> event
+
+(** [event_of_line s] parses one JSONL line. @raise Parse_error *)
+val event_of_line : string -> event
+
+type t
+
+(** [null] drops every event; {!enabled} is [false] only for it, so
+    instrumentation can skip building events entirely. *)
+val null : t
+
+(** [memory ()] buffers events in order; read them back with {!events}. *)
+val memory : unit -> t
+
+(** [jsonl oc] writes each event as one JSON line on [oc].  The channel
+    is flushed by {!close} but not owned: callers opened it, callers
+    close it after {!close}. *)
+val jsonl : out_channel -> t
+
+(** [custom f] calls [f] on every event. *)
+val custom : (event -> unit) -> t
+
+val enabled : t -> bool
+
+val emit : t -> event -> unit
+
+(** [events t] is the buffered contents of a {!memory} sink, in emission
+    order; [[]] for every other sink. *)
+val events : t -> event list
+
+(** [close t] flushes buffered output (JSONL channel). *)
+val close : t -> unit

@@ -1,0 +1,66 @@
+type t = {
+  sink : Sink.t;
+  clock : unit -> float;
+  origin : float;
+  mutable next_id : int;
+  mutable stack : int list;  (* innermost open span first *)
+}
+
+let create ?(clock = Unix.gettimeofday) sink =
+  let origin = if Sink.enabled sink then clock () else 0. in
+  { sink; clock; origin; next_id = 1; stack = [] }
+
+let null = create ~clock:(fun () -> 0.) Sink.null
+
+let sink t = t.sink
+
+let enabled t = Sink.enabled t.sink
+
+let current_span t = match t.stack with [] -> 0 | id :: _ -> id
+
+let now t = t.clock () -. t.origin
+
+let instant t ~kind ?(attrs = []) name =
+  if enabled t then
+    Sink.emit t.sink
+      {
+        Sink.ev_ts = now t;
+        ev_kind = kind;
+        ev_name = name;
+        ev_span = current_span t;
+        ev_attrs = attrs;
+      }
+
+let with_span t ?(attrs = []) name f =
+  if not (enabled t) then f ()
+  else begin
+    let parent = current_span t in
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let t0 = now t in
+    Sink.emit t.sink
+      {
+        Sink.ev_ts = t0;
+        ev_kind = "span_begin";
+        ev_name = name;
+        ev_span = id;
+        ev_attrs = ("parent", Sink.Int parent) :: attrs;
+      };
+    t.stack <- id :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match t.stack with
+        | top :: rest when top = id -> t.stack <- rest
+        | stack -> t.stack <- List.filter (fun s -> s <> id) stack);
+        let t1 = now t in
+        Sink.emit t.sink
+          {
+            Sink.ev_ts = t1;
+            ev_kind = "span_end";
+            ev_name = name;
+            ev_span = id;
+            ev_attrs =
+              [ ("parent", Sink.Int parent); ("dur_ms", Sink.Float ((t1 -. t0) *. 1000.)) ];
+          })
+      f
+  end

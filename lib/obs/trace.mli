@@ -1,0 +1,35 @@
+(** Hierarchical spans over a {!Sink}.
+
+    A tracer maintains a stack of open spans; {!with_span} emits a
+    [span_begin]/[span_end] pair around a computation, recording the
+    parent span id and the wall-clock duration.  On the {!Sink.null}
+    sink nothing is emitted, no event is built, and the clock is never
+    read — instrumented code pays one branch. *)
+
+type t
+
+(** [create ?clock sink] is a tracer whose timestamps come from [clock]
+    (default [Unix.gettimeofday]), reported relative to the tracer's
+    creation instant. *)
+val create : ?clock:(unit -> float) -> Sink.t -> t
+
+(** [null] is a tracer over {!Sink.null}. *)
+val null : t
+
+val sink : t -> Sink.t
+
+val enabled : t -> bool
+
+(** [current_span t] is the id of the innermost open span, 0 at the
+    root. *)
+val current_span : t -> int
+
+(** [with_span t ?attrs name f] runs [f ()] inside a fresh span.
+    [span_begin] carries [attrs] and a ["parent"] attribute; [span_end]
+    repeats the span id and adds ["dur_ms"].  The span is closed even
+    when [f] raises. *)
+val with_span : t -> ?attrs:(string * Sink.json) list -> string -> (unit -> 'a) -> 'a
+
+(** [instant t ~kind ?attrs name] emits a point event inside the current
+    span. *)
+val instant : t -> kind:string -> ?attrs:(string * Sink.json) list -> string -> unit

@@ -34,5 +34,5 @@ let site_weight p site =
   if site >= 0 && site < Array.length p.site_weight then p.site_weight.(site) else 0.
 
 let to_string p =
-  Printf.sprintf "profile over %d run(s): ILs=%.0f CTs=%.0f calls=%.0f" p.nruns
-    p.avg_ils p.avg_cts p.avg_calls
+  Printf.sprintf "profile over %d run(s): ILs=%.0f CTs=%.0f calls=%.0f ext=%.0f"
+    p.nruns p.avg_ils p.avg_cts p.avg_calls p.avg_ext_calls

@@ -6,9 +6,9 @@ type result = {
   runs : Machine.outcome list;
 }
 
-let profile ?fuel (prog : Impact_il.Il.program) ~inputs =
+let profile ?fuel ?obs (prog : Impact_il.Il.program) ~inputs =
   if inputs = [] then invalid_arg "Profiler.profile: no inputs";
-  let runs = List.map (fun input -> Machine.run ?fuel prog ~input) inputs in
+  let runs = List.map (fun input -> Machine.run ?fuel ?obs prog ~input) inputs in
   let acc =
     Counters.create
       ~nfuncs:(Array.length prog.Impact_il.Il.funcs)

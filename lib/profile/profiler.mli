@@ -11,8 +11,12 @@ type result = {
   runs : Impact_interp.Machine.outcome list;
 }
 
-(** [profile ?fuel prog ~inputs] runs [prog] once per input and averages.
+(** [profile ?fuel ?obs prog ~inputs] runs [prog] once per input and
+    averages.  [obs] is handed to every {!Impact_interp.Machine.run} so
+    run-level counters flow through the sink.
     @raise Invalid_argument if [inputs] is empty.
     @raise Impact_interp.Machine.Trap if a run traps. *)
 val profile :
-  ?fuel:int -> Impact_il.Il.program -> inputs:string list -> result
+  ?fuel:int ->
+  ?obs:Impact_obs.Obs.t ->
+  Impact_il.Il.program -> inputs:string list -> result

@@ -16,4 +16,5 @@ let () =
       ("harness", Test_harness.tests);
       ("extensions", Test_extensions.tests);
       ("weights", Test_weights.tests);
+      ("obs", Test_obs.tests);
     ]
