@@ -1,0 +1,49 @@
+(* bench/perf — compile-time benchmarks of the tool chain itself.
+
+   Times the whole suite end to end (wall clock) and each pipeline
+   stage per benchmark with Bechamel, including the physical expansion
+   under both engines (indexed vs. the reference rescan), then writes
+   a BENCH_perf.json summary.
+
+   Usage: perf.exe [--out FILE] [--quota SECONDS]
+   Built by `dune build @bench-perf`. *)
+
+module Perf = Impact_harness.Perf
+module Pipeline = Impact_harness.Pipeline
+module Sink = Impact_obs.Sink
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("perf: " ^ msg); exit 1) fmt
+
+let () =
+  let out_file = ref "BENCH_perf.json" in
+  let quota = ref 0.1 in
+  let rec parse_args = function
+    | [] -> ()
+    | "--out" :: v :: rest -> out_file := v; parse_args rest
+    | "--quota" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some q when q > 0. -> quota := q; parse_args rest
+      | Some _ | None -> fail "bad quota '%s'" v)
+    | arg :: _ -> fail "unknown argument '%s'" arg
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  (* End-to-end wall clock for one full suite run — the headline number
+     that must not regress. *)
+  let t0 = Unix.gettimeofday () in
+  let results = Pipeline.run_suite () in
+  let suite_wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  if not (List.for_all (fun r -> r.Pipeline.outputs_match) results) then
+    fail "inlined outputs diverge from the un-inlined run";
+  let perfs = Perf.measure_suite ~quota:!quota () in
+  let json = Perf.to_json ~suite_wall_ms perfs in
+  let out = open_out !out_file in
+  output_string out (Sink.json_to_string json);
+  output_char out '\n';
+  close_out out;
+  let indexed = Perf.stage_total "expand" perfs in
+  let rescan = Perf.stage_total "expand_rescan" perfs in
+  Printf.printf
+    "bench-perf ok: suite %.0f ms, expand %.0f us indexed vs %.0f us rescan (%.2fx) -> %s\n"
+    suite_wall_ms (indexed /. 1e3) (rescan /. 1e3)
+    (if indexed > 0. then rescan /. indexed else 0.)
+    !out_file

@@ -17,47 +17,32 @@ type classified = {
   c_kind : kind;
 }
 
-let classify_arc (g : Callgraph.t) (config : Config.t) (a : Callgraph.arc) =
+(* Classification delegates the hazard checks to [Cost.evaluate] so
+   there is exactly one implementation of the self-recursion, stack and
+   weight rules.  The size limits are selection-time concerns, not
+   classes: an arc they reject is still "safe" in the paper's taxonomy.
+   Passing [est] classifies against the selector's live snapshot;
+   omitting it snapshots the program as it stands. *)
+let classify_arc ?est (g : Callgraph.t) (config : Config.t) (a : Callgraph.arc) =
   match a.Callgraph.a_callee with
   | Callgraph.To_ext -> External
   | Callgraph.To_ptr -> Pointer
-  | Callgraph.To_func callee ->
-    if callee = a.Callgraph.a_caller then Unsafe Self_recursion
-    else if
-      Callgraph.is_recursive g callee
-      && Il.stack_usage g.Callgraph.prog.Il.funcs.(callee) > config.Config.stack_bound
-    then Unsafe Recursion_stack
-    else if a.Callgraph.a_weight < config.Config.weight_threshold then
-      Unsafe Low_weight
-    else Safe
-
-let classify ?(obs = Impact_obs.Obs.null) ?(stage = "classify") g config =
-  let cs =
-    List.map (fun a -> { c_arc = a; c_kind = classify_arc g config a }) g.Callgraph.arcs
-  in
-  if Impact_obs.Obs.enabled obs then begin
-    let count p = List.length (List.filter p cs) in
-    let ext = count (fun c -> c.c_kind = External) in
-    let ptr = count (fun c -> c.c_kind = Pointer) in
-    let uns = count (fun c -> match c.c_kind with Unsafe _ -> true | _ -> false) in
-    let safe = count (fun c -> c.c_kind = Safe) in
-    Impact_obs.Obs.gauge_int obs (stage ^ ".total") (List.length cs);
-    Impact_obs.Obs.gauge_int obs (stage ^ ".external") ext;
-    Impact_obs.Obs.gauge_int obs (stage ^ ".pointer") ptr;
-    Impact_obs.Obs.gauge_int obs (stage ^ ".unsafe") uns;
-    Impact_obs.Obs.gauge_int obs (stage ^ ".safe") safe;
-    Impact_obs.Obs.instant obs ~kind:"classify"
-      ~attrs:
-        [
-          ("total", Impact_obs.Sink.Int (List.length cs));
-          ("external", Impact_obs.Sink.Int ext);
-          ("pointer", Impact_obs.Sink.Int ptr);
-          ("unsafe", Impact_obs.Sink.Int uns);
-          ("safe", Impact_obs.Sink.Int safe);
-        ]
-      stage
-  end;
-  cs
+  | Callgraph.To_func _ -> (
+    let est =
+      match est with
+      | Some est -> est
+      | None ->
+        Cost.estimates_of g.Callgraph.prog
+          ~ratio:config.Config.program_size_limit_ratio
+    in
+    match Cost.evaluate g config est a with
+    | Cost.Reject Cost.Self_recursion -> Unsafe Self_recursion
+    | Cost.Reject Cost.Recursive_stack -> Unsafe Recursion_stack
+    | Cost.Reject Cost.Below_threshold -> Unsafe Low_weight
+    | Cost.Accept _ | Cost.Reject (Cost.Func_size_limit | Cost.Program_size_limit)
+      ->
+      Safe
+    | Cost.Reject Cost.Special_node -> assert false (* direct arc *))
 
 type summary = {
   total : int;
@@ -68,27 +53,59 @@ type summary = {
 }
 
 let static_summary cs =
-  let count p = List.length (List.filter p cs) in
-  {
-    total = List.length cs;
-    external_ = count (fun c -> c.c_kind = External);
-    pointer = count (fun c -> c.c_kind = Pointer);
-    unsafe = count (fun c -> match c.c_kind with Unsafe _ -> true | _ -> false);
-    safe = count (fun c -> c.c_kind = Safe);
-  }
+  List.fold_left
+    (fun s c ->
+      match c.c_kind with
+      | External -> { s with total = s.total + 1; external_ = s.external_ + 1 }
+      | Pointer -> { s with total = s.total + 1; pointer = s.pointer + 1 }
+      | Unsafe _ -> { s with total = s.total + 1; unsafe = s.unsafe + 1 }
+      | Safe -> { s with total = s.total + 1; safe = s.safe + 1 })
+    { total = 0; external_ = 0; pointer = 0; unsafe = 0; safe = 0 }
+    cs
 
 let dynamic_summary cs =
-  let sum p =
-    List.fold_left
-      (fun acc c -> if p c then acc +. c.c_arc.Callgraph.a_weight else acc)
-      0. cs
+  let ext = ref 0. and ptr = ref 0. and uns = ref 0. and safe = ref 0. in
+  List.iter
+    (fun c ->
+      let cell =
+        match c.c_kind with
+        | External -> ext
+        | Pointer -> ptr
+        | Unsafe _ -> uns
+        | Safe -> safe
+      in
+      cell := !cell +. c.c_arc.Callgraph.a_weight)
+    cs;
+  (!ext +. !ptr +. !uns +. !safe, !ext, !ptr, !uns, !safe)
+
+let classify ?(obs = Impact_obs.Obs.null) ?(stage = "classify") g config =
+  let est =
+    Cost.estimates_of g.Callgraph.prog ~ratio:config.Config.program_size_limit_ratio
   in
-  let total = sum (fun _ -> true) in
-  let ext = sum (fun c -> c.c_kind = External) in
-  let ptr = sum (fun c -> c.c_kind = Pointer) in
-  let uns = sum (fun c -> match c.c_kind with Unsafe _ -> true | _ -> false) in
-  let safe = sum (fun c -> c.c_kind = Safe) in
-  (total, ext, ptr, uns, safe)
+  let cs =
+    List.map
+      (fun a -> { c_arc = a; c_kind = classify_arc ~est g config a })
+      g.Callgraph.arcs
+  in
+  if Impact_obs.Obs.enabled obs then begin
+    let s = static_summary cs in
+    Impact_obs.Obs.gauge_int obs (stage ^ ".total") s.total;
+    Impact_obs.Obs.gauge_int obs (stage ^ ".external") s.external_;
+    Impact_obs.Obs.gauge_int obs (stage ^ ".pointer") s.pointer;
+    Impact_obs.Obs.gauge_int obs (stage ^ ".unsafe") s.unsafe;
+    Impact_obs.Obs.gauge_int obs (stage ^ ".safe") s.safe;
+    Impact_obs.Obs.instant obs ~kind:"classify"
+      ~attrs:
+        [
+          ("total", Impact_obs.Sink.Int s.total);
+          ("external", Impact_obs.Sink.Int s.external_);
+          ("pointer", Impact_obs.Sink.Int s.pointer);
+          ("unsafe", Impact_obs.Sink.Int s.unsafe);
+          ("safe", Impact_obs.Sink.Int s.safe);
+        ]
+      stage
+  end;
+  cs
 
 let kind_name = function
   | External -> "external"

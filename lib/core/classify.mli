@@ -26,8 +26,14 @@ type classified = {
   c_kind : kind;
 }
 
-(** [classify_arc g config a] is the class of one arc. *)
+(** [classify_arc ?est g config a] is the class of one arc.  The hazard
+    checks delegate to {!Cost.evaluate}, the single implementation of
+    the recursion/stack/weight rules; the two size limits are
+    selection-time concerns and still classify as [Safe].  [est]
+    defaults to a fresh snapshot of the program ({!Cost.estimates_of});
+    pass the selector's live estimates to classify mid-selection. *)
 val classify_arc :
+  ?est:Cost.estimates ->
   Impact_callgraph.Callgraph.t -> Config.t -> Impact_callgraph.Callgraph.arc -> kind
 
 (** [classify ?obs ?stage g config] classifies every arc of the graph.

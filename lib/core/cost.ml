@@ -4,6 +4,8 @@ module Il = Impact_il.Il
 type estimates = {
   func_size : int array;
   func_stack : int array;
+  func_frame : int array;
+  func_regs : int array;
   mutable program_size : int;
   program_limit : int;
 }
@@ -18,10 +20,16 @@ let estimates_of (prog : Il.program) ~ratio =
   let func_stack =
     Array.init nfuncs (fun fid -> Il.stack_usage prog.Il.funcs.(fid))
   in
+  let func_frame =
+    Array.init nfuncs (fun fid -> prog.Il.funcs.(fid).Il.frame_size)
+  in
+  let func_regs = Array.init nfuncs (fun fid -> prog.Il.funcs.(fid).Il.nregs) in
   let program_size = Array.fold_left ( + ) 0 func_size in
   {
     func_size;
     func_stack;
+    func_frame;
+    func_regs;
     program_size;
     program_limit = int_of_float (ratio *. float_of_int program_size);
   }
@@ -74,7 +82,19 @@ let cost g config est a =
   | Accept expansion -> float_of_int expansion
   | Reject _ -> infinity
 
+let align_up n a = (n + a - 1) / a * a
+
 let accept est ~caller ~callee =
   est.func_size.(caller) <- est.func_size.(caller) + est.func_size.(callee);
-  est.func_stack.(caller) <- est.func_stack.(caller) + est.func_stack.(callee);
+  (* Mirror [Expand.splice_call] exactly: the caller's frame is aligned
+     to 8 bytes before the callee's frame is appended and the register
+     files concatenate; the stack estimate re-derives from those with
+     [Il.stack_usage]'s formula.  Summing raw [func_stack] values would
+     drift from the physical expansion (double-counted call overhead,
+     missing alignment) and make the [Recursive_stack] hazard misreport. *)
+  let frame = align_up est.func_frame.(caller) 8 + est.func_frame.(callee) in
+  let regs = est.func_regs.(caller) + est.func_regs.(callee) in
+  est.func_frame.(caller) <- frame;
+  est.func_regs.(caller) <- regs;
+  est.func_stack.(caller) <- frame + (regs * 8) + 16;
   est.program_size <- est.program_size + est.func_size.(callee)

@@ -16,10 +16,14 @@
     equal for all call sites. *)
 
 (** The selector's mutable view of function/program sizes and stack
-    usage, updated after each accepted expansion. *)
+    usage, updated after each accepted expansion.  Frame bytes and
+    register counts are tracked separately so the stack estimate can
+    reproduce the physical expansion's frame alignment exactly. *)
 type estimates = {
   func_size : int array;         (** instruction count per fid *)
   func_stack : int array;        (** control-stack usage per fid *)
+  func_frame : int array;        (** frame bytes per fid *)
+  func_regs : int array;         (** virtual registers per fid *)
   mutable program_size : int;
   program_limit : int;
 }
@@ -77,5 +81,8 @@ val cost :
 (** [accept est ~caller ~callee] commits an expansion: the caller's size
     and stack estimates absorb the callee's, and the program size grows —
     "the code size of each function body must be re-evaluated as new
-    function calls are considered for expansion". *)
+    function calls are considered for expansion".  The stack update
+    mirrors [Expand.expand_site]'s splice (8-byte frame alignment,
+    register-file concatenation, one activation's call overhead), so the
+    estimate equals [Il.stack_usage] of the physically expanded caller. *)
 val accept : estimates -> caller:Impact_il.Il.fid -> callee:Impact_il.Il.fid -> unit

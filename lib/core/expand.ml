@@ -44,12 +44,14 @@ let rename_instr ~reg_off ~label_off ~frame_off ~ret_reg ~exit_label ~fresh_site
     [ Il.Call_ind (fresh, op target, ops args, ret r) ]
   | Il.Ret v ->
     (* return value -> move to the caller's result register, then the
-       return becomes a jump out of the inlined body. *)
+       return becomes a jump out of the inlined body.  A void return
+       never writes the result register: [Machine]'s return path only
+       stores when the callee actually returns a value, so inventing an
+       [Imm 0] here would diverge from the un-inlined semantics. *)
     let moves =
       match (ret_reg, v) with
       | Some dst, Some v -> [ Il.Mov (dst, op v) ]
-      | Some dst, None -> [ Il.Mov (dst, Il.Imm 0) ]
-      | None, _ -> []
+      | Some _, None | None, _ -> []
     in
     moves @ [ Il.Jump exit_label ]
   | Il.Jump l -> [ Il.Jump (lab l) ]
@@ -57,67 +59,146 @@ let rename_instr ~reg_off ~label_off ~frame_off ~ret_reg ~exit_label ~fresh_site
   | Il.Switch (a, table, default) ->
     [ Il.Switch (op a, Array.map (fun (v, l) -> (v, lab l)) table, lab default) ]
 
+(* Splice one callee body in place of a call, emitting through [push] so
+   the caller's body is written exactly once per engine pass.  Mutates
+   the caller's register/label/frame namespaces and returns the
+   (fresh, original) site pairs of the duplicated call sites. *)
+let splice_call (prog : Il.program) ~(caller : Il.func) ~callee_fid ~args ~ret
+    ~push =
+  let callee = prog.Il.funcs.(callee_fid) in
+  let reg_off = caller.Il.nregs in
+  let label_off = caller.Il.nlabels in
+  let frame_off = align_up caller.Il.frame_size 8 in
+  let entry_label = label_off + callee.Il.nlabels in
+  let exit_label = entry_label + 1 in
+  caller.Il.nregs <- caller.Il.nregs + callee.Il.nregs;
+  caller.Il.nlabels <- caller.Il.nlabels + callee.Il.nlabels + 2;
+  caller.Il.frame_size <- frame_off + callee.Il.frame_size;
+  let copies = ref [] in
+  let record_copy pair = copies := pair :: !copies in
+  (* Parameter passing: the actuals move into the copy's parameter
+     registers. *)
+  List.iteri (fun i arg -> push (Il.Mov (reg_off + i, arg))) args;
+  (* The call instruction becomes an unconditional jump into the body. *)
+  push (Il.Jump entry_label);
+  push (Il.Label entry_label);
+  Array.iter
+    (fun instr ->
+      List.iter push
+        (rename_instr ~reg_off ~label_off ~frame_off ~ret_reg:ret ~exit_label
+           ~fresh_site:(fun () -> Il.fresh_site prog)
+           ~record_copy instr))
+    callee.Il.body;
+  push (Il.Label exit_label);
+  List.rev !copies
+
 let expand_site (prog : Il.program) ~(caller : Il.func) ~site =
-  (* Locate the call instruction. *)
-  let found = ref None in
-  Array.iteri
-    (fun idx instr ->
+  let out = Vec.create () in
+  let copies = ref None in
+  Array.iter
+    (fun instr ->
       match instr with
-      | Il.Call (s, callee, args, ret) when s = site -> found := Some (idx, callee, args, ret)
-      | _ -> ())
+      | Il.Call (s, callee_fid, args, ret) when s = site && !copies = None ->
+        copies :=
+          Some (splice_call prog ~caller ~callee_fid ~args ~ret ~push:(Vec.push out))
+      | instr -> Vec.push out instr)
     caller.Il.body;
-  match !found with
+  match !copies with
   | None ->
     invalid_arg
       (Printf.sprintf "Expand.expand_site: site %d not found in %s" site caller.Il.name)
-  | Some (idx, callee_fid, args, ret) ->
-    let callee = prog.Il.funcs.(callee_fid) in
-    let reg_off = caller.Il.nregs in
-    let label_off = caller.Il.nlabels in
-    let frame_off = align_up caller.Il.frame_size 8 in
-    let entry_label = label_off + callee.Il.nlabels in
-    let exit_label = entry_label + 1 in
-    caller.Il.nregs <- caller.Il.nregs + callee.Il.nregs;
-    caller.Il.nlabels <- caller.Il.nlabels + callee.Il.nlabels + 2;
-    caller.Il.frame_size <- frame_off + callee.Il.frame_size;
-    let copies = ref [] in
-    let record_copy pair = copies := pair :: !copies in
-    let out = Vec.create () in
-    (* Prefix of the caller, untouched. *)
-    for i = 0 to idx - 1 do
-      Vec.push out caller.Il.body.(i)
-    done;
-    (* Parameter passing: the actuals move into the copy's parameter
-       registers. *)
-    List.iteri
-      (fun i arg ->
-        let arg =
-          match arg with
-          | Il.Reg r -> Il.Reg r  (* caller register, unrenamed *)
-          | Il.Imm _ as imm -> imm
-        in
-        Vec.push out (Il.Mov (reg_off + i, arg)))
-      args;
-    (* The call instruction becomes an unconditional jump into the body. *)
-    Vec.push out (Il.Jump entry_label);
-    Vec.push out (Il.Label entry_label);
-    Array.iter
-      (fun instr ->
-        List.iter (Vec.push out)
-          (rename_instr ~reg_off ~label_off ~frame_off ~ret_reg:ret ~exit_label
-             ~fresh_site:(fun () -> Il.fresh_site prog)
-             ~record_copy instr))
-      callee.Il.body;
-    Vec.push out (Il.Label exit_label);
-    (* Suffix of the caller. *)
-    for i = idx + 1 to Array.length caller.Il.body - 1 do
-      Vec.push out caller.Il.body.(i)
-    done;
+  | Some copies ->
     caller.Il.body <- Vec.to_array out;
-    List.rev !copies
+    copies
 
+(* The indexed engine: decisions are grouped per caller up front, and a
+   caller with selected sites is rewritten in ONE left-to-right pass
+   that splices every selected call as it streams by.  This is
+   equivalent to the rescan engine because the rescan loop always
+   expands the first selected site in body order and duplicated sites
+   carry fresh ids that are never selected — so its N full rebuilds
+   visit the same splice points, in the same order, with the same
+   namespace offsets.  Callers with no selected site are skipped without
+   touching their bodies at all. *)
 let expand_all ?(obs = Impact_obs.Obs.null) (prog : Il.program) (linear : Linearize.t)
     (selection : Select.t) =
+  let expansions = ref [] in
+  let copied = ref [] in
+  (* The site index: selected site id -> callee, plus the per-caller
+     count of pending selected sites. *)
+  let selected = Hashtbl.create 64 in
+  let pending = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Select.decision) ->
+      Hashtbl.replace selected d.Select.d_site d.Select.d_callee;
+      Hashtbl.replace pending d.Select.d_caller
+        (1 + Option.value (Hashtbl.find_opt pending d.Select.d_caller) ~default:0))
+    selection.Select.decisions;
+  let obs_on = Impact_obs.Obs.enabled obs in
+  Array.iter
+    (fun fid ->
+      let caller = prog.Il.funcs.(fid) in
+      if caller.Il.alive && Hashtbl.mem pending fid then begin
+        let body = caller.Il.body in
+        (* Non-label instruction counts of every body suffix, so each
+           splice can report the same caller_size the rescan engine
+           observes right after the corresponding rebuild. *)
+        let suffix_code =
+          if not obs_on then [||]
+          else begin
+            let n = Array.length body in
+            let t = Array.make (n + 1) 0 in
+            for i = n - 1 downto 0 do
+              t.(i) <- t.(i + 1) + if Il.instr_is_label body.(i) then 0 else 1
+            done;
+            t
+          end
+        in
+        let out = Vec.create () in
+        let out_code = ref 0 in
+        let push instr =
+          Vec.push out instr;
+          if not (Il.instr_is_label instr) then incr out_code
+        in
+        Array.iteri
+          (fun idx instr ->
+            match instr with
+            | Il.Call (s, callee_fid, args, ret) when Hashtbl.mem selected s ->
+              Hashtbl.remove selected s;
+              let copies = splice_call prog ~caller ~callee_fid ~args ~ret ~push in
+              if obs_on then begin
+                Impact_obs.Obs.incr obs "expand.expansions";
+                Impact_obs.Obs.incr obs ~by:(List.length copies) "expand.copied_sites";
+                Impact_obs.Obs.instant obs ~kind:"expand"
+                  ~attrs:
+                    [
+                      ("site", Impact_obs.Sink.Int s);
+                      ("caller", Impact_obs.Sink.String caller.Il.name);
+                      ( "callee",
+                        Impact_obs.Sink.String prog.Il.funcs.(callee_fid).Il.name );
+                      ("copied_sites", Impact_obs.Sink.Int (List.length copies));
+                      ("caller_size", Impact_obs.Sink.Int (!out_code + suffix_code.(idx + 1)));
+                    ]
+                  "expand"
+              end;
+              copied :=
+                List.rev_append
+                  (List.rev_map (fun (fresh, orig) -> (fresh, orig, s)) copies)
+                  !copied;
+              expansions := (s, fid, callee_fid) :: !expansions
+            | instr -> push instr)
+          body;
+        caller.Il.body <- Vec.to_array out
+      end)
+    linear.Linearize.sequence;
+  { expansions = List.rev !expansions; copied_sites = List.rev !copied }
+
+(* The seed engine, kept as the reference oracle for the equivalence
+   property tests: after every single expansion it re-scans the caller
+   with [Il.sites_of] and rebuilds the whole body — O(body) per
+   expansion, quadratic on heavily-inlined callers. *)
+let expand_all_rescan ?(obs = Impact_obs.Obs.null) (prog : Il.program)
+    (linear : Linearize.t) (selection : Select.t) =
   let expansions = ref [] in
   let copied = ref [] in
   (* Group the selected sites by caller for quick lookup. *)

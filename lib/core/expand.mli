@@ -34,8 +34,9 @@ type report = {
 }
 
 (** [expand_site prog ~caller ~site] splices the callee of call site
-    [site] into [caller].  Returns the fresh-site mapping for the copied
-    body as (fresh, original) pairs.
+    [site] into [caller], streaming the body through a growable buffer
+    exactly once.  Returns the fresh-site mapping for the copied body as
+    (fresh, original) pairs.
     @raise Invalid_argument if the site is absent or not a direct call. *)
 val expand_site :
   Impact_il.Il.program ->
@@ -44,9 +45,25 @@ val expand_site :
   (Impact_il.Il.site_id * Impact_il.Il.site_id) list
 
 (** [expand_all ?obs prog linear selection] performs every selected
-    expansion in linear-sequence order.  With an enabled [obs] context
-    each physical splice emits one ["expand"] event and bumps the
-    [expand.expansions] / [expand.copied_sites] counters. *)
+    expansion in linear-sequence order with the {e indexed} engine: the
+    decisions are indexed per caller up front and each caller body is
+    rewritten in a single left-to-right pass that splices every selected
+    site as it streams by — O(final body size) per caller, however many
+    sites it absorbs.  Produces a program and report byte-identical to
+    {!expand_all_rescan} (the equivalence is enforced by a property
+    test).  With an enabled [obs] context each physical splice emits one
+    ["expand"] event and bumps the [expand.expansions] /
+    [expand.copied_sites] counters. *)
 val expand_all :
+  ?obs:Impact_obs.Obs.t ->
+  Impact_il.Il.program -> Linearize.t -> Select.t -> report
+
+(** [expand_all_rescan ?obs prog linear selection] is the original
+    rescan engine, kept as the reference oracle: after every single
+    expansion it re-locates the next selected site with [Il.sites_of]
+    and rebuilds the whole caller body, which is quadratic in the number
+    of expansions per caller.  Use {!expand_all} everywhere; this exists
+    for differential testing and the [@bench-perf] comparison. *)
+val expand_all_rescan :
   ?obs:Impact_obs.Obs.t ->
   Impact_il.Il.program -> Linearize.t -> Select.t -> report

@@ -49,7 +49,7 @@ let log_decision obs (g : Callgraph.t) config (a : Callgraph.arc) ~verdict ~reas
       | Callgraph.To_ptr -> ("###", None)
       | Callgraph.To_func fid -> (prog.Il.funcs.(fid).Il.name, Some fid)
     in
-    let kind = Classify.classify_arc g config a in
+    let kind = Classify.classify_arc ?est g config a in
     let attrs =
       [
         ("site", Sink.Int a.Callgraph.a_id);

@@ -49,9 +49,9 @@ let after_expansion (profile : Profile.t) (prog : Il.program)
       if w > 0. then begin
         let n = Profile.func_weight profile fid in
         let factor = if n > 0. then Float.max 0. ((n -. w) /. n) else 0. in
-        List.iter
+        Il.iter_sites
           (fun (s : Il.site) -> site_weight.(s.Il.s_id) <- site_weight.(s.Il.s_id) *. factor)
-          (Il.sites_of prog.Il.funcs.(fid))
+          prog.Il.funcs.(fid)
       end)
     absorbed;
   { profile with Profile.func_weight; site_weight }

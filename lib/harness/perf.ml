@@ -1,0 +1,117 @@
+open Bechamel
+module Il = Impact_il.Il
+module Lower = Impact_il.Lower
+module Profiler = Impact_profile.Profiler
+module Callgraph = Impact_callgraph.Callgraph
+module Config = Impact_core.Config
+module Linearize = Impact_core.Linearize
+module Select = Impact_core.Select
+module Expand = Impact_core.Expand
+module Benchmark_def = Impact_bench_progs.Benchmark
+module Sink = Impact_obs.Sink
+
+type timing = {
+  stage : string;
+  time_ns : float;
+  samples : int;
+}
+
+type bench_perf = {
+  bench : string;
+  timings : timing list;
+}
+
+(* One Bechamel measurement: OLS estimate of time per run against the
+   monotonic clock, same extraction as bench/main.ml's speed mode. *)
+let time_staged ~quota ~name f =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  match Test.elements (Test.make ~name (Staged.stage f)) with
+  | [ elt ] ->
+    let raw = Benchmark.run cfg [ instance ] elt in
+    let est = Analyze.one ols instance raw in
+    let time_ns =
+      match Analyze.OLS.estimates est with
+      | Some (t :: _) when Float.is_finite t -> t
+      | Some _ | None -> 0.
+    in
+    { stage = name; time_ns; samples = raw.Benchmark.stats.Benchmark.samples }
+  | _ -> { stage = name; time_ns = 0.; samples = 0 }
+
+let measure ?(config = Config.default) ?(quota = 0.1) (b : Benchmark_def.t) =
+  let source = b.Benchmark_def.source in
+  (* Fixed-point setup mirroring Pipeline.run up to the expansion step;
+     the timed thunks then re-run one stage each against it. *)
+  let prog = Lower.lower_source source in
+  ignore (Impact_opt.Driver.pre_inline prog);
+  let inputs = b.Benchmark_def.inputs () in
+  let { Profiler.profile; _ } = Profiler.profile prog ~inputs in
+  let graph =
+    Callgraph.build ~refine_pointer_targets:config.Config.refine_pointer_targets
+      prog profile
+  in
+  let linear = Linearize.linearize graph ~seed:config.Config.linearize_seed in
+  let selection = Select.select graph config linear in
+  let timings =
+    [
+      time_staged ~quota ~name:"parse" (fun () ->
+          Impact_cfront.Parser.parse_program source);
+      time_staged ~quota ~name:"profile" (fun () ->
+          Profiler.profile prog ~inputs);
+      time_staged ~quota ~name:"select" (fun () ->
+          Select.select graph config linear);
+      (* Both engines pay the same program-copy cost, so the comparison
+         isolates the expansion strategy itself. *)
+      time_staged ~quota ~name:"expand" (fun () ->
+          let p = Il.copy_program prog in
+          Expand.expand_all p linear selection);
+      time_staged ~quota ~name:"expand_rescan" (fun () ->
+          let p = Il.copy_program prog in
+          Expand.expand_all_rescan p linear selection);
+    ]
+  in
+  { bench = b.Benchmark_def.name; timings }
+
+let measure_suite ?config ?quota () =
+  List.map (fun b -> measure ?config ?quota b) Impact_bench_progs.Suite.all
+
+let stage_total stage perfs =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc t -> if String.equal t.stage stage then acc +. t.time_ns else acc)
+        acc p.timings)
+    0. perfs
+
+let to_json ?suite_wall_ms perfs =
+  let bench_json p =
+    ( p.bench,
+      Sink.Obj
+        (List.map
+           (fun t ->
+             ( t.stage,
+               Sink.Obj
+                 [
+                   ("time_ns", Sink.Float t.time_ns);
+                   ("samples", Sink.Int t.samples);
+                 ] ))
+           p.timings) )
+  in
+  let indexed = stage_total "expand" perfs in
+  let rescan = stage_total "expand_rescan" perfs in
+  Sink.Obj
+    ((match suite_wall_ms with
+     | Some ms -> [ ("suite_wall_ms", Sink.Float ms) ]
+     | None -> [])
+    @ [
+        ("benchmarks", Sink.Obj (List.map bench_json perfs));
+        ("expand_total_ns", Sink.Float indexed);
+        ("expand_rescan_total_ns", Sink.Float rescan);
+        ( "expand_speedup",
+          Sink.Float (if indexed > 0. then rescan /. indexed else 0.) );
+      ])

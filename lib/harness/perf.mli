@@ -1,0 +1,48 @@
+(** Per-stage compile-time benchmarks of the inlining tool chain.
+
+    For each benchmark program the setup runs the pipeline once up to
+    selection, then Bechamel times each stage in isolation against the
+    monotonic clock: [parse], [profile], [select], and the physical
+    expansion under both engines — ["expand"] (the indexed single-pass
+    engine) and ["expand_rescan"] (the original rescan-per-expansion
+    engine, kept as the reference oracle).  Both expansion thunks copy
+    the program first so the copy cost cancels in the comparison.
+
+    [dune build @bench-perf] runs this over the full suite and writes
+    the result to [bench/BENCH_perf.json]. *)
+
+(** One timed stage: the OLS estimate of nanoseconds per run and the
+    number of Bechamel samples behind it. *)
+type timing = {
+  stage : string;
+  time_ns : float;
+  samples : int;
+}
+
+type bench_perf = {
+  bench : string;
+  timings : timing list;
+}
+
+(** [measure ?config ?quota b] times every stage on benchmark [b].
+    [quota] is the Bechamel time budget per stage in seconds (default
+    0.1). *)
+val measure :
+  ?config:Impact_core.Config.t ->
+  ?quota:float ->
+  Impact_bench_progs.Benchmark.t ->
+  bench_perf
+
+(** [measure_suite ?config ?quota ()] times every benchmark of the
+    suite. *)
+val measure_suite :
+  ?config:Impact_core.Config.t -> ?quota:float -> unit -> bench_perf list
+
+(** [stage_total stage perfs] sums [stage]'s per-run estimate across
+    benchmarks, in nanoseconds. *)
+val stage_total : string -> bench_perf list -> float
+
+(** [to_json ?suite_wall_ms perfs] is the BENCH_perf.json document:
+    per-benchmark per-stage timings plus the suite-wide expansion-engine
+    totals and their speedup ratio. *)
+val to_json : ?suite_wall_ms:float -> bench_perf list -> Impact_obs.Sink.json

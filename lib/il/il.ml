@@ -120,22 +120,25 @@ let code_size f =
 let program_code_size prog =
   Array.fold_left (fun n f -> if f.alive then n + code_size f else n) 0 prog.funcs
 
-let sites_of f =
-  let out = ref [] in
+let iter_sites k f =
   Array.iteri
     (fun idx instr ->
       match instr with
       | Call (site, callee, _, _) ->
-        out := { s_id = site; s_index = idx; s_kind = To_user callee } :: !out
+        k { s_id = site; s_index = idx; s_kind = To_user callee }
       | Call_ext (site, name, _, _) ->
-        out := { s_id = site; s_index = idx; s_kind = To_extern name } :: !out
+        k { s_id = site; s_index = idx; s_kind = To_extern name }
       | Call_ind (site, _, _, _) ->
-        out := { s_id = site; s_index = idx; s_kind = Through_pointer } :: !out
+        k { s_id = site; s_index = idx; s_kind = Through_pointer }
       | Label _ | Mov _ | Un _ | Bin _ | Load _ | Store _ | Lea_frame _
       | Lea_global _ | Lea_string _ | Lea_func _ | Ret _ | Jump _ | Bnz _
       | Switch _ ->
         ())
-    f.body;
+    f.body
+
+let sites_of f =
+  let out = ref [] in
+  iter_sites (fun s -> out := s :: !out) f;
   List.rev !out
 
 let find_func prog name =

@@ -129,6 +129,10 @@ val code_size : func -> int
 (** [program_code_size prog] sums {!code_size} over live functions. *)
 val program_code_size : program -> int
 
+(** [iter_sites k f] applies [k] to each call site of [f] in body order,
+    without building an intermediate list. *)
+val iter_sites : (site -> unit) -> func -> unit
+
 (** [sites_of f] lists the call sites of [f] in body order. *)
 val sites_of : func -> site list
 

@@ -401,16 +401,20 @@ let run ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
          | None -> trap "indirect call through bad pointer %d" tv)
        | Il.Ret op ->
          st.counters.Counters.returns <- st.counters.Counters.returns + 1;
-         let result = match op with Some v -> value v | None -> 0 in
          (match !stack with
          | [] ->
-           exit_code := result;
+           exit_code := (match op with Some v -> value v | None -> 0);
            finished := true
          | caller :: rest ->
            stack := rest;
-           (match a.ret_reg with
-           | Some r -> caller.regs.(r) <- result
-           | None -> ());
+           (* A void return leaves the caller's result register
+              untouched — the register file is written only when the
+              callee actually returns a value, so the inlined and
+              un-inlined forms of a call agree instruction for
+              instruction. *)
+           (match (a.ret_reg, op) with
+           | Some r, Some v -> caller.regs.(r) <- value v
+           | Some _, None | None, _ -> ());
            act := caller)
      done
    with Program_exit code -> exit_code := code);

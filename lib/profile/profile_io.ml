@@ -27,12 +27,26 @@ let to_string (p : Profile.t) =
     p.Profile.site_weight;
   Buffer.contents buf
 
+(* Tolerate files that went through DOS line endings or had their
+   separators mangled (editors, diff tools): strip a trailing CR and
+   split fields on any run of spaces/tabs. *)
+let strip_cr l =
+  let n = String.length l in
+  if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+
+let split_fields l =
+  String.split_on_char ' ' l
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun f -> f <> "")
+
 let of_string s =
   let lines =
-    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+    String.split_on_char '\n' s
+    |> List.map strip_cr
+    |> List.filter (fun l -> String.trim l <> "")
   in
   match lines with
-  | header :: rest when String.equal header magic ->
+  | header :: rest when split_fields header = [ "impact-profile"; "1" ] ->
     let nruns = ref 0 in
     let totals = ref None in
     let sizes = ref None in
@@ -40,7 +54,7 @@ let of_string s =
     let sites = ref [] in
     List.iter
       (fun line ->
-        match String.split_on_char ' ' line with
+        match split_fields line with
         | [ "runs"; n ] -> (
           match int_of_string_opt n with
           | Some n when n > 0 -> nruns := n
@@ -100,13 +114,20 @@ let of_string s =
     }
   | _ -> fail "missing %S header" magic
 
+(* Write-to-temp then rename, so a crash mid-write never leaves a
+   truncated profile at [path]: the reader sees either the old file or
+   the complete new one. *)
 let save path p =
-  let oc = open_out path in
-  (try output_string oc (to_string p)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (to_string p);
+     close_out oc
    with exn ->
      close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
      raise exn);
-  close_out oc
+  Sys.rename tmp path
 
 let load path =
   let ic = open_in path in

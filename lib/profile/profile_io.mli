@@ -20,11 +20,14 @@ exception Parse_error of string
 (** [to_string p] serialises a profile. *)
 val to_string : Profile.t -> string
 
-(** [of_string s] parses a serialised profile.
+(** [of_string s] parses a serialised profile.  CRLF line endings and
+    runs of spaces/tabs between fields are tolerated.
     @raise Parse_error on malformed input. *)
 val of_string : string -> Profile.t
 
-(** [save path p] writes [to_string p] to [path]. *)
+(** [save path p] writes [to_string p] to [path] atomically: the bytes
+    go to [path ^ ".tmp"] first and are renamed over [path], so a crash
+    mid-write never leaves a truncated profile behind. *)
 val save : string -> Profile.t -> unit
 
 (** [load path] reads and parses a profile file.

@@ -289,6 +289,212 @@ let test_inliner_static_heuristics_run () =
         out_a)
     [ Config.Static_leaf; Config.Static_small 30 ]
 
+(* ---- engine equivalence and bug regressions ---- *)
+
+let nested_src =
+  {|
+int inner(int x) { return x + 1; }
+int outer(int x) { return inner(x) + inner(x + 2); }
+int main() { int i, s = 0; for (i = 0; i < 40; i++) s += outer(i); return s & 0; }
+|}
+
+let expansion_setup src =
+  let prog, _, graph = setup src in
+  let config = { Config.default with Config.program_size_limit_ratio = 5.0 } in
+  let linear = Linearize.linearize graph ~seed:Config.default.Config.linearize_seed in
+  let sel = Select.select graph config linear in
+  (prog, linear, sel)
+
+let test_expand_engines_agree () =
+  let prog, linear, sel = expansion_setup nested_src in
+  Alcotest.(check bool) "something was selected" true (sel.Select.decisions <> []);
+  let indexed = Il.copy_program prog in
+  let r_indexed = Expand.expand_all indexed linear sel in
+  let rescan = Il.copy_program prog in
+  let r_rescan = Expand.expand_all_rescan rescan linear sel in
+  Alcotest.(check bool) "reports agree" true (r_indexed = r_rescan);
+  Alcotest.(check int) "next_site agrees" rescan.Il.next_site indexed.Il.next_site;
+  Array.iteri
+    (fun i (f1 : Il.func) ->
+      let f2 = rescan.Il.funcs.(i) in
+      Alcotest.(check bool) (f1.Il.name ^ ": bodies agree") true
+        (f1.Il.body = f2.Il.body);
+      Alcotest.(check int) (f1.Il.name ^ ": nregs") f2.Il.nregs f1.Il.nregs;
+      Alcotest.(check int) (f1.Il.name ^ ": nlabels") f2.Il.nlabels f1.Il.nlabels;
+      Alcotest.(check int) (f1.Il.name ^ ": frame") f2.Il.frame_size f1.Il.frame_size)
+    indexed.Il.funcs;
+  Impact_il.Il_check.check_exn indexed
+
+let test_expand_stepwise_validity () =
+  (* Replay the rescan engine one splice at a time, running the IL
+     checker after every splice: each intermediate program must be
+     valid, and the final program must equal the indexed engine's. *)
+  let prog, linear, sel = expansion_setup nested_src in
+  let indexed = Il.copy_program prog in
+  ignore (Expand.expand_all indexed linear sel);
+  let stepwise = Il.copy_program prog in
+  let selected = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace selected d.Select.d_site ()) sel.Select.decisions;
+  let steps = ref 0 in
+  Array.iter
+    (fun fid ->
+      let caller = stepwise.Il.funcs.(fid) in
+      if caller.Il.alive then begin
+        let continue = ref true in
+        while !continue do
+          match
+            List.find_opt
+              (fun (s : Il.site) -> Hashtbl.mem selected s.Il.s_id)
+              (Il.sites_of caller)
+          with
+          | Some s ->
+            Hashtbl.remove selected s.Il.s_id;
+            ignore (Expand.expand_site stepwise ~caller ~site:s.Il.s_id);
+            Impact_il.Il_check.check_exn stepwise;
+            incr steps
+          | None -> continue := false
+        done
+      end)
+    linear.Linearize.sequence;
+  Alcotest.(check int) "every decision expanded"
+    (List.length sel.Select.decisions)
+    !steps;
+  Array.iteri
+    (fun i (f1 : Il.func) ->
+      Alcotest.(check bool) (f1.Il.name ^ ": stepwise equals indexed") true
+        (f1.Il.body = stepwise.Il.funcs.(i).Il.body))
+    indexed.Il.funcs
+
+let test_stack_estimate_matches_expansion () =
+  (* The selector's stack estimate after [Cost.accept] must equal the
+     physical [Il.stack_usage] of the expanded caller, not just bound
+     it: the Recursive_stack hazard compares it to an absolute byte
+     bound. *)
+  let prog, linear, sel = expansion_setup nested_src in
+  Alcotest.(check bool) "something was selected" true (sel.Select.decisions <> []);
+  let p = Il.copy_program prog in
+  ignore (Expand.expand_all p linear sel);
+  Array.iter
+    (fun (f : Il.func) ->
+      if f.Il.alive then
+        Alcotest.(check int) (f.Il.name ^ ": stack estimate matches expansion")
+          (Il.stack_usage f)
+          sel.Select.estimates.Cost.func_stack.(f.Il.fid))
+    p.Il.funcs
+
+let test_stack_bound_flip () =
+  (* wrapper and leaf both call an external, so [Callgraph.is_recursive]
+     conservatively places them on the [$$$] cycle and the
+     Recursive_stack hazard reads wrapper's stack estimate.  After
+     accepting leaf into wrapper, the old estimate (raw sum of the two
+     stack usages) over-reports against the physical splice; with the
+     stack bound sitting exactly at the correct post-splice value, the
+     exact estimate accepts where the drifted one rejects. *)
+  let src =
+    {|
+extern int getchar();
+int leaf(int n) { int buf[100]; buf[0] = n; return buf[0] + n + getchar(); }
+int wrapper(int n) { int i, s = 0; for (i = 0; i < 20; i++) s += leaf(n + i); return s + getchar(); }
+int main() { int i, s = 0; for (i = 0; i < 40; i++) s += wrapper(i); return s & 0; }
+|}
+  in
+  let prog, _, graph = setup src in
+  let wrapper = fid prog "wrapper" in
+  let leaf = fid prog "leaf" in
+  Alcotest.(check bool) "wrapper is conservatively recursive" true
+    (Callgraph.is_recursive graph wrapper);
+  let est = Cost.estimates_of prog ~ratio:10. in
+  Cost.accept est ~caller:wrapper ~callee:leaf;
+  let correct = est.Cost.func_stack.(wrapper) in
+  let drifted =
+    Il.stack_usage prog.Il.funcs.(wrapper) + Il.stack_usage prog.Il.funcs.(leaf)
+  in
+  Alcotest.(check bool) "raw stack sum over-reports" true (drifted > correct);
+  let config =
+    {
+      Config.default with
+      Config.stack_bound = correct;
+      program_size_limit_ratio = 10.;
+    }
+  in
+  let arc =
+    List.find
+      (fun a ->
+        a.Callgraph.a_caller = prog.Il.main
+        && a.Callgraph.a_callee = Callgraph.To_func wrapper)
+      graph.Callgraph.arcs
+  in
+  (match Cost.evaluate graph config est arc with
+  | Cost.Accept _ -> ()
+  | Cost.Reject h ->
+    Alcotest.fail ("exact estimate must accept, got " ^ Cost.hazard_name h));
+  est.Cost.func_stack.(wrapper) <- drifted;
+  match Cost.evaluate graph config est arc with
+  | Cost.Reject Cost.Recursive_stack -> ()
+  | Cost.Accept _ | Cost.Reject _ ->
+    Alcotest.fail "drifted estimate must reject on the stack bound"
+
+(* A void callee invoked with a result register.  The C front end never
+   produces this shape — lowering drops the result register for void
+   callees — so it is built by hand. *)
+let void_ret_prog () =
+  let vf =
+    {
+      Il.fid = 1;
+      name = "vf";
+      nparams = 0;
+      nregs = 1;
+      nlabels = 0;
+      frame_size = 0;
+      body = [| Il.Mov (0, Il.Imm 7); Il.Ret None |];
+      alive = true;
+    }
+  in
+  let main_f =
+    {
+      Il.fid = 0;
+      name = "main";
+      nparams = 0;
+      nregs = 1;
+      nlabels = 0;
+      frame_size = 0;
+      body =
+        [|
+          Il.Mov (0, Il.Imm 42);
+          Il.Call (0, 1, [], Some 0);
+          Il.Call_ext (1, "print_int", [ Il.Reg 0 ], None);
+          Il.Ret (Some (Il.Imm 0));
+        |];
+      alive = true;
+    }
+  in
+  {
+    Il.funcs = [| main_f; vf |];
+    globals = [||];
+    strings = [||];
+    externs = [ "print_int" ];
+    main = 0;
+    next_site = 2;
+    address_taken = [];
+  }
+
+let test_void_return_inlining () =
+  (* The interpreter leaves the caller's result register untouched on a
+     void return; the inlined body must do the same (no invented
+     [mov dst, 0]), so the program behaves identically with and without
+     inlining. *)
+  let reference = void_ret_prog () in
+  Impact_il.Il_check.check_exn reference;
+  let out_ref = Testutil.run_prog reference in
+  Alcotest.(check (pair string int)) "caller register survives the call"
+    ("42", 0) out_ref;
+  let inlined = void_ret_prog () in
+  let main_f = inlined.Il.funcs.(inlined.Il.main) in
+  ignore (Expand.expand_site inlined ~caller:main_f ~site:0);
+  Impact_il.Il_check.check_exn inlined;
+  Alcotest.(check (pair string int)) "inlined program behaves identically"
+    out_ref (Testutil.run_prog inlined)
+
 let tests =
   [
     Alcotest.test_case "classification" `Quick test_classification;
@@ -308,4 +514,14 @@ let tests =
       test_inliner_respects_program_bound;
     Alcotest.test_case "size accounting" `Quick test_inliner_size_accounting;
     Alcotest.test_case "static heuristics run" `Quick test_inliner_static_heuristics_run;
+    Alcotest.test_case "indexed and rescan engines agree" `Quick
+      test_expand_engines_agree;
+    Alcotest.test_case "stepwise expansion stays valid" `Quick
+      test_expand_stepwise_validity;
+    Alcotest.test_case "stack estimate matches expansion" `Quick
+      test_stack_estimate_matches_expansion;
+    Alcotest.test_case "exact stack estimate flips the verdict" `Quick
+      test_stack_bound_flip;
+    Alcotest.test_case "void return inlines transparently" `Quick
+      test_void_return_inlining;
   ]

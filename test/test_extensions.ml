@@ -134,6 +134,48 @@ let test_profile_parse_errors () =
     "impact-profile 1\nruns 2\ntotals 1 2 3 4 5 6\ncounts 1 1\nfunc 5 1.0"
   (* fid out of bounds *)
 
+let test_profile_tolerant_parsing () =
+  let p = sample_profile () in
+  let canonical = Profile_io.to_string p in
+  (* DOS line endings. *)
+  let crlf = String.concat "\r\n" (String.split_on_char '\n' canonical) in
+  let from_crlf = Profile_io.of_string crlf in
+  Alcotest.(check int) "crlf: nruns" p.Profile.nruns from_crlf.Profile.nruns;
+  Alcotest.(check (array (float 1e-9))) "crlf: site weights" p.Profile.site_weight
+    from_crlf.Profile.site_weight;
+  (* Runs of spaces between fields. *)
+  let spaced =
+    String.split_on_char '\n' canonical
+    |> List.map (fun l -> String.concat "   " (String.split_on_char ' ' l))
+    |> String.concat "\n"
+  in
+  let from_spaced = Profile_io.of_string spaced in
+  Alcotest.(check (array (float 1e-9))) "spaces: func weights" p.Profile.func_weight
+    from_spaced.Profile.func_weight;
+  (* Tab separators, including in the header. *)
+  let tabbed = String.map (fun c -> if c = ' ' then '\t' else c) canonical in
+  let from_tabbed = Profile_io.of_string tabbed in
+  Alcotest.(check (array (float 1e-9))) "tabs: site weights" p.Profile.site_weight
+    from_tabbed.Profile.site_weight
+
+let test_profile_atomic_save () =
+  let p = sample_profile () in
+  let path = Filename.temp_file "impact_profile" ".prof" in
+  Profile_io.save path p;
+  Alcotest.(check bool) "no temp file left behind" false
+    (Sys.file_exists (path ^ ".tmp"));
+  let loaded = Profile_io.load path in
+  Alcotest.(check int) "saved profile loads" p.Profile.nruns loaded.Profile.nruns;
+  (* Overwriting goes through the same rename and replaces the content. *)
+  let p2 = { p with Profile.nruns = p.Profile.nruns + 1 } in
+  Profile_io.save path p2;
+  let loaded2 = Profile_io.load path in
+  Alcotest.(check int) "overwrite replaces content" p2.Profile.nruns
+    loaded2.Profile.nruns;
+  Alcotest.(check bool) "overwrite leaves no temp file" false
+    (Sys.file_exists (path ^ ".tmp"));
+  Sys.remove path
+
 let test_profile_drives_inlining () =
   (* A saved-and-reloaded profile must give identical inlining decisions. *)
   let src =
@@ -215,6 +257,9 @@ let tests =
     Alcotest.test_case "icache: experiment rows" `Slow test_icache_experiment_rows;
     Alcotest.test_case "profile_io: roundtrip" `Quick test_profile_roundtrip;
     Alcotest.test_case "profile_io: malformed inputs" `Quick test_profile_parse_errors;
+    Alcotest.test_case "profile_io: tolerant parsing" `Quick
+      test_profile_tolerant_parsing;
+    Alcotest.test_case "profile_io: atomic save" `Quick test_profile_atomic_save;
     Alcotest.test_case "profile_io: drives inlining" `Quick test_profile_drives_inlining;
     Alcotest.test_case "linearize: topological order" `Quick test_topological_order;
     Alcotest.test_case "linearize: topological inlining" `Quick

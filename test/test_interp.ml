@@ -312,6 +312,59 @@ int main() { return deep(10) & 0; }
   in
   Alcotest.(check bool) "recursion grows the stack" true (o.Machine.max_stack > 10 * 64)
 
+let test_void_return_register () =
+  (* Hand-built IL: a [Call] carrying a result register whose callee
+     returns void.  The return must leave the caller's register
+     untouched rather than store a made-up value — the property the
+     inline expander relies on for byte-identical behaviour.  (Lowered C
+     never produces this shape; lowering drops the result register for
+     void callees.) *)
+  let module Il = Impact_il.Il in
+  let vf =
+    {
+      Il.fid = 1;
+      name = "vf";
+      nparams = 0;
+      nregs = 1;
+      nlabels = 0;
+      frame_size = 0;
+      body = [| Il.Mov (0, Il.Imm 7); Il.Ret None |];
+      alive = true;
+    }
+  in
+  let main_f =
+    {
+      Il.fid = 0;
+      name = "main";
+      nparams = 0;
+      nregs = 1;
+      nlabels = 0;
+      frame_size = 0;
+      body =
+        [|
+          Il.Mov (0, Il.Imm 42);
+          Il.Call (0, 1, [], Some 0);
+          Il.Call_ext (1, "print_int", [ Il.Reg 0 ], None);
+          Il.Ret (Some (Il.Imm 0));
+        |];
+      alive = true;
+    }
+  in
+  let prog =
+    {
+      Il.funcs = [| main_f; vf |];
+      globals = [||];
+      strings = [||];
+      externs = [ "print_int" ];
+      main = 0;
+      next_site = 2;
+      address_taken = [];
+    }
+  in
+  let o = Machine.run prog ~input:"" in
+  Alcotest.(check string) "register survives the void call" "42" o.Machine.output;
+  Alcotest.(check int) "exit code" 0 o.Machine.exit_code
+
 let tests =
   [
     Alcotest.test_case "arithmetic" `Quick test_arithmetic;
@@ -332,4 +385,5 @@ let tests =
     Alcotest.test_case "fuel limit" `Quick test_fuel;
     Alcotest.test_case "dynamic counters" `Quick test_counters;
     Alcotest.test_case "stack tracking" `Quick test_max_stack;
+    Alcotest.test_case "void return leaves register" `Quick test_void_return_register;
   ]

@@ -56,6 +56,37 @@ let inline_preserves config src =
       calls
   else true
 
+(* The indexed expansion engine must be byte-identical to the reference
+   rescan engine: same reports, same bodies, same namespace counters,
+   same fresh-site numbering. *)
+let engines_agree config src =
+  let prog = Testutil.compile src in
+  let { Profiler.profile; _ } = Profiler.profile prog ~inputs:[ "" ] in
+  let graph = Impact_callgraph.Callgraph.build prog profile in
+  let linear =
+    Impact_core.Linearize.linearize graph ~seed:Config.default.Config.linearize_seed
+  in
+  let selection = Impact_core.Select.select graph config linear in
+  let p1 = Il.copy_program prog in
+  let p2 = Il.copy_program prog in
+  let r1 = Impact_core.Expand.expand_all p1 linear selection in
+  let r2 = Impact_core.Expand.expand_all_rescan p2 linear selection in
+  Impact_il.Il_check.check_exn p1;
+  if r1 <> r2 then QCheck.Test.fail_reportf "engine reports differ";
+  if p1.Il.next_site <> p2.Il.next_site then
+    QCheck.Test.fail_reportf "next_site: %d vs %d" p1.Il.next_site p2.Il.next_site;
+  Array.iteri
+    (fun i (f1 : Il.func) ->
+      let f2 = p2.Il.funcs.(i) in
+      if f1.Il.body <> f2.Il.body then
+        QCheck.Test.fail_reportf "body of %s differs between engines" f1.Il.name;
+      if
+        (f1.Il.nregs, f1.Il.nlabels, f1.Il.frame_size, f1.Il.alive)
+        <> (f2.Il.nregs, f2.Il.nlabels, f2.Il.frame_size, f2.Il.alive)
+      then QCheck.Test.fail_reportf "metadata of %s differs between engines" f1.Il.name)
+    p1.Il.funcs;
+  true
+
 let roomy = { Config.default with Config.program_size_limit_ratio = 4.0 }
 
 let aggressive =
@@ -124,6 +155,11 @@ let props =
           Impact_cfront.C_pp.print_program (Impact_cfront.Parser.parse_program src)
         in
         run (Testutil.compile printed) = run (Testutil.compile src));
+    t ~count:40 "indexed and rescan expanders agree (default)"
+      (engines_agree Config.default);
+    t ~count:40 "indexed and rescan expanders agree (roomy)" (engines_agree roomy);
+    t ~count:40 "indexed and rescan expanders agree (aggressive)"
+      (engines_agree aggressive);
     t ~count:40 "code-size accounting matches reality" (fun src ->
         let prog = Testutil.compile src in
         let { Profiler.profile; _ } = Profiler.profile prog ~inputs:[ "" ] in
