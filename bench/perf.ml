@@ -1,25 +1,61 @@
 (* bench/perf — compile-time benchmarks of the tool chain itself.
 
-   Times the whole suite end to end (wall clock) and each pipeline
-   stage per benchmark with Bechamel, including the physical expansion
-   under both engines (indexed vs. the reference rescan), then writes
-   a BENCH_perf.json summary.
+   Times the whole suite end to end (wall clock), each pipeline stage
+   per benchmark with Bechamel — including profiling under both
+   interpreter cores (threaded vs. reference) and the physical
+   expansion under both engines (indexed vs. rescan) — and a domain
+   scaling sweep of parallel profiling, then writes a BENCH_perf.json
+   summary.
 
-   Usage: perf.exe [--out FILE] [--quota SECONDS]
+   With --baseline FILE, the fresh suite wall clock is guarded against
+   the committed baseline: the run fails if it regresses by more than
+   IMPACT_PERF_TOLERANCE percent (default 25).
+
+   Usage: perf.exe [--out FILE] [--quota SECONDS] [--baseline FILE]
    Built by `dune build @bench-perf`. *)
 
 module Perf = Impact_harness.Perf
 module Pipeline = Impact_harness.Pipeline
+module Pool = Impact_support.Pool
 module Sink = Impact_obs.Sink
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("perf: " ^ msg); exit 1) fmt
 
+let warn fmt = Printf.ksprintf (fun msg -> prerr_endline ("perf: warning: " ^ msg)) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let tolerance_pct () =
+  match Sys.getenv_opt "IMPACT_PERF_TOLERANCE" with
+  | None | Some "" -> 25.
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some t when t >= 0. -> t
+    | Some _ | None -> fail "bad IMPACT_PERF_TOLERANCE '%s'" v)
+
+let baseline_wall_ms path =
+  match Sink.json_of_string (read_file path) with
+  | json -> (
+    match Sink.mem "suite_wall_ms" json with
+    | Sink.Float ms -> ms
+    | Sink.Int n -> float_of_int n
+    | _ -> fail "baseline %s lacks suite_wall_ms" path)
+  | exception Sink.Parse_error msg -> fail "baseline %s: %s" path msg
+  | exception Sys_error msg -> fail "baseline: %s" msg
+
 let () =
   let out_file = ref "BENCH_perf.json" in
   let quota = ref 0.1 in
+  let baseline = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--out" :: v :: rest -> out_file := v; parse_args rest
+    | "--baseline" :: v :: rest -> baseline := Some v; parse_args rest
     | "--quota" :: v :: rest -> (
       match float_of_string_opt v with
       | Some q when q > 0. -> quota := q; parse_args rest
@@ -35,15 +71,51 @@ let () =
   if not (List.for_all (fun r -> r.Pipeline.outputs_match) results) then
     fail "inlined outputs diverge from the un-inlined run";
   let perfs = Perf.measure_suite ~quota:!quota () in
-  let json = Perf.to_json ~suite_wall_ms perfs in
+  let scaling = Perf.domain_scaling () in
+  let json = Perf.to_json ~suite_wall_ms ~scaling perfs in
   let out = open_out !out_file in
   output_string out (Sink.json_to_string json);
   output_char out '\n';
   close_out out;
   let indexed = Perf.stage_total "expand" perfs in
   let rescan = Perf.stage_total "expand_rescan" perfs in
+  let threaded = Perf.stage_total "profile" perfs in
+  let reference = Perf.stage_total "profile_reference" perfs in
+  let engine_speedup = if threaded > 0. then reference /. threaded else 0. in
   Printf.printf
-    "bench-perf ok: suite %.0f ms, expand %.0f us indexed vs %.0f us rescan (%.2fx) -> %s\n"
-    suite_wall_ms (indexed /. 1e3) (rescan /. 1e3)
+    "bench-perf ok: suite %.0f ms, profile %.0f us threaded vs %.0f us reference \
+     (%.2fx), expand %.0f us indexed vs %.0f us rescan (%.2fx) -> %s\n"
+    suite_wall_ms (threaded /. 1e3) (reference /. 1e3) engine_speedup
+    (indexed /. 1e3) (rescan /. 1e3)
     (if indexed > 0. then rescan /. indexed else 0.)
-    !out_file
+    !out_file;
+  let cores = Pool.default_jobs () in
+  List.iter
+    (fun (jobs, ms) -> Printf.printf "  profile sweep, %d job(s): %.0f ms\n" jobs ms)
+    scaling;
+  (match (List.assoc_opt 1 scaling, List.assoc_opt 4 scaling) with
+  | Some one, Some four when four >= one ->
+    (* On a single hardware core, extra domains can only add overhead;
+       report rather than fail so the artefact records honest numbers. *)
+    warn "4-domain sweep (%.0f ms) not faster than 1 domain (%.0f ms) on %d core(s)"
+      four one cores
+  | _ -> ());
+  if engine_speedup < 2. && engine_speedup > 0. then
+    warn "threaded engine only %.2fx faster than reference (target: 2x)"
+      engine_speedup;
+  match !baseline with
+  | None -> ()
+  | Some path ->
+    let base = baseline_wall_ms path in
+    let tol = tolerance_pct () in
+    let limit = base *. (1. +. (tol /. 100.)) in
+    if suite_wall_ms > limit then
+      fail
+        "suite wall clock regressed: %.0f ms vs baseline %.0f ms (+%.0f%% > %.0f%% \
+         tolerance; set IMPACT_PERF_TOLERANCE to override)"
+        suite_wall_ms base
+        (100. *. ((suite_wall_ms /. base) -. 1.))
+        tol
+    else
+      Printf.printf "  perf guard ok: %.0f ms vs baseline %.0f ms (tolerance %.0f%%)\n"
+        suite_wall_ms base tol

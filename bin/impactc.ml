@@ -108,6 +108,28 @@ let inputs_arg =
 let optimize_arg =
   Arg.(value & flag & info [ "O" ] ~doc:"Apply pre-inline optimisations first")
 
+(* Interpreter core and profiling parallelism. *)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("threaded", Machine.Threaded); ("reference", Machine.Reference) ])
+        Machine.Threaded
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Interpreter core: $(b,threaded) (pre-decoded, the default) or \
+           $(b,reference) (the small-step oracle)")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan independent profiling runs across $(docv) domains (default 1; \
+           results are deterministic regardless of $(docv))")
+
 (* parse *)
 
 let dump_arg =
@@ -154,7 +176,7 @@ let il_cmd =
 (* run *)
 
 let run_cmd =
-  let run src input optimize trace metrics_out =
+  let run src input optimize engine trace metrics_out =
     with_frontend_errors (fun () ->
         with_obs ~trace ~metrics_out (fun obs ->
             let prog =
@@ -164,7 +186,7 @@ let run_cmd =
               ignore
                 (Obs.span obs "pre_opt" (fun () -> Impact_opt.Driver.pre_inline prog));
             let stdin_data = match input with Some f -> read_file f | None -> "" in
-            let outcome = Machine.run ~obs prog ~input:stdin_data in
+            let outcome = Machine.run ~obs ~engine prog ~input:stdin_data in
             print_string outcome.Machine.output;
             Printf.eprintf "[exit %d; %s]\n" outcome.Machine.exit_code
               (Impact_interp.Counters.summary outcome.Machine.counters);
@@ -172,7 +194,9 @@ let run_cmd =
         |> exit)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a C file")
-    Term.(const run $ source_arg $ input_arg $ optimize_arg $ trace_arg $ metrics_out_arg)
+    Term.(
+      const run $ source_arg $ input_arg $ optimize_arg $ engine_arg $ trace_arg
+      $ metrics_out_arg)
 
 (* profile *)
 
@@ -190,14 +214,14 @@ let profile_file_arg =
         ~doc:"Use a saved profile instead of re-profiling")
 
 let profile_cmd =
-  let run src inputs output =
+  let run src inputs output engine jobs =
     with_frontend_errors (fun () ->
         let prog = Lower.lower_source (read_file src) in
         ignore (Impact_opt.Driver.pre_inline prog);
         let inputs =
           match inputs with [] -> [ "" ] | files -> List.map read_file files
         in
-        let { Profiler.profile; _ } = Profiler.profile prog ~inputs in
+        let { Profiler.profile; _ } = Profiler.profile ~engine ~jobs prog ~inputs in
         (match output with
         | Some path ->
           Impact_profile.Profile_io.save path profile;
@@ -213,12 +237,12 @@ let profile_cmd =
           prog.Il.funcs)
   in
   Cmd.v (Cmd.info "profile" ~doc:"Profile a C program over input files")
-    Term.(const run $ source_arg $ inputs_arg $ output_arg)
+    Term.(const run $ source_arg $ inputs_arg $ output_arg $ engine_arg $ jobs_arg)
 
 (* inline *)
 
 let inline_cmd =
-  let run src inputs profile_file trace metrics_out =
+  let run src inputs profile_file engine jobs trace metrics_out =
     with_frontend_errors (fun () ->
         with_obs ~trace ~metrics_out (fun obs ->
         let prog =
@@ -233,7 +257,7 @@ let inline_cmd =
               match inputs with [] -> [ "" ] | files -> List.map read_file files
             in
             Obs.span obs "profile" (fun () ->
-                (Profiler.profile ~obs prog ~inputs).Profiler.profile)
+                (Profiler.profile ~obs ~engine ~jobs prog ~inputs).Profiler.profile)
         in
         let report = Obs.span obs "inline" (fun () -> Inliner.run ~obs prog profile) in
         Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
@@ -254,8 +278,8 @@ let inline_cmd =
   in
   Cmd.v
     (Cmd.info "inline" ~doc:"Profile-guided inline expansion of a C program")
-    Term.(const run $ source_arg $ inputs_arg $ profile_file_arg $ trace_arg
-          $ metrics_out_arg)
+    Term.(const run $ source_arg $ inputs_arg $ profile_file_arg $ engine_arg
+          $ jobs_arg $ trace_arg $ metrics_out_arg)
 
 (* bench *)
 
@@ -276,7 +300,7 @@ let bench_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the benchmark's table rows (Report.to_json) to $(docv)")
   in
-  let run name trace metrics_out json =
+  let run name engine jobs trace metrics_out json =
     match Impact_bench_progs.Suite.find name with
     | exception Not_found ->
       Printf.eprintf "unknown benchmark '%s'\n" name;
@@ -284,7 +308,7 @@ let bench_cmd =
     | bench ->
       let r =
         with_obs ~trace ~metrics_out (fun obs ->
-            Impact_harness.Pipeline.run ~obs bench)
+            Impact_harness.Pipeline.run ~obs ~engine ~jobs bench)
       in
       (match json with
       | Some path ->
@@ -300,7 +324,9 @@ let bench_cmd =
         r.Impact_harness.Pipeline.outputs_match
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
-    Term.(const run $ name_arg $ trace_arg $ metrics_out_arg $ json_arg)
+    Term.(
+      const run $ name_arg $ engine_arg $ jobs_arg $ trace_arg $ metrics_out_arg
+      $ json_arg)
 
 (* Default command: the full observed pipeline over a user C file —
    `impactc --trace t.jsonl --metrics-out m.json -O file.c` compiles,
@@ -308,7 +334,7 @@ let bench_cmd =
    span. *)
 
 let default_term =
-  let run src inputs optimize trace metrics_out =
+  let run src inputs optimize engine jobs trace metrics_out =
     match src with
     | None -> `Help (`Pager, None)
     | Some src ->
@@ -328,7 +354,8 @@ let default_term =
           in
           let r =
             with_obs ~trace ~metrics_out (fun obs ->
-                Impact_harness.Pipeline.run ~obs ~pre_opt:optimize bench)
+                Impact_harness.Pipeline.run ~obs ~pre_opt:optimize ~engine ~jobs
+                  bench)
           in
           Printf.printf "%s\n" (Profile.to_string r.Impact_harness.Pipeline.profile);
           Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
@@ -347,8 +374,8 @@ let default_term =
   in
   Term.(
     ret
-      (const run $ opt_source_arg $ inputs_arg $ optimize_arg $ trace_arg
-     $ metrics_out_arg))
+      (const run $ opt_source_arg $ inputs_arg $ optimize_arg $ engine_arg
+     $ jobs_arg $ trace_arg $ metrics_out_arg))
 
 let () =
   let doc = "profile-guided inline function expansion for C (PLDI 1989)" in

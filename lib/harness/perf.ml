@@ -9,6 +9,8 @@ module Select = Impact_core.Select
 module Expand = Impact_core.Expand
 module Benchmark_def = Impact_bench_progs.Benchmark
 module Sink = Impact_obs.Sink
+module Machine = Impact_interp.Machine
+module Pool = Impact_support.Pool
 
 type timing = {
   stage : string;
@@ -61,8 +63,15 @@ let measure ?(config = Config.default) ?(quota = 0.1) (b : Benchmark_def.t) =
     [
       time_staged ~quota ~name:"parse" (fun () ->
           Impact_cfront.Parser.parse_program source);
+      (* The two interpreter engines, same inputs: "profile" is the
+         pre-decoded threaded core (the default), "profile_reference"
+         the small-step oracle. *)
       time_staged ~quota ~name:"profile" (fun () ->
-          Profiler.profile prog ~inputs);
+          Profiler.profile ~engine:Machine.Threaded ~keep_outputs:false prog
+            ~inputs);
+      time_staged ~quota ~name:"profile_reference" (fun () ->
+          Profiler.profile ~engine:Machine.Reference ~keep_outputs:false prog
+            ~inputs);
       time_staged ~quota ~name:"select" (fun () ->
           Select.select graph config linear);
       (* Both engines pay the same program-copy cost, so the comparison
@@ -80,6 +89,36 @@ let measure ?(config = Config.default) ?(quota = 0.1) (b : Benchmark_def.t) =
 let measure_suite ?config ?quota () =
   List.map (fun b -> measure ?config ?quota b) Impact_bench_progs.Suite.all
 
+(* Domain scaling: one profiling sweep over every (program, input) pair
+   of the suite, fanned across [jobs] domains.  The unit of work is the
+   independent run, exactly what {!Impact_profile.Profiler.profile}
+   parallelises. *)
+
+let suite_run_pairs () =
+  List.concat_map
+    (fun (b : Benchmark_def.t) ->
+      let prog = Lower.lower_source b.Benchmark_def.source in
+      ignore (Impact_opt.Driver.pre_inline prog);
+      List.map (fun input -> (prog, input)) (b.Benchmark_def.inputs ()))
+    Impact_bench_progs.Suite.all
+
+let profile_sweep_ms ?engine ~jobs pairs =
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Pool.map_list ~jobs
+      (fun (prog, input) ->
+        let o = Machine.run ?engine prog ~input in
+        (* keep only what a counter consumer would *)
+        o.Machine.counters.Impact_interp.Counters.ils)
+      pairs
+  in
+  ignore (Sys.opaque_identity outcomes);
+  (Unix.gettimeofday () -. t0) *. 1000.
+
+let domain_scaling ?engine ?(job_counts = [ 1; 2; 4 ]) () =
+  let pairs = suite_run_pairs () in
+  List.map (fun jobs -> (jobs, profile_sweep_ms ?engine ~jobs pairs)) job_counts
+
 let stage_total stage perfs =
   List.fold_left
     (fun acc p ->
@@ -88,7 +127,7 @@ let stage_total stage perfs =
         acc p.timings)
     0. perfs
 
-let to_json ?suite_wall_ms perfs =
+let to_json ?suite_wall_ms ?scaling perfs =
   let bench_json p =
     ( p.bench,
       Sink.Obj
@@ -104,6 +143,8 @@ let to_json ?suite_wall_ms perfs =
   in
   let indexed = stage_total "expand" perfs in
   let rescan = stage_total "expand_rescan" perfs in
+  let threaded = stage_total "profile" perfs in
+  let reference = stage_total "profile_reference" perfs in
   Sink.Obj
     ((match suite_wall_ms with
      | Some ms -> [ ("suite_wall_ms", Sink.Float ms) ]
@@ -114,4 +155,19 @@ let to_json ?suite_wall_ms perfs =
         ("expand_rescan_total_ns", Sink.Float rescan);
         ( "expand_speedup",
           Sink.Float (if indexed > 0. then rescan /. indexed else 0.) );
+        ("profile_threaded_total_ns", Sink.Float threaded);
+        ("profile_reference_total_ns", Sink.Float reference);
+        ( "engine_speedup",
+          Sink.Float (if threaded > 0. then reference /. threaded else 0.) );
+      ]
+    @
+    match scaling with
+    | None -> []
+    | Some rows ->
+      [
+        ("cores", Sink.Int (Pool.default_jobs ()));
+        ( "profile_jobs_wall_ms",
+          Sink.Obj
+            (List.map (fun (jobs, ms) -> (string_of_int jobs, Sink.Float ms)) rows)
+        );
       ])

@@ -2,11 +2,14 @@
 
     For each benchmark program the setup runs the pipeline once up to
     selection, then Bechamel times each stage in isolation against the
-    monotonic clock: [parse], [profile], [select], and the physical
-    expansion under both engines — ["expand"] (the indexed single-pass
-    engine) and ["expand_rescan"] (the original rescan-per-expansion
-    engine, kept as the reference oracle).  Both expansion thunks copy
-    the program first so the copy cost cancels in the comparison.
+    monotonic clock: [parse], profiling under both interpreter cores —
+    ["profile"] (the pre-decoded threaded engine) and
+    ["profile_reference"] (the small-step oracle) — [select], and the
+    physical expansion under both engines — ["expand"] (the indexed
+    single-pass engine) and ["expand_rescan"] (the original
+    rescan-per-expansion engine, kept as the reference oracle).  Both
+    expansion thunks copy the program first so the copy cost cancels in
+    the comparison.
 
     [dune build @bench-perf] runs this over the full suite and writes
     the result to [bench/BENCH_perf.json]. *)
@@ -42,7 +45,26 @@ val measure_suite :
     benchmarks, in nanoseconds. *)
 val stage_total : string -> bench_perf list -> float
 
-(** [to_json ?suite_wall_ms perfs] is the BENCH_perf.json document:
-    per-benchmark per-stage timings plus the suite-wide expansion-engine
-    totals and their speedup ratio. *)
-val to_json : ?suite_wall_ms:float -> bench_perf list -> Impact_obs.Sink.json
+(** [domain_scaling ?engine ?job_counts ()] sweeps every (program,
+    input) run of the suite once per job count (default [[1; 2; 4]]),
+    fanning the runs across that many domains, and returns
+    [(jobs, wall_ms)] rows.  The work items are independent
+    interpretations — exactly what {!Impact_profile.Profiler.profile}
+    parallelises. *)
+val domain_scaling :
+  ?engine:Impact_interp.Machine.engine ->
+  ?job_counts:int list ->
+  unit ->
+  (int * float) list
+
+(** [to_json ?suite_wall_ms ?scaling perfs] is the BENCH_perf.json
+    document: per-benchmark per-stage timings, the suite-wide
+    expansion-engine totals and their speedup ratio, the
+    threaded-vs-reference profiling totals ([engine_speedup]), and, when
+    [scaling] rows are given, the core count and per-job-count profiling
+    wall clocks. *)
+val to_json :
+  ?suite_wall_ms:float ->
+  ?scaling:(int * float) list ->
+  bench_perf list ->
+  Impact_obs.Sink.json

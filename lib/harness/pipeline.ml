@@ -29,7 +29,7 @@ let count_c_lines src =
   |> List.length
 
 let run ?(obs = Obs.null) ?(config = Config.default) ?(pre_opt = true)
-    ?(post_cleanup = false) (bench : Benchmark.t) =
+    ?(post_cleanup = false) ?engine ?jobs (bench : Benchmark.t) =
   Obs.span obs "pipeline"
     ~attrs:[ ("benchmark", Impact_obs.Sink.String bench.Benchmark.name) ]
     (fun () ->
@@ -46,8 +46,11 @@ let run ?(obs = Obs.null) ?(config = Config.default) ?(pre_opt = true)
         ignore (Obs.span obs "pre_opt" (fun () -> Impact_opt.Driver.pre_inline prog));
       Obs.gauge_int obs "il.size_pre_inline" (Il.program_code_size prog);
       let inputs = bench.Benchmark.inputs () in
+      (* Only counters and digests are consumed downstream, so neither
+         profiling pass needs to hold every run's output text. *)
       let { Profiler.profile; runs } =
-        Obs.span obs "profile" (fun () -> Profiler.profile ~obs prog ~inputs)
+        Obs.span obs "profile" (fun () ->
+            Profiler.profile ~obs ?engine ?jobs ~keep_outputs:false prog ~inputs)
       in
       let graph =
         Obs.span obs "callgraph" (fun () ->
@@ -70,12 +73,13 @@ let run ?(obs = Obs.null) ?(config = Config.default) ?(pre_opt = true)
         (Il.program_code_size inliner.Inliner.program);
       let { Profiler.profile = post_profile; runs = post_runs } =
         Obs.span obs "re_profile" (fun () ->
-            Profiler.profile ~obs inliner.Inliner.program ~inputs)
+            Profiler.profile ~obs ?engine ?jobs ~keep_outputs:false
+              inliner.Inliner.program ~inputs)
       in
       let outputs_match =
         List.for_all2
           (fun (a : Machine.outcome) (b : Machine.outcome) ->
-            String.equal a.Machine.output b.Machine.output
+            String.equal a.Machine.output_digest b.Machine.output_digest
             && a.Machine.exit_code = b.Machine.exit_code)
           runs post_runs
       in
@@ -99,8 +103,13 @@ let run ?(obs = Obs.null) ?(config = Config.default) ?(pre_opt = true)
         outputs_match;
       })
 
-let run_suite ?obs ?config ?post_cleanup () =
-  List.map (fun b -> run ?obs ?config ?post_cleanup b) Impact_bench_progs.Suite.all
+let run_suite ?obs ?config ?post_cleanup ?engine ?jobs () =
+  (* Parallelism fans out across benchmarks; each benchmark's own
+     profiling stays sequential (inner ?jobs unset) so domains are not
+     oversubscribed.  The pool preserves suite order. *)
+  Impact_support.Pool.map_list ?jobs
+    (fun b -> run ?obs ?config ?post_cleanup ?engine b)
+    Impact_bench_progs.Suite.all
 
 let code_increase r =
   let before = float_of_int r.inliner.Inliner.size_before in

@@ -22,32 +22,45 @@ type result = {
   post_classified : Impact_core.Classify.classified list;
       (** classification of the expanded program under the re-profile *)
   outputs_match : bool;
-      (** every run produced byte-identical output before and after *)
+      (** every run produced byte-identical output (same MD5 digest and
+          exit code) before and after expansion *)
 }
 
-(** [run ?obs ?config ?post_cleanup bench] executes the full pipeline.
-    [post_cleanup] additionally runs the comprehensive post-inline
-    optimisations the paper skipped (default false — the paper's setup).
-    With an enabled [obs] context every stage (parse, sema, lower,
-    pre_opt, profile, callgraph, classify, inline — with linearize /
-    select / expand / dce children — re_profile, post_classify) runs in
-    its own span under a root ["pipeline"] span, and the decision log,
-    IL-size gauges and run-level counters flow through the sink.
-    [pre_opt] (default true) may be disabled to skip the pre-inline
-    optimisation pass when measuring a raw lowering.
+(** [run ?obs ?config ?post_cleanup ?engine ?jobs bench] executes the
+    full pipeline.  [post_cleanup] additionally runs the comprehensive
+    post-inline optimisations the paper skipped (default false — the
+    paper's setup).  With an enabled [obs] context every stage (parse,
+    sema, lower, pre_opt, profile, callgraph, classify, inline — with
+    linearize / select / expand / dce children — re_profile,
+    post_classify) runs in its own span under a root ["pipeline"] span,
+    and the decision log, IL-size gauges and run-level counters flow
+    through the sink.  [pre_opt] (default true) may be disabled to skip
+    the pre-inline optimisation pass when measuring a raw lowering.
+    [engine] selects the interpreter core and [jobs] the number of
+    domains for the two profiling passes; both leave the result
+    unchanged.
     @raise Impact_interp.Machine.Trap if the program misbehaves. *)
 val run :
   ?obs:Impact_obs.Obs.t ->
   ?config:Impact_core.Config.t ->
   ?pre_opt:bool ->
   ?post_cleanup:bool ->
+  ?engine:Impact_interp.Machine.engine ->
+  ?jobs:int ->
   Impact_bench_progs.Benchmark.t ->
   result
 
-(** [run_suite ?obs ?config ?post_cleanup ()] runs all twelve benchmarks. *)
+(** [run_suite ?obs ?config ?post_cleanup ?engine ?jobs ()] runs all
+    twelve benchmarks, in suite order; [jobs > 1] fans the benchmarks
+    across domains (each benchmark's own profiling stays sequential). *)
 val run_suite :
   ?obs:Impact_obs.Obs.t ->
-  ?config:Impact_core.Config.t -> ?post_cleanup:bool -> unit -> result list
+  ?config:Impact_core.Config.t ->
+  ?post_cleanup:bool ->
+  ?engine:Impact_interp.Machine.engine ->
+  ?jobs:int ->
+  unit ->
+  result list
 
 (** Derived Table 4 quantities. *)
 

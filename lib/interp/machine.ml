@@ -1,197 +1,48 @@
+(* Public interpreter entry point: engine selection over the shared
+   {!Rt} runtime.
+
+   Two engines produce observationally identical runs:
+
+   - {!Threaded} (default): each live function body is pre-decoded once
+     per run into an array of closures — see threaded.ml;
+   - the reference step interpreter below: a direct small-step loop over
+     the IL, kept as the oracle the differential tests pin the decoded
+     engine against, and the only engine that can drive the i-cache
+     model (it walks real body indices, which is what the code-address
+     tables are keyed by). *)
+
 module Il = Impact_il.Il
 
-exception Trap of string
+exception Trap = Rt.Trap
 
-exception Out_of_fuel
+exception Out_of_fuel = Rt.Out_of_fuel
 
-exception Program_exit of int
+exception Program_exit = Rt.Program_exit
 
-let trap fmt = Printf.ksprintf (fun msg -> raise (Trap msg)) fmt
-
-type outcome = {
+type outcome = Rt.outcome = {
   exit_code : int;
   output : string;
+  output_digest : string;
   counters : Counters.t;
   max_stack : int;
 }
 
-let func_base = 16
+type engine = Threaded | Reference
 
-let globals_base = 4096
+let engine_of_string = function
+  | "threaded" -> Some Threaded
+  | "reference" -> Some Reference
+  | _ -> None
 
-let func_addr fid = func_base + (8 * fid)
+let engine_to_string = function
+  | Threaded -> "threaded"
+  | Reference -> "reference"
 
-let fid_of_addr addr nfuncs =
-  if addr >= func_base && addr land 7 = 0 then begin
-    let fid = (addr - func_base) / 8 in
-    if fid < nfuncs then Some fid else None
-  end
-  else None
-
-type state = {
-  prog : Il.program;
-  mem : Bytes.t;
-  counters : Counters.t;
-  global_addr : int array;
-  string_addr : int array;
-  (* label index tables, per function, built lazily for the current body *)
-  label_tables : int array option array;
-  (* instruction addresses per body index, for i-cache simulation *)
-  code_tables : int array option array;
-  code_base : int array;
-  mutable heap_ptr : int;
-  heap_end : int;
-  stack_base : int;  (* lowest legal stack address *)
-  stack_top : int;
-  mutable min_sp : int;
-  mutable fuel : int;
-  input : string;
-  mutable in_pos : int;
-  out : Buffer.t;
-}
+let external_names = Rt.external_names
 
 (* ------------------------------------------------------------------ *)
-(* Memory                                                              *)
+(* Reference engine                                                    *)
 (* ------------------------------------------------------------------ *)
-
-let check_range st addr n =
-  if addr < globals_base || addr + n > Bytes.length st.mem then
-    trap "memory access at %d (size %d) out of range" addr n
-
-let load_word st addr =
-  check_range st addr 8;
-  Int64.to_int (Bytes.get_int64_le st.mem addr)
-
-let store_word st addr v =
-  check_range st addr 8;
-  Bytes.set_int64_le st.mem addr (Int64.of_int v)
-
-let load_byte st addr =
-  check_range st addr 1;
-  Char.code (Bytes.get st.mem addr)
-
-let store_byte st addr v =
-  check_range st addr 1;
-  Bytes.set st.mem addr (Char.chr (v land 0xff))
-
-(* ------------------------------------------------------------------ *)
-(* Externals                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let external_names =
-  [
-    "getchar"; "putchar"; "print_int"; "print_str"; "malloc"; "free"; "exit";
-    "abort"; "read"; "write";
-  ]
-
-let read_c_string st addr =
-  let buf = Buffer.create 16 in
-  let rec loop a =
-    let c = load_byte st a in
-    if c <> 0 then begin
-      Buffer.add_char buf (Char.chr c);
-      loop (a + 1)
-    end
-  in
-  loop addr;
-  Buffer.contents buf
-
-let call_external st name args =
-  match (name, args) with
-  | "getchar", [] ->
-    if st.in_pos < String.length st.input then begin
-      let c = Char.code st.input.[st.in_pos] in
-      st.in_pos <- st.in_pos + 1;
-      c
-    end
-    else -1
-  | "putchar", [ c ] ->
-    Buffer.add_char st.out (Char.chr (c land 0xff));
-    c land 0xff
-  | "print_int", [ n ] ->
-    Buffer.add_string st.out (string_of_int n);
-    0
-  | "print_str", [ p ] ->
-    Buffer.add_string st.out (read_c_string st p);
-    0
-  | "malloc", [ n ] ->
-    if n < 0 then trap "malloc of negative size %d" n;
-    let addr = (st.heap_ptr + 7) / 8 * 8 in
-    if addr + n > st.heap_end then trap "out of heap memory (%d bytes requested)" n;
-    st.heap_ptr <- addr + n;
-    addr
-  | "read", [ ptr; n ] ->
-    if n < 0 then trap "read of negative size %d" n;
-    let avail = String.length st.input - st.in_pos in
-    let count = min n avail in
-    if count > 0 then begin
-      check_range st ptr count;
-      Bytes.blit_string st.input st.in_pos st.mem ptr count;
-      st.in_pos <- st.in_pos + count
-    end;
-    count
-  | "write", [ ptr; n ] ->
-    if n < 0 then trap "write of negative size %d" n;
-    if n > 0 then begin
-      check_range st ptr n;
-      Buffer.add_subbytes st.out st.mem ptr n
-    end;
-    n
-  | "free", [ _ ] -> 0
-  | "exit", [ code ] -> raise (Program_exit code)
-  | "abort", [] -> trap "abort() called"
-  | name, args ->
-    if List.mem name external_names then
-      trap "external %s called with %d arguments" name (List.length args)
-    else trap "unknown external function '%s'" name
-
-(* ------------------------------------------------------------------ *)
-(* Execution                                                           *)
-(* ------------------------------------------------------------------ *)
-
-(* Code layout for the i-cache model: live functions are placed
-   back-to-back in fid order, [instr_bytes] bytes per (non-label)
-   instruction; a label occupies no space and gets the address of the
-   instruction that follows it. *)
-let instr_bytes = 4
-
-let layout_code_base (prog : Il.program) =
-  let base = Array.make (Array.length prog.Il.funcs) 0 in
-  let cursor = ref 0 in
-  Array.iteri
-    (fun fid (f : Il.func) ->
-      base.(fid) <- !cursor;
-      if f.Il.alive then cursor := !cursor + (instr_bytes * Il.code_size f))
-    prog.Il.funcs;
-  base
-
-let code_table st (f : Il.func) =
-  match st.code_tables.(f.Il.fid) with
-  | Some t -> t
-  | None ->
-    let t = Array.make (max (Array.length f.Il.body) 1) 0 in
-    let addr = ref st.code_base.(f.Il.fid) in
-    Array.iteri
-      (fun idx instr ->
-        t.(idx) <- !addr;
-        if not (Il.instr_is_label instr) then addr := !addr + instr_bytes)
-      f.Il.body;
-    st.code_tables.(f.Il.fid) <- Some t;
-    t
-
-let label_table st (f : Il.func) =
-  match st.label_tables.(f.Il.fid) with
-  | Some t -> t
-  | None ->
-    let t = Array.make (max f.Il.nlabels 1) (-1) in
-    Array.iteri
-      (fun idx instr ->
-        match instr with
-        | Il.Label l -> t.(l) <- idx
-        | _ -> ())
-      f.Il.body;
-    st.label_tables.(f.Il.fid) <- Some t;
-    t
 
 type activation = {
   func : Il.func;
@@ -203,113 +54,28 @@ type activation = {
   ret_reg : Il.reg option;  (* where the caller wants the result *)
 }
 
-let eval_binop op a b =
-  match op with
-  | Il.Add -> a + b
-  | Il.Sub -> a - b
-  | Il.Mul -> a * b
-  | Il.Div -> if b = 0 then trap "division by zero" else a / b
-  | Il.Mod -> if b = 0 then trap "division by zero" else a mod b
-  | Il.Shl -> a lsl (b land 63)
-  | Il.Shr -> a asr (b land 63)
-  | Il.And -> a land b
-  | Il.Or -> a lor b
-  | Il.Xor -> a lxor b
-  | Il.Lt -> if a < b then 1 else 0
-  | Il.Le -> if a <= b then 1 else 0
-  | Il.Gt -> if a > b then 1 else 0
-  | Il.Ge -> if a >= b then 1 else 0
-  | Il.Eq -> if a = b then 1 else 0
-  | Il.Ne -> if a <> b then 1 else 0
-
-let eval_unop op a =
-  match op with
-  | Il.Neg -> -a
-  | Il.Not -> lnot a
-  | Il.Lnot -> if a = 0 then 1 else 0
-
-let run ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
+let run_reference ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
     ?(stack_size = 1024 * 1024) ?icache ?(obs = Impact_obs.Obs.null)
     (prog : Il.program) ~input =
-  (* Lay out globals and strings. *)
-  let nglobals = Array.length prog.Il.globals in
-  let global_addr = Array.make (max nglobals 1) 0 in
-  let cursor = ref globals_base in
-  Array.iteri
-    (fun i (g : Il.global) ->
-      global_addr.(i) <- !cursor;
-      cursor := (!cursor + g.Il.g_size + 7) / 8 * 8)
-    prog.Il.globals;
-  let nstrings = Array.length prog.Il.strings in
-  let string_addr = Array.make (max nstrings 1) 0 in
-  Array.iteri
-    (fun i s ->
-      string_addr.(i) <- !cursor;
-      cursor := !cursor + String.length s + 1)
-    prog.Il.strings;
-  let heap_start = (!cursor + 7) / 8 * 8 in
-  let heap_end = heap_start + heap_size in
-  let stack_base = heap_end in
-  let stack_top = stack_base + stack_size in
-  let st =
-    {
-      prog;
-      mem = Bytes.make stack_top '\000';
-      counters =
-        Counters.create ~nfuncs:(Array.length prog.Il.funcs) ~nsites:prog.Il.next_site;
-      global_addr;
-      string_addr;
-      label_tables = Array.make (Array.length prog.Il.funcs) None;
-      code_tables = Array.make (Array.length prog.Il.funcs) None;
-      code_base = layout_code_base prog;
-      heap_ptr = heap_start;
-      heap_end;
-      stack_base;
-      stack_top;
-      min_sp = stack_top;
-      fuel;
-      input;
-      in_pos = 0;
-      out = Buffer.create 4096;
-    }
-  in
-  (* Initialise global images. *)
-  Array.iteri
-    (fun i (g : Il.global) ->
-      let base = global_addr.(i) in
-      List.iter
-        (fun (off, v) ->
-          match v with
-          | Il.Gword n -> store_word st (base + off) n
-          | Il.Gbyte n -> store_byte st (base + off) n
-          | Il.Gstr id -> store_word st (base + off) string_addr.(id)
-          | Il.Gfunc fid -> store_word st (base + off) (func_addr fid)
-          | Il.Gglob gid -> store_word st (base + off) global_addr.(gid))
-        g.Il.g_init)
-    prog.Il.globals;
-  (* Interned strings. *)
-  Array.iteri
-    (fun i s ->
-      String.iteri (fun j c -> Bytes.set st.mem (string_addr.(i) + j) c) s)
-    prog.Il.strings;
+  let st = Rt.create_state ~fuel ~heap_size ~stack_size prog ~input in
   let nfuncs = Array.length prog.Il.funcs in
   let enter_activation ~sp (f : Il.func) args ret_reg =
     (* One activation consumes the full paper-style stack usage: frame
        slots plus the virtual-register save area plus call overhead.
        Frame slots live at the bottom, [fp, fp + frame_size). *)
     let fp = sp - Il.stack_usage f in
-    if fp < st.stack_base then trap "control stack overflow in %s" f.Il.name;
-    if fp < st.min_sp then st.min_sp <- fp;
+    if fp < st.Rt.stack_base then Rt.trap "control stack overflow in %s" f.Il.name;
+    if fp < st.Rt.min_sp then st.Rt.min_sp <- fp;
     let regs = Array.make (max f.Il.nregs 1) 0 in
     List.iteri (fun i v -> regs.(i) <- v) args;
-    st.counters.Counters.func_counts.(f.Il.fid) <-
-      st.counters.Counters.func_counts.(f.Il.fid) + 1;
+    st.Rt.counters.Counters.func_counts.(f.Il.fid) <-
+      st.Rt.counters.Counters.func_counts.(f.Il.fid) + 1;
     {
       func = f;
       regs;
       fp;
-      labels = label_table st f;
-      code = code_table st f;
+      labels = Rt.label_table st f;
+      code = Rt.code_table st f;
       pc = 0;
       ret_reg;
     }
@@ -318,7 +84,7 @@ let run ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
   let exit_code = ref 0 in
   (try
      let main_f = prog.Il.funcs.(prog.Il.main) in
-     let act = ref (enter_activation ~sp:st.stack_top main_f [] None) in
+     let act = ref (enter_activation ~sp:st.Rt.stack_top main_f [] None) in
      let value = function
        | Il.Reg r -> !act.regs.(r)
        | Il.Imm n -> n
@@ -327,80 +93,83 @@ let run ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
      while not !finished do
        let a = !act in
        if a.pc >= Array.length a.func.Il.body then
-         trap "fell off the end of %s" a.func.Il.name;
+         Rt.trap "fell off the end of %s" a.func.Il.name;
        let instr = a.func.Il.body.(a.pc) in
        a.pc <- a.pc + 1;
        (match instr with
        | Il.Label _ -> ()
        | _ ->
-         st.counters.Counters.ils <- st.counters.Counters.ils + 1;
+         st.Rt.counters.Counters.ils <- st.Rt.counters.Counters.ils + 1;
          (match icache with
          | Some cache -> Impact_icache.Icache.access cache a.code.(a.pc - 1)
          | None -> ());
-         st.fuel <- st.fuel - 1;
-         if st.fuel <= 0 then raise Out_of_fuel);
+         st.Rt.fuel <- st.Rt.fuel - 1;
+         if st.Rt.fuel <= 0 then raise Out_of_fuel);
        match instr with
        | Il.Label _ -> ()
        | Il.Mov (r, op) -> a.regs.(r) <- value op
-       | Il.Un (op, r, x) -> a.regs.(r) <- eval_unop op (value x)
-       | Il.Bin (op, r, x, y) -> a.regs.(r) <- eval_binop op (value x) (value y)
-       | Il.Load (Il.Word, r, addr) -> a.regs.(r) <- load_word st (value addr)
-       | Il.Load (Il.Byte, r, addr) -> a.regs.(r) <- load_byte st (value addr)
-       | Il.Store (Il.Word, addr, v) -> store_word st (value addr) (value v)
-       | Il.Store (Il.Byte, addr, v) -> store_byte st (value addr) (value v)
+       | Il.Un (op, r, x) -> a.regs.(r) <- Rt.eval_unop op (value x)
+       | Il.Bin (op, r, x, y) ->
+         a.regs.(r) <- Rt.eval_binop op (value x) (value y)
+       | Il.Load (Il.Word, r, addr) -> a.regs.(r) <- Rt.load_word st (value addr)
+       | Il.Load (Il.Byte, r, addr) -> a.regs.(r) <- Rt.load_byte st (value addr)
+       | Il.Store (Il.Word, addr, v) -> Rt.store_word st (value addr) (value v)
+       | Il.Store (Il.Byte, addr, v) -> Rt.store_byte st (value addr) (value v)
        | Il.Lea_frame (r, off) -> a.regs.(r) <- a.fp + off
-       | Il.Lea_global (r, g) -> a.regs.(r) <- st.global_addr.(g)
-       | Il.Lea_string (r, s) -> a.regs.(r) <- st.string_addr.(s)
-       | Il.Lea_func (r, fid) -> a.regs.(r) <- func_addr fid
+       | Il.Lea_global (r, g) -> a.regs.(r) <- st.Rt.global_addr.(g)
+       | Il.Lea_string (r, s) -> a.regs.(r) <- st.Rt.string_addr.(s)
+       | Il.Lea_func (r, fid) -> a.regs.(r) <- Rt.func_addr fid
        | Il.Jump l ->
-         st.counters.Counters.cts <- st.counters.Counters.cts + 1;
+         st.Rt.counters.Counters.cts <- st.Rt.counters.Counters.cts + 1;
          a.pc <- a.labels.(l)
        | Il.Bnz (op, l) ->
-         st.counters.Counters.cts <- st.counters.Counters.cts + 1;
+         st.Rt.counters.Counters.cts <- st.Rt.counters.Counters.cts + 1;
          if value op <> 0 then a.pc <- a.labels.(l)
        | Il.Switch (op, table, default) ->
-         st.counters.Counters.cts <- st.counters.Counters.cts + 1;
+         st.Rt.counters.Counters.cts <- st.Rt.counters.Counters.cts + 1;
          let v = value op in
-         let target =
-           match Array.find_opt (fun (case, _) -> case = v) table with
-           | Some (_, l) -> l
-           | None -> default
+         let cases, targets =
+           Rt.switch_table st ~fid:a.func.Il.fid ~index:(a.pc - 1) table
          in
+         let i = Rt.switch_find cases v in
+         let target = if i >= 0 then targets.(i) else default in
          a.pc <- a.labels.(target)
        | Il.Call (site, callee, args, ret) ->
-         st.counters.Counters.calls <- st.counters.Counters.calls + 1;
-         st.counters.Counters.site_counts.(site) <-
-           st.counters.Counters.site_counts.(site) + 1;
+         st.Rt.counters.Counters.calls <- st.Rt.counters.Counters.calls + 1;
+         st.Rt.counters.Counters.site_counts.(site) <-
+           st.Rt.counters.Counters.site_counts.(site) + 1;
          let f = prog.Il.funcs.(callee) in
          let argv = List.map value args in
          stack := a :: !stack;
          act := enter_activation ~sp:a.fp f argv ret
        | Il.Call_ext (site, name, args, ret) ->
-         st.counters.Counters.calls <- st.counters.Counters.calls + 1;
-         st.counters.Counters.ext_calls <- st.counters.Counters.ext_calls + 1;
-         st.counters.Counters.site_counts.(site) <-
-           st.counters.Counters.site_counts.(site) + 1;
-         let result = call_external st name (List.map value args) in
+         st.Rt.counters.Counters.calls <- st.Rt.counters.Counters.calls + 1;
+         st.Rt.counters.Counters.ext_calls <-
+           st.Rt.counters.Counters.ext_calls + 1;
+         st.Rt.counters.Counters.site_counts.(site) <-
+           st.Rt.counters.Counters.site_counts.(site) + 1;
+         let result = Rt.call_external st name (List.map value args) in
          (* An external behaves like a call/return pair. *)
-         st.counters.Counters.returns <- st.counters.Counters.returns + 1;
+         st.Rt.counters.Counters.returns <- st.Rt.counters.Counters.returns + 1;
          (match ret with
          | Some r -> a.regs.(r) <- result
          | None -> ())
        | Il.Call_ind (site, target, args, ret) ->
-         st.counters.Counters.calls <- st.counters.Counters.calls + 1;
-         st.counters.Counters.site_counts.(site) <-
-           st.counters.Counters.site_counts.(site) + 1;
+         st.Rt.counters.Counters.calls <- st.Rt.counters.Counters.calls + 1;
+         st.Rt.counters.Counters.site_counts.(site) <-
+           st.Rt.counters.Counters.site_counts.(site) + 1;
          let tv = value target in
-         (match fid_of_addr tv nfuncs with
+         (match Rt.fid_of_addr tv nfuncs with
          | Some fid when prog.Il.funcs.(fid).Il.alive ->
            let f = prog.Il.funcs.(fid) in
            let argv = List.map value args in
            stack := a :: !stack;
            act := enter_activation ~sp:a.fp f argv ret
-         | Some fid -> trap "indirect call to dead function %s" prog.Il.funcs.(fid).Il.name
-         | None -> trap "indirect call through bad pointer %d" tv)
+         | Some fid ->
+           Rt.trap "indirect call to dead function %s" prog.Il.funcs.(fid).Il.name
+         | None -> Rt.trap "indirect call through bad pointer %d" tv)
        | Il.Ret op ->
-         st.counters.Counters.returns <- st.counters.Counters.returns + 1;
+         st.Rt.counters.Counters.returns <- st.Rt.counters.Counters.returns + 1;
          (match !stack with
          | [] ->
            exit_code := (match op with Some v -> value v | None -> 0);
@@ -418,38 +187,19 @@ let run ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
            act := caller)
      done
    with Program_exit code -> exit_code := code);
-  let max_stack = st.stack_top - st.min_sp in
-  (* Run-level counters for the observability layer: one "run" event per
-     execution plus accumulating machine.* counters, so profiling cost
-     is itself a measured quantity. *)
-  if Impact_obs.Obs.enabled obs then begin
-    let module Obs = Impact_obs.Obs in
-    let module Sink = Impact_obs.Sink in
-    let c = st.counters in
-    Obs.incr obs "machine.runs";
-    Obs.incr obs ~by:c.Counters.ils "machine.ils";
-    Obs.incr obs ~by:c.Counters.cts "machine.cts";
-    Obs.incr obs ~by:c.Counters.calls "machine.calls";
-    Obs.incr obs ~by:c.Counters.returns "machine.returns";
-    Obs.incr obs ~by:c.Counters.ext_calls "machine.ext_calls";
-    Obs.instant obs ~kind:"run"
-      ~attrs:
-        [
-          ("ils", Sink.Int c.Counters.ils);
-          ("cts", Sink.Int c.Counters.cts);
-          ("calls", Sink.Int c.Counters.calls);
-          ("returns", Sink.Int c.Counters.returns);
-          ("ext_calls", Sink.Int c.Counters.ext_calls);
-          ("max_stack", Sink.Int max_stack);
-          ("exit_code", Sink.Int !exit_code);
-          ("input_bytes", Sink.Int (String.length input));
-          ("output_bytes", Sink.Int (Buffer.length st.out));
-        ]
-      "machine"
-  end;
-  {
-    exit_code = !exit_code;
-    output = Buffer.contents st.out;
-    counters = st.counters;
-    max_stack;
-  }
+  Rt.finish st ~obs ~exit_code:!exit_code
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run ?fuel ?heap_size ?stack_size ?icache ?obs ?(engine = Threaded)
+    (prog : Il.program) ~input =
+  match (engine, icache) with
+  | Threaded, None when Threaded.supported prog ->
+    Threaded.run ?fuel ?heap_size ?stack_size ?obs prog ~input
+  | _ ->
+    (* The i-cache model needs real instruction addresses, so it always
+       drives the reference engine; so do the rare programs the decoder
+       rejects (immediates beyond 62 bits, out-of-range static refs). *)
+    run_reference ?fuel ?heap_size ?stack_size ?icache ?obs prog ~input

@@ -26,7 +26,15 @@
     - [malloc (n) : ptr] — bump allocation (never freed);
     - [free (p) : int] — accepted and ignored;
     - [exit (code)] — terminate the program;
-    - [abort ()] — trap. *)
+    - [abort ()] — trap.
+
+    Two engines implement these semantics: the default pre-decoded
+    threaded engine ({!Threaded}), which compiles each live function
+    body once per run into an array of closures, and the small-step
+    reference interpreter ({!run_reference}), the oracle the
+    differential tests pin the decoded engine against.  Both produce
+    identical outputs, exit codes, traps, peak stack, and dynamic
+    counters on every program. *)
 
 (** Raised on a runtime error: null/out-of-range access, division by
     zero, bad indirect call target, stack overflow, unknown external. *)
@@ -36,9 +44,13 @@ exception Trap of string
 exception Out_of_fuel
 
 (** The result of one run. *)
-type outcome = {
+type outcome = Rt.outcome = {
   exit_code : int;
   output : string;
+  output_digest : string;
+      (** MD5 of [output]; still valid when a caller drops the output
+          text itself (see {!Impact_profile.Profiler.profile}'s
+          [keep_outputs]) *)
   counters : Counters.t;
   max_stack : int;
       (** deepest control-stack extent in bytes, counting each
@@ -46,21 +58,46 @@ type outcome = {
           call overhead, as {!Impact_il.Il.stack_usage} estimates) *)
 }
 
-(** [run ?fuel ?heap_size ?stack_size ?icache prog ~input] executes
-    [prog] from [main] with [input] as its stdin.
+(** Which interpreter core executes the program. *)
+type engine =
+  | Threaded  (** pre-decoded closure arrays; the default *)
+  | Reference  (** small-step oracle; required for [?icache] *)
+
+(** [engine_of_string s] parses ["threaded"] / ["reference"]. *)
+val engine_of_string : string -> engine option
+
+val engine_to_string : engine -> string
+
+(** [run ?fuel ?heap_size ?stack_size ?icache ?obs ?engine prog ~input]
+    executes [prog] from [main] with [input] as its stdin.
 
     @param fuel instruction budget (default 1_000_000_000)
     @param heap_size bytes of heap (default 4 MiB)
     @param stack_size bytes of control stack (default 1 MiB)
     @param icache when given, every executed instruction's code address
       (functions laid out back-to-back in fid order, 4 bytes per
-      instruction) is driven through the cache model
+      instruction) is driven through the cache model; this forces the
+      reference engine regardless of [engine]
     @param obs when enabled, one ["run"] event with the run-level
       counters (ILs, CTs, calls, returns, externals, peak stack) is
       emitted after the run, and [machine.*] counters accumulate
+    @param engine interpreter core (default {!Threaded})
     @raise Trap on runtime errors
     @raise Out_of_fuel if the budget is exhausted *)
 val run :
+  ?fuel:int ->
+  ?heap_size:int ->
+  ?stack_size:int ->
+  ?icache:Impact_icache.Icache.t ->
+  ?obs:Impact_obs.Obs.t ->
+  ?engine:engine ->
+  Impact_il.Il.program ->
+  input:string ->
+  outcome
+
+(** The reference oracle: a direct small-step interpreter over the IL.
+    Same signature and semantics as {!run} minus engine selection. *)
+val run_reference :
   ?fuel:int ->
   ?heap_size:int ->
   ?stack_size:int ->

@@ -1,0 +1,142 @@
+(** Engine-independent execution runtime.
+
+    The memory image, simulated externals, code layout, per-run state and
+    outcome construction shared by the reference step interpreter and the
+    pre-decoded threaded engine.  See {!Machine} for the public entry
+    points and the memory-map documentation. *)
+
+(** Raised on a runtime error: null/out-of-range access, division by
+    zero, bad indirect call target, stack overflow, unknown external. *)
+exception Trap of string
+
+(** Raised when execution exceeds the instruction budget. *)
+exception Out_of_fuel
+
+(** Raised by the [exit] external; caught by both engines. *)
+exception Program_exit of int
+
+(** [trap fmt ...] raises {!Trap} with a formatted message. *)
+val trap : ('a, unit, string, 'b) format4 -> 'a
+
+(** The result of one run.  [output_digest] is the MD5 of [output],
+    still valid when a caller drops the output text itself (see
+    {!Impact_profile.Profiler.profile}'s [keep_outputs]). *)
+type outcome = {
+  exit_code : int;
+  output : string;
+  output_digest : string;
+  counters : Counters.t;
+  max_stack : int;
+}
+
+val func_base : int
+
+val globals_base : int
+
+(** [func_addr fid] is the pseudo-address of function [fid]. *)
+val func_addr : int -> int
+
+(** [fid_of_addr addr nfuncs] decodes a function pseudo-address. *)
+val fid_of_addr : int -> int -> int option
+
+(** Mutable per-run state: the memory image, dynamic counters, layout
+    tables and I/O cursors.  One value per execution; never shared
+    between runs or domains. *)
+type state = {
+  prog : Impact_il.Il.program;
+  mem : Bytes.t;
+  counters : Counters.t;
+  global_addr : int array;
+  string_addr : int array;
+  label_tables : int array option array;
+  code_tables : int array option array;
+  switch_tables : (int * int, int array * int array) Hashtbl.t;
+  code_base : int array;
+  mutable heap_ptr : int;
+  heap_end : int;
+  stack_base : int;
+  stack_top : int;
+  mutable min_sp : int;
+  mutable fuel : int;
+  input : string;
+  mutable in_pos : int;
+  out : Buffer.t;
+}
+
+(** [create_state ~fuel ~heap_size ~stack_size prog ~input] lays out
+    globals, strings, heap and stack, and returns a fresh run state with
+    the global images and interned strings written into memory. *)
+val create_state :
+  fuel:int ->
+  heap_size:int ->
+  stack_size:int ->
+  Impact_il.Il.program ->
+  input:string ->
+  state
+
+(** Memory access (all bounds-checked; out-of-range traps). *)
+
+val check_range : state -> int -> int -> unit
+
+val load_word : state -> int -> int
+
+val store_word : state -> int -> int -> unit
+
+val load_byte : state -> int -> int
+
+val store_byte : state -> int -> int -> unit
+
+(** Externals.  [call_external] implements the generic dispatch; the
+    [ext_*] helpers expose the individual semantics so a decode-time
+    specialisation and the generic path cannot drift apart. *)
+
+val external_names : string list
+
+val call_external : state -> string -> int list -> int
+
+val ext_getchar : state -> int
+
+val ext_putchar : state -> int -> int
+
+val ext_print_int : state -> int -> int
+
+val ext_print_str : state -> int -> int
+
+val ext_read : state -> int -> int -> int
+
+val ext_write : state -> int -> int -> int
+
+(** Code layout for the i-cache model. *)
+
+val instr_bytes : int
+
+val layout_code_base : Impact_il.Il.program -> int array
+
+val code_table : state -> Impact_il.Il.func -> int array
+
+val label_table : state -> Impact_il.Il.func -> int array
+
+(** Switch dispatch tables: parallel (cases, targets) arrays sorted by
+    case value, duplicates resolved to their first occurrence — the
+    same answer as a first-hit linear scan, in O(log cases). *)
+
+val compile_switch : (int * Impact_il.Il.label) array -> int array * int array
+
+(** [switch_find cases v] is the index of [v] in sorted [cases], or -1. *)
+val switch_find : int array -> int -> int
+
+(** [switch_table st ~fid ~index table] compiles on first use and caches
+    per (function, body position) for the rest of the run. *)
+val switch_table :
+  state -> fid:int -> index:int -> (int * Impact_il.Il.label) array ->
+  int array * int array
+
+(** Operator evaluation (division/modulo by zero trap). *)
+
+val eval_binop : Impact_il.Il.binop -> int -> int -> int
+
+val eval_unop : Impact_il.Il.unop -> int -> int
+
+(** [finish st ~obs ~exit_code] computes the peak stack, emits the
+    run-level observability event, and packages the outcome. *)
+val finish : state -> obs:Impact_obs.Obs.t -> exit_code:int -> outcome

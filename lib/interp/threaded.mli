@@ -1,0 +1,33 @@
+(** The pre-decoded ("threaded code") interpreter engine.
+
+    Compiles each live function body once per run into an array of
+    closures with operands, labels, switch tables, call targets and hot
+    externals resolved at decode time, then dispatches [code.(pc) ctx]
+    in a tight loop.  Observationally identical to the reference engine
+    ({!Machine.run_reference}): same outputs, exit codes, trap messages,
+    peak stack, and dynamic counters, at the same fuel boundaries.
+
+    Use {!Machine.run} rather than calling this module directly — it
+    falls back to the reference engine for the programs {!supported}
+    rejects and when an i-cache model is attached. *)
+
+(** [supported prog] is true when every immediate fits the decoder's
+    62-bit tagged-operand encoding and every static reference (call
+    target, global/string/function index) is in range — in practice,
+    everything the IL validator accepts.  Unsupported programs must run
+    on the reference engine. *)
+val supported : Impact_il.Il.program -> bool
+
+(** [run ?fuel ?heap_size ?stack_size ?obs prog ~input] — semantics and
+    defaults of {!Machine.run} (no i-cache support).
+
+    @raise Rt.Trap on runtime errors
+    @raise Rt.Out_of_fuel if the budget is exhausted *)
+val run :
+  ?fuel:int ->
+  ?heap_size:int ->
+  ?stack_size:int ->
+  ?obs:Impact_obs.Obs.t ->
+  Impact_il.Il.program ->
+  input:string ->
+  Rt.outcome

@@ -1,10 +1,20 @@
+(* The tables are mutex-protected: parallel runs (see
+   {!Impact_support.Pool}) accumulate machine.* counters from several
+   domains at once.  The disabled path stays lock-free. *)
 type t = {
   sink : Sink.t;
+  mu : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, Sink.json) Hashtbl.t;
 }
 
-let create sink = { sink; counters = Hashtbl.create 32; gauges = Hashtbl.create 32 }
+let create sink =
+  {
+    sink;
+    mu = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
+  }
 
 let null = create Sink.null
 
@@ -12,33 +22,39 @@ let enabled t = Sink.enabled t.sink
 
 let incr t ?(by = 1) name =
   if enabled t then
-    match Hashtbl.find_opt t.counters name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.replace t.counters name (ref by)
+    Mutex.protect t.mu (fun () ->
+        match Hashtbl.find_opt t.counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.replace t.counters name (ref by))
 
-let gauge t name v = if enabled t then Hashtbl.replace t.gauges name v
+let gauge t name v =
+  if enabled t then
+    Mutex.protect t.mu (fun () -> Hashtbl.replace t.gauges name v)
 
 let gauge_int t name n = gauge t name (Sink.Int n)
 
 let gauge_float t name x = gauge t name (Sink.Float x)
 
 let counter_value t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
 
 let sorted_bindings tbl value =
   Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot t =
-  sorted_bindings t.counters (fun r -> Sink.Int !r)
-  @ sorted_bindings t.gauges Fun.id
+  Mutex.protect t.mu (fun () ->
+      sorted_bindings t.counters (fun r -> Sink.Int !r)
+      @ sorted_bindings t.gauges Fun.id)
 
 let to_json t =
-  Sink.Obj
-    [
-      ("counters", Sink.Obj (sorted_bindings t.counters (fun r -> Sink.Int !r)));
-      ("gauges", Sink.Obj (sorted_bindings t.gauges Fun.id));
-    ]
+  Mutex.protect t.mu (fun () ->
+      Sink.Obj
+        [
+          ("counters", Sink.Obj (sorted_bindings t.counters (fun r -> Sink.Int !r)));
+          ("gauges", Sink.Obj (sorted_bindings t.gauges Fun.id));
+        ])
 
 let flush ?trace t =
   if enabled t then begin

@@ -286,35 +286,42 @@ let event_of_line s = event_of_json (json_of_string s)
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Every non-null sink carries a mutex: parallel profiling (see
+   {!Impact_support.Pool}) funnels events from several domains into one
+   sink, and interleaved JSONL lines or a torn event list must not be
+   possible.  The null sink stays lock-free — the [enabled] check keeps
+   the disabled path at zero cost. *)
 type t =
   | S_null
-  | S_memory of event list ref
-  | S_jsonl of out_channel
-  | S_custom of (event -> unit)
+  | S_memory of { mu : Mutex.t; mutable events : event list }
+  | S_jsonl of { mu : Mutex.t; oc : out_channel }
+  | S_custom of { mu : Mutex.t; f : event -> unit }
 
 let null = S_null
 
-let memory () = S_memory (ref [])
+let memory () = S_memory { mu = Mutex.create (); events = [] }
 
-let jsonl oc = S_jsonl oc
+let jsonl oc = S_jsonl { mu = Mutex.create (); oc }
 
-let custom f = S_custom f
+let custom f = S_custom { mu = Mutex.create (); f }
 
 let enabled = function S_null -> false | _ -> true
 
 let emit t ev =
   match t with
   | S_null -> ()
-  | S_memory events -> events := ev :: !events
-  | S_jsonl oc ->
-    output_string oc (json_to_string (event_to_json ev));
-    output_char oc '\n'
-  | S_custom f -> f ev
+  | S_memory m -> Mutex.protect m.mu (fun () -> m.events <- ev :: m.events)
+  | S_jsonl { mu; oc } ->
+    let line = json_to_string (event_to_json ev) in
+    Mutex.protect mu (fun () ->
+        output_string oc line;
+        output_char oc '\n')
+  | S_custom { mu; f } -> Mutex.protect mu (fun () -> f ev)
 
 let events = function
-  | S_memory events -> List.rev !events
+  | S_memory m -> Mutex.protect m.mu (fun () -> List.rev m.events)
   | S_null | S_jsonl _ | S_custom _ -> []
 
 let close = function
-  | S_jsonl oc -> flush oc
+  | S_jsonl { mu; oc } -> Mutex.protect mu (fun () -> flush oc)
   | S_null | S_memory _ | S_custom _ -> ()

@@ -1,14 +1,21 @@
+(* Span ids are allocated under a mutex and the open-span stack is kept
+   per domain, so runs executing on pool workers (see
+   {!Impact_support.Pool}) nest their own spans without corrupting each
+   other's.  Single-domain behaviour — ids, nesting, event order — is
+   unchanged. *)
+
 type t = {
   sink : Sink.t;
   clock : unit -> float;
   origin : float;
+  mu : Mutex.t;
   mutable next_id : int;
-  mutable stack : int list;  (* innermost open span first *)
+  stacks : (int, int list) Hashtbl.t;  (* domain id -> innermost-first *)
 }
 
 let create ?(clock = Unix.gettimeofday) sink =
   let origin = if Sink.enabled sink then clock () else 0. in
-  { sink; clock; origin; next_id = 1; stack = [] }
+  { sink; clock; origin; mu = Mutex.create (); next_id = 1; stacks = Hashtbl.create 4 }
 
 let null = create ~clock:(fun () -> 0.) Sink.null
 
@@ -16,7 +23,16 @@ let sink t = t.sink
 
 let enabled t = Sink.enabled t.sink
 
-let current_span t = match t.stack with [] -> 0 | id :: _ -> id
+let my_stack t =
+  match Hashtbl.find_opt t.stacks (Domain.self () :> int) with
+  | Some s -> s
+  | None -> []
+
+let set_my_stack t s = Hashtbl.replace t.stacks (Domain.self () :> int) s
+
+let current_span t =
+  Mutex.protect t.mu (fun () ->
+      match my_stack t with [] -> 0 | id :: _ -> id)
 
 let now t = t.clock () -. t.origin
 
@@ -34,9 +50,14 @@ let instant t ~kind ?(attrs = []) name =
 let with_span t ?(attrs = []) name f =
   if not (enabled t) then f ()
   else begin
-    let parent = current_span t in
-    let id = t.next_id in
-    t.next_id <- id + 1;
+    let parent, id =
+      Mutex.protect t.mu (fun () ->
+          let parent = match my_stack t with [] -> 0 | p :: _ -> p in
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          set_my_stack t (id :: my_stack t);
+          (parent, id))
+    in
     let t0 = now t in
     Sink.emit t.sink
       {
@@ -46,12 +67,12 @@ let with_span t ?(attrs = []) name f =
         ev_span = id;
         ev_attrs = ("parent", Sink.Int parent) :: attrs;
       };
-    t.stack <- id :: t.stack;
     Fun.protect
       ~finally:(fun () ->
-        (match t.stack with
-        | top :: rest when top = id -> t.stack <- rest
-        | stack -> t.stack <- List.filter (fun s -> s <> id) stack);
+        Mutex.protect t.mu (fun () ->
+            match my_stack t with
+            | top :: rest when top = id -> set_my_stack t rest
+            | stack -> set_my_stack t (List.filter (fun s -> s <> id) stack));
         let t1 = now t in
         Sink.emit t.sink
           {

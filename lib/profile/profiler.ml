@@ -1,14 +1,24 @@
 module Machine = Impact_interp.Machine
 module Counters = Impact_interp.Counters
+module Pool = Impact_support.Pool
 
 type result = {
   profile : Profile.t;
   runs : Machine.outcome list;
 }
 
-let profile ?fuel ?obs (prog : Impact_il.Il.program) ~inputs =
+let profile ?fuel ?obs ?engine ?(jobs = 1) ?(keep_outputs = true)
+    (prog : Impact_il.Il.program) ~inputs =
   if inputs = [] then invalid_arg "Profiler.profile: no inputs";
-  let runs = List.map (fun input -> Machine.run ?fuel ?obs prog ~input) inputs in
+  let one input =
+    let o = Machine.run ?fuel ?obs ?engine prog ~input in
+    (* [output_digest] keeps output comparison possible after the text
+       itself is dropped. *)
+    if keep_outputs then o else { o with Machine.output = "" }
+  in
+  (* The pool preserves input order, so the profile and the run list are
+     identical whatever [jobs] is. *)
+  let runs = Pool.map_list ~jobs one inputs in
   let acc =
     Counters.create
       ~nfuncs:(Array.length prog.Impact_il.Il.funcs)

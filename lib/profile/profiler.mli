@@ -11,12 +11,24 @@ type result = {
   runs : Impact_interp.Machine.outcome list;
 }
 
-(** [profile ?fuel ?obs prog ~inputs] runs [prog] once per input and
-    averages.  [obs] is handed to every {!Impact_interp.Machine.run} so
-    run-level counters flow through the sink.
+(** [profile ?fuel ?obs ?engine ?jobs ?keep_outputs prog ~inputs] runs
+    [prog] once per input and averages.  [obs] is handed to every
+    {!Impact_interp.Machine.run} so run-level counters flow through the
+    (mutex-protected) sink.
+
+    @param engine interpreter core, forwarded to every run
+    @param jobs when > 1, runs execute on that many OCaml domains
+      ({!Impact_support.Pool}); results keep input order, so the profile
+      is identical for any job count (default 1)
+    @param keep_outputs when false, each run's [output] text is dropped
+      (the MD5 [output_digest] survives), so profiling over many inputs
+      does not hold every output buffer live (default true)
     @raise Invalid_argument if [inputs] is empty.
     @raise Impact_interp.Machine.Trap if a run traps. *)
 val profile :
   ?fuel:int ->
   ?obs:Impact_obs.Obs.t ->
+  ?engine:Impact_interp.Machine.engine ->
+  ?jobs:int ->
+  ?keep_outputs:bool ->
   Impact_il.Il.program -> inputs:string list -> result

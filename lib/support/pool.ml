@@ -1,0 +1,58 @@
+(* A small domain pool for embarrassingly-parallel maps.
+
+   No Domainslib: each map spawns [jobs - 1] worker domains, the calling
+   domain works too, and an atomic cursor hands out indices.  Results
+   land in a pre-sized array slot per index, so the output order is the
+   input order no matter which domain ran which item — parallel and
+   sequential maps are indistinguishable to the caller.
+
+   Exceptions are captured per index; after all domains join, the
+   exception of the lowest failed index is re-raised (again independent
+   of scheduling), and workers stop picking up new work once any item
+   has failed.  [f] must therefore be safe to call from any domain and
+   must not share mutable state across items. *)
+
+type 'a cell = Empty | Value of 'a | Error of exn
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map_array ?(jobs = 1) (f : 'a -> 'b) (items : 'a array) : 'b array =
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then Array.map f items
+  else begin
+    let results = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failed then continue := false
+        else
+          match f items.(i) with
+          | v -> results.(i) <- Value v
+          | exception e ->
+            results.(i) <- Error e;
+            Atomic.set failed true
+      done
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    if Atomic.get failed then begin
+      (* Deterministic error: re-raise for the lowest failed index. *)
+      Array.iter (function Error e -> raise e | _ -> ()) results
+    end;
+    Array.map
+      (function
+        | Value v -> v
+        | Empty | Error _ ->
+          (* Unreached: every index below the cursor holds a value once
+             no item failed, and the cursor passed n. *)
+          assert false)
+      results
+  end
+
+let map_list ?jobs f items =
+  Array.to_list (map_array ?jobs f (Array.of_list items))

@@ -1,0 +1,20 @@
+(** A minimal domain pool for embarrassingly-parallel maps.
+
+    [map_array ~jobs f items] behaves exactly like [Array.map f items]
+    — same result order, and on failure the exception of the lowest
+    failing index — but runs [f] on up to [jobs] OCaml domains
+    ([jobs - 1] spawned workers plus the calling domain).  [jobs <= 1]
+    or a single item degrades to a plain sequential map with no domain
+    spawned.
+
+    [f] is called from arbitrary domains: it must not share unguarded
+    mutable state across items (per-item state, or a mutex-protected
+    sink, is fine — see {!Impact_obs.Sink}). *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [default_jobs ()] is the runtime's recommended domain count for this
+    machine. *)
+val default_jobs : unit -> int

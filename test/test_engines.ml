@@ -1,0 +1,286 @@
+(* Differential tests pinning the pre-decoded threaded engine to the
+   reference step interpreter: identical outcomes and counters on random
+   programs and on the whole benchmark suite, identical trap messages,
+   the same out-of-fuel boundary to the instruction, and deterministic
+   domain-parallel profiling for any job count. *)
+
+module Il = Impact_il.Il
+module Machine = Impact_interp.Machine
+module Threaded = Impact_interp.Threaded
+module Counters = Impact_interp.Counters
+module Profiler = Impact_profile.Profiler
+module Profile = Impact_profile.Profile
+module Rng = Impact_support.Rng
+module B = Impact_bench_progs.Benchmark
+
+(* ------------------------------------------------------------------ *)
+(* Outcome comparison                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_outcomes_equal ctxt (a : Machine.outcome) (b : Machine.outcome) =
+  let fail fmt =
+    Printf.ksprintf (fun msg -> Alcotest.failf "%s: %s" ctxt msg) fmt
+  in
+  if a.Machine.output <> b.Machine.output then
+    fail "outputs differ: %S vs %S" a.Machine.output b.Machine.output;
+  if a.Machine.output_digest <> b.Machine.output_digest then
+    fail "output digests differ";
+  if a.Machine.exit_code <> b.Machine.exit_code then
+    fail "exit codes differ: %d vs %d" a.Machine.exit_code b.Machine.exit_code;
+  if a.Machine.max_stack <> b.Machine.max_stack then
+    fail "max_stack differs: %d vs %d" a.Machine.max_stack b.Machine.max_stack;
+  let ca = a.Machine.counters and cb = b.Machine.counters in
+  let field name f = if f ca <> f cb then fail "counter %s: %d vs %d" name (f ca) (f cb) in
+  field "ils" (fun c -> c.Counters.ils);
+  field "cts" (fun c -> c.Counters.cts);
+  field "calls" (fun c -> c.Counters.calls);
+  field "returns" (fun c -> c.Counters.returns);
+  field "ext_calls" (fun c -> c.Counters.ext_calls);
+  if ca.Counters.func_counts <> cb.Counters.func_counts then
+    fail "per-function counts differ";
+  if ca.Counters.site_counts <> cb.Counters.site_counts then
+    fail "per-site counts differ"
+
+let both_engines ?fuel prog ~input =
+  let t = Machine.run ?fuel ~engine:Machine.Threaded prog ~input in
+  let r = Machine.run ?fuel ~engine:Machine.Reference prog ~input in
+  (t, r)
+
+(* ------------------------------------------------------------------ *)
+(* Random-program differential property                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_source =
+  QCheck.make
+    ~print:(fun s -> s)
+    (QCheck.Gen.map
+       (fun seed -> Testutil.gen_program (Rng.create seed))
+       QCheck.Gen.small_nat)
+
+let engines_agree src =
+  let prog = Testutil.compile src in
+  if not (Threaded.supported prog) then
+    QCheck.Test.fail_reportf "generated program rejected by Threaded.supported";
+  let t, r = both_engines prog ~input:"" in
+  check_outcomes_equal "random program" t r;
+  true
+
+(* ------------------------------------------------------------------ *)
+(* Suite differential                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let profiles_equal (a : Profile.t) (b : Profile.t) = a = b
+
+let suite_prog (b : B.t) =
+  let prog = Impact_il.Lower.lower_source b.B.source in
+  ignore (Impact_opt.Driver.pre_inline prog);
+  prog
+
+let test_suite_differential () =
+  List.iter
+    (fun (b : B.t) ->
+      let prog = suite_prog b in
+      Alcotest.(check bool)
+        (b.B.name ^ " supported by threaded engine") true
+        (Threaded.supported prog);
+      let inputs = b.B.inputs () in
+      let t = Profiler.profile ~engine:Machine.Threaded prog ~inputs in
+      let r = Profiler.profile ~engine:Machine.Reference prog ~inputs in
+      List.iter2
+        (fun to_ ro -> check_outcomes_equal b.B.name to_ ro)
+        t.Profiler.runs r.Profiler.runs;
+      if not (profiles_equal t.Profiler.profile r.Profiler.profile) then
+        Alcotest.failf "%s: profiles differ between engines" b.B.name)
+    Impact_bench_progs.Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel determinism                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_jobs_deterministic () =
+  let b = Impact_bench_progs.Suite.find "cmp" in
+  let prog = suite_prog b in
+  let inputs = b.B.inputs () in
+  let base = Profiler.profile ~jobs:1 prog ~inputs in
+  List.iter
+    (fun jobs ->
+      let p = Profiler.profile ~jobs prog ~inputs in
+      if not (profiles_equal base.Profiler.profile p.Profiler.profile) then
+        Alcotest.failf "profile with %d jobs differs from 1 job" jobs;
+      List.iter2
+        (fun a bo -> check_outcomes_equal (Printf.sprintf "jobs=%d" jobs) a bo)
+        base.Profiler.runs p.Profiler.runs)
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fuel-boundary parity                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Both engines spend one fuel unit per executed IL and raise
+   {!Machine.Out_of_fuel} on the instruction that exhausts it, so for a
+   program that executes [ils] instructions: fuel = ils + 1 completes
+   (with identical counters) and fuel = ils raises in both engines. *)
+let test_fuel_boundary () =
+  let src =
+    "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+     int main() { return fib(10); }"
+  in
+  let prog = Testutil.compile src in
+  let full = Machine.run prog ~input:"" in
+  let ils = full.Machine.counters.Counters.ils in
+  let t, r = both_engines ~fuel:(ils + 1) prog ~input:"" in
+  check_outcomes_equal "fuel = ils + 1" t r;
+  Alcotest.(check int) "exact-fuel run completes" full.Machine.exit_code
+    t.Machine.exit_code;
+  List.iter
+    (fun fuel ->
+      let run engine () = ignore (Machine.run ~fuel ~engine prog ~input:"") in
+      Alcotest.check_raises
+        (Printf.sprintf "threaded out of fuel at %d" fuel)
+        Machine.Out_of_fuel (run Machine.Threaded);
+      Alcotest.check_raises
+        (Printf.sprintf "reference out of fuel at %d" fuel)
+        Machine.Out_of_fuel (run Machine.Reference))
+    [ ils; ils / 2; 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Trap parity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trap_of engine prog ~input =
+  match Machine.run ~engine prog ~input with
+  | _ -> None
+  | exception Machine.Trap msg -> Some msg
+
+let check_same_trap name prog =
+  let t = trap_of Machine.Threaded prog ~input:"" in
+  let r = trap_of Machine.Reference prog ~input:"" in
+  (match t with
+  | None -> Alcotest.failf "%s: threaded engine did not trap" name
+  | Some _ -> ());
+  Alcotest.(check (option string)) (name ^ ": same trap message") r t
+
+let func ?(nparams = 0) ?(nregs = 1) ?(nlabels = 0) fid name body =
+  {
+    Il.fid;
+    name;
+    nparams;
+    nregs;
+    nlabels;
+    frame_size = 0;
+    body;
+    alive = true;
+  }
+
+let one_func_program body ~nregs =
+  {
+    Il.funcs = [| func ~nregs 0 "main" body |];
+    globals = [||];
+    strings = [||];
+    externs = [];
+    main = 0;
+    next_site = 0;
+    address_taken = [];
+  }
+
+let test_trap_parity () =
+  (* Division by zero, via source so both operands live in registers. *)
+  check_same_trap "div by zero"
+    (Testutil.compile
+       "int main() { int a; int b; a = 7; b = 0; return a / b; }");
+  (* Unbounded recursion exhausts the simulated control stack. *)
+  check_same_trap "stack overflow"
+    (Testutil.compile
+       "int f(int n) { int big[64]; big[0] = n; return f(n + 1); }\n\
+        int main() { return f(0); }");
+  (* A body with no Ret falls off the end (unreachable from C input,
+     so built directly in IL). *)
+  check_same_trap "fell off the end"
+    (one_func_program [| Il.Mov (0, Il.Imm 42) |] ~nregs:1);
+  (* An indirect call through a non-function address. *)
+  check_same_trap "bad indirect pointer"
+    (one_func_program
+       [|
+         Il.Mov (0, Il.Imm 12345);
+         Il.Call_ind (0, Il.Reg 0, [], Some 0);
+         Il.Ret (Some (Il.Reg 0));
+       |]
+       ~nregs:1)
+
+(* Out-of-range memory traps must agree too, including addresses near
+   max_int whose bounds check must not overflow. *)
+let test_memory_trap_parity () =
+  List.iter
+    (fun addr ->
+      let prog =
+        one_func_program
+          [|
+            Il.Mov (0, Il.Imm addr);
+            Il.Load (Il.Word, 0, Il.Reg 0);
+            Il.Ret (Some (Il.Reg 0));
+          |]
+          ~nregs:1
+      in
+      check_same_trap (Printf.sprintf "load at %d" addr) prog)
+    [ 0; -8; 1_000_000_000; max_int / 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fallback for unsupported programs                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* An immediate that does not survive the tagged-operand shift forces
+   the threaded engine's [supported] gate off; Machine.run must fall
+   back to the reference engine transparently. *)
+let test_unsupported_fallback () =
+  let prog =
+    one_func_program [| Il.Ret (Some (Il.Imm max_int)) |] ~nregs:1
+  in
+  Alcotest.(check bool) "rejected by supported" false (Threaded.supported prog);
+  let t, r = both_engines prog ~input:"" in
+  check_outcomes_equal "unsupported fallback" t r
+
+(* ------------------------------------------------------------------ *)
+(* keep_outputs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_keep_outputs () =
+  let b = Impact_bench_progs.Suite.find "wc" in
+  let prog = suite_prog b in
+  let inputs = b.B.inputs () in
+  let kept = Profiler.profile ~keep_outputs:true prog ~inputs in
+  let dropped = Profiler.profile ~keep_outputs:false prog ~inputs in
+  if not (profiles_equal kept.Profiler.profile dropped.Profiler.profile) then
+    Alcotest.fail "keep_outputs:false changed the profile";
+  List.iter2
+    (fun (k : Machine.outcome) (d : Machine.outcome) ->
+      Alcotest.(check string) "digest survives" k.Machine.output_digest
+        d.Machine.output_digest;
+      Alcotest.(check string) "output text dropped" "" d.Machine.output;
+      Alcotest.(check string) "digest is of the kept output"
+        (Digest.to_hex (Digest.string k.Machine.output))
+        (Digest.to_hex d.Machine.output_digest))
+    kept.Profiler.runs dropped.Profiler.runs
+
+(* ------------------------------------------------------------------ *)
+
+let props =
+  [
+    QCheck.Test.make ~count:80 ~name:"threaded and reference engines agree"
+      gen_source engines_agree;
+  ]
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest props
+  @ [
+      Alcotest.test_case "suite differential (profiles and outcomes)" `Slow
+        test_suite_differential;
+      Alcotest.test_case "profiling is deterministic across job counts" `Quick
+        test_jobs_deterministic;
+      Alcotest.test_case "out-of-fuel boundary parity" `Quick test_fuel_boundary;
+      Alcotest.test_case "trap parity" `Quick test_trap_parity;
+      Alcotest.test_case "memory trap parity" `Quick test_memory_trap_parity;
+      Alcotest.test_case "unsupported programs fall back to reference" `Quick
+        test_unsupported_fallback;
+      Alcotest.test_case "keep_outputs drops text, keeps digest" `Quick
+        test_keep_outputs;
+    ]

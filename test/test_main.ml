@@ -7,6 +7,7 @@ let () =
       ("frontend", Test_frontend.tests);
       ("il", Test_il.tests);
       ("interp", Test_interp.tests);
+      ("engines", Test_engines.tests);
       ("semantics2", Test_semantics2.tests);
       ("opt", Test_opt.tests);
       ("callgraph", Test_callgraph.tests);

@@ -3,6 +3,7 @@
 module Vec = Impact_support.Vec
 module Rng = Impact_support.Rng
 module Stats = Impact_support.Stats
+module Pool = Impact_support.Pool
 
 let check_int = Alcotest.(check int)
 
@@ -97,11 +98,51 @@ let test_stats_mean_stddev () =
   check_float "ratio" 2.5 (Stats.ratio 5. 2.);
   check_float "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ])
 
+(* Domain pool: result order must match input order for every job
+   count, oversubscription must be harmless, and a failing item must
+   surface the lowest failing index's exception deterministically. *)
+
+exception Boom of int
+
+let test_pool_ordering () =
+  let items = Array.init 100 (fun i -> i) in
+  let expected = Array.map (fun i -> i * i) items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map_array jobs=%d" jobs)
+        expected
+        (Pool.map_array ~jobs (fun i -> i * i) items))
+    [ 1; 2; 4; 7; 200 ];
+  Alcotest.(check (list int)) "map_list keeps order" [ 2; 4; 6 ]
+    (Pool.map_list ~jobs:3 (fun i -> 2 * i) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "empty list" []
+    (Pool.map_list ~jobs:4 (fun i -> i) []);
+  Alcotest.(check bool) "default_jobs is positive" true (Pool.default_jobs () >= 1)
+
+let test_pool_exception () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "lowest failing index wins (jobs=%d)" jobs)
+        (Boom 3)
+        (fun () ->
+          ignore
+            (Pool.map_array ~jobs
+               (fun i -> if i >= 3 then raise (Boom i) else i)
+               (Array.init 20 (fun i -> i)))))
+    [ 1; 2; 4 ]
+
 let props =
   let open QCheck in
   [
     Test.make ~name:"vec: of_list/to_list roundtrip" (small_list int) (fun l ->
         Vec.to_list (Vec.of_list l) = l);
+    Test.make ~name:"pool: map_array equals Array.map for any jobs"
+      (pair (int_bound 6) (small_list small_int)) (fun (jobs, l) ->
+        let items = Array.of_list l in
+        Pool.map_array ~jobs:(jobs + 1) (fun x -> (3 * x) + 1) items
+        = Array.map (fun x -> (3 * x) + 1) items);
     Test.make ~name:"rng: chance 0 never fires" small_int (fun seed ->
         let rng = Rng.create seed in
         not (Rng.chance rng 0 10));
@@ -120,5 +161,7 @@ let tests =
     Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
     Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
     Alcotest.test_case "stats aggregates" `Quick test_stats_mean_stddev;
+    Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
+    Alcotest.test_case "pool exception determinism" `Quick test_pool_exception;
   ]
   @ List.map QCheck_alcotest.to_alcotest props
