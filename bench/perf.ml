@@ -73,10 +73,7 @@ let () =
   let perfs = Perf.measure_suite ~quota:!quota () in
   let scaling = Perf.domain_scaling () in
   let json = Perf.to_json ~suite_wall_ms ~scaling perfs in
-  let out = open_out !out_file in
-  output_string out (Sink.json_to_string json);
-  output_char out '\n';
-  close_out out;
+  Impact_support.Atomic_io.write_string !out_file (Sink.json_to_string json ^ "\n");
   let indexed = Perf.stage_total "expand" perfs in
   let rescan = Perf.stage_total "expand_rescan" perfs in
   let threaded = Perf.stage_total "profile" perfs in

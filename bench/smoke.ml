@@ -34,11 +34,13 @@ let () =
     try Suite.find !bench_name with Not_found -> fail "unknown benchmark '%s'" !bench_name
   in
   (* 1. Run the pipeline with a JSONL sink. *)
-  let oc = open_out !trace_file in
+  let trace_tmp = Impact_support.Atomic_io.tmp_path !trace_file in
+  let oc = open_out trace_tmp in
   let obs = Obs.create (Sink.jsonl oc) in
   let r = Pipeline.run ~obs bench in
   Obs.finish obs;
   close_out oc;
+  Sys.rename trace_tmp !trace_file;
   (* 2. Re-parse every line: the trace must be valid JSONL. *)
   let ic = open_in !trace_file in
   let events = ref [] in
@@ -112,9 +114,7 @@ let () =
             ] );
       ]
   in
-  let out = open_out !out_file in
-  output_string out (Sink.json_to_string summary);
-  output_char out '\n';
-  close_out out;
+  Impact_support.Atomic_io.write_string !out_file
+    (Sink.json_to_string summary ^ "\n");
   Printf.printf "bench-smoke ok: %s, %d events, %d decisions -> %s\n" !bench_name
     (List.length events) decisions !out_file

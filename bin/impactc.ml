@@ -6,17 +6,25 @@
      run      compile and execute with stdin from a file or empty
      profile  run over inputs and print node/arc weights
      inline   profile, inline, and report what was expanded
-     bench    run one of the built-in benchmarks end to end *)
+     bench    run one of the built-in benchmarks end to end
+
+   Exit codes: 0 success, 2 usage error, 3 parse/sema/lowering error,
+   4 profile error (I/O or a failing run), 5 internal error. *)
 
 module Il = Impact_il.Il
 module Lower = Impact_il.Lower
 module Machine = Impact_interp.Machine
 module Profiler = Impact_profile.Profiler
 module Profile = Impact_profile.Profile
+module Profile_io = Impact_profile.Profile_io
 module Inliner = Impact_core.Inliner
 module Classify = Impact_core.Classify
 module Select = Impact_core.Select
 module Benchmark = Impact_bench_progs.Benchmark
+module Ierr = Impact_support.Ierr
+module Atomic_io = Impact_support.Atomic_io
+module Errors = Impact_harness.Errors
+module Pipeline = Impact_harness.Pipeline
 
 open Cmdliner
 
@@ -27,26 +35,38 @@ let read_file path =
   close_in ic;
   s
 
-let with_frontend_errors f =
-  try f () with
-  | Impact_cfront.Lexer.Lex_error (msg, loc) ->
-    Printf.eprintf "lex error at %s: %s\n" (Impact_cfront.Srcloc.to_string loc) msg;
-    exit 1
-  | Impact_cfront.Parser.Parse_error (msg, loc) ->
-    Printf.eprintf "parse error at %s: %s\n" (Impact_cfront.Srcloc.to_string loc) msg;
-    exit 1
-  | Impact_cfront.Sema.Sema_error (msg, loc) ->
-    Printf.eprintf "semantic error at %s: %s\n" (Impact_cfront.Srcloc.to_string loc) msg;
-    exit 1
-  | Lower.Lower_error msg ->
-    Printf.eprintf "lowering error: %s\n" msg;
-    exit 1
-  | Machine.Trap msg ->
-    Printf.eprintf "runtime trap: %s\n" msg;
-    exit 1
+(* Every command body runs under a guard: whatever escapes is converted
+   into a typed {!Ierr.t} attributed to [stage] (front-end exceptions
+   carry their own stage and source location regardless), and the
+   top-level handler turns it into a message and the right exit code. *)
+let guarded stage f = Errors.guard stage f
 
 let source_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file")
+
+(* Failure policy: --strict (the default) aborts on the first error;
+   --degrade lets the pipeline recover where the taxonomy permits. *)
+
+let policy_arg =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Abort on the first error of any severity (the default)")
+  in
+  let degrade =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "Recover from degradable failures: retry or drop failing \
+             profiling runs, fall back to static weights (no inlining) when \
+             profiling is impossible, skip callers whose expansion fails, \
+             and report a broken trace sink instead of aborting")
+  in
+  Term.(
+    const (fun s d -> if d && not s then Pipeline.Degrade else Pipeline.Strict)
+    $ strict $ degrade)
 
 (* Observability: --trace/--metrics-out build an Obs context over a
    JSONL (or, metrics-only, in-memory) sink; with neither flag the
@@ -69,29 +89,47 @@ let metrics_out_arg =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:"Write the final counter/gauge snapshot as JSON to $(docv)")
 
-let with_obs ~trace ~metrics_out f =
+(* The trace stream goes to [trace ^ ".tmp"] and is renamed into place
+   only after the run succeeded with a healthy sink, so a crash or a
+   mid-run write failure never leaves a partial artifact behind. *)
+let with_obs ?(policy = Pipeline.Strict) ~trace ~metrics_out f =
   match (trace, metrics_out) with
   | None, None -> f Obs.null
   | _ ->
-    let open_or_die path =
-      try open_out path
-      with Sys_error msg ->
-        Printf.eprintf "cannot open trace file: %s\n" msg;
-        exit 1
+    let tmp = Option.map Atomic_io.tmp_path trace in
+    let oc =
+      guarded Ierr.Artifact (fun () -> Option.map open_out_bin tmp)
     in
-    let oc = Option.map open_or_die trace in
     let sink =
       match oc with Some oc -> Sink.jsonl oc | None -> Sink.memory ()
     in
     let obs = Obs.create sink in
-    Fun.protect
-      ~finally:(fun () ->
-        (try Obs.finish ?metrics_out obs
-         with Sys_error msg ->
-           Printf.eprintf "cannot write metrics file: %s\n" msg;
-           exit 1);
-        Option.iter close_out oc)
-      (fun () -> f obs)
+    let discard () =
+      Option.iter close_out_noerr oc;
+      Option.iter (fun t -> try Sys.remove t with Sys_error _ -> ()) tmp
+    in
+    (match f obs with
+    | exception e ->
+      discard ();
+      raise e
+    | v ->
+      guarded Ierr.Artifact (fun () -> Obs.finish ?metrics_out obs);
+      (match Sink.broken sink with
+      | None ->
+        Option.iter close_out_noerr oc;
+        Option.iter
+          (fun t -> guarded Ierr.Artifact (fun () ->
+               Sys.rename t (Option.get trace)))
+          tmp
+      | Some e -> (
+        discard ();
+        let err = Errors.classify Ierr.Artifact e in
+        match policy with
+        | Pipeline.Strict -> raise (Ierr.Error err)
+        | Pipeline.Degrade ->
+          Printf.eprintf "impactc: warning: trace discarded: %s\n"
+            (Ierr.to_string err)));
+      v)
 
 let input_arg =
   Arg.(
@@ -130,6 +168,17 @@ let jobs_arg =
           "Fan independent profiling runs across $(docv) domains (default 1; \
            results are deterministic regardless of $(docv))")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget per profiling run (default: none)")
+
+let budget_of_timeout = function
+  | None -> None
+  | Some t -> Some (Impact_interp.Rt.budget ~timeout_s:t ())
+
 (* parse *)
 
 let dump_arg =
@@ -139,7 +188,7 @@ let dump_arg =
 
 let parse_cmd =
   let run src dump =
-    with_frontend_errors (fun () ->
+    guarded Ierr.Driver (fun () ->
         if dump then
           print_string
             (Impact_cfront.C_pp.print_program
@@ -165,7 +214,7 @@ let parse_cmd =
 
 let il_cmd =
   let run src optimize =
-    with_frontend_errors (fun () ->
+    guarded Ierr.Driver (fun () ->
         let prog = Lower.lower_source (read_file src) in
         if optimize then ignore (Impact_opt.Driver.pre_inline prog);
         print_string (Impact_il.Il_pp.dump prog))
@@ -176,8 +225,10 @@ let il_cmd =
 (* run *)
 
 let run_cmd =
-  let run src input optimize engine trace metrics_out =
-    with_frontend_errors (fun () ->
+  let run src input optimize engine timeout trace metrics_out =
+    (* Execution failures (traps, exhausted budgets) are profile-stage
+       errors: the program ran, the run failed — exit 4, not 5. *)
+    guarded Ierr.Profile_run (fun () ->
         with_obs ~trace ~metrics_out (fun obs ->
             let prog =
               Obs.span obs "lower" (fun () -> Lower.lower_source (read_file src))
@@ -186,17 +237,20 @@ let run_cmd =
               ignore
                 (Obs.span obs "pre_opt" (fun () -> Impact_opt.Driver.pre_inline prog));
             let stdin_data = match input with Some f -> read_file f | None -> "" in
-            let outcome = Machine.run ~obs ~engine prog ~input:stdin_data in
+            let outcome =
+              Machine.run ~obs ~engine ?budget:(budget_of_timeout timeout) prog
+                ~input:stdin_data
+            in
             print_string outcome.Machine.output;
             Printf.eprintf "[exit %d; %s]\n" outcome.Machine.exit_code
               (Impact_interp.Counters.summary outcome.Machine.counters);
-            outcome.Machine.exit_code)
-        |> exit)
+            outcome.Machine.exit_code))
+    |> exit
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a C file")
     Term.(
-      const run $ source_arg $ input_arg $ optimize_arg $ engine_arg $ trace_arg
-      $ metrics_out_arg)
+      const run $ source_arg $ input_arg $ optimize_arg $ engine_arg
+      $ timeout_arg $ trace_arg $ metrics_out_arg)
 
 (* profile *)
 
@@ -214,17 +268,21 @@ let profile_file_arg =
         ~doc:"Use a saved profile instead of re-profiling")
 
 let profile_cmd =
-  let run src inputs output engine jobs =
-    with_frontend_errors (fun () ->
+  let run src inputs output engine jobs timeout =
+    guarded Ierr.Profile_run (fun () ->
         let prog = Lower.lower_source (read_file src) in
         ignore (Impact_opt.Driver.pre_inline prog);
         let inputs =
           match inputs with [] -> [ "" ] | files -> List.map read_file files
         in
-        let { Profiler.profile; _ } = Profiler.profile ~engine ~jobs prog ~inputs in
+        let { Profiler.profile; _ } =
+          Profiler.profile ~engine ~jobs ?budget:(budget_of_timeout timeout)
+            prog ~inputs
+        in
         (match output with
         | Some path ->
-          Impact_profile.Profile_io.save path profile;
+          Profile_io.save ~checksum:(Profile_io.program_checksum prog) path
+            profile;
           Printf.printf "profile written to %s\n" path
         | None -> ());
         Printf.printf "%s\n" (Profile.to_string profile);
@@ -237,27 +295,56 @@ let profile_cmd =
           prog.Il.funcs)
   in
   Cmd.v (Cmd.info "profile" ~doc:"Profile a C program over input files")
-    Term.(const run $ source_arg $ inputs_arg $ output_arg $ engine_arg $ jobs_arg)
+    Term.(
+      const run $ source_arg $ inputs_arg $ output_arg $ engine_arg $ jobs_arg
+      $ timeout_arg)
 
 (* inline *)
 
 let inline_cmd =
-  let run src inputs profile_file engine jobs trace metrics_out =
-    with_frontend_errors (fun () ->
-        with_obs ~trace ~metrics_out (fun obs ->
+  let run src inputs profile_file engine jobs policy trace metrics_out =
+    guarded Ierr.Driver (fun () ->
+        with_obs ~policy ~trace ~metrics_out (fun obs ->
         let prog =
           Obs.span obs "lower" (fun () -> Lower.lower_source (read_file src))
         in
         ignore (Obs.span obs "pre_opt" (fun () -> Impact_opt.Driver.pre_inline prog));
+        let checksum = Profile_io.program_checksum prog in
+        let profile_dynamically () =
+          let inputs =
+            match inputs with [] -> [ "" ] | files -> List.map read_file files
+          in
+          Obs.span obs "profile" (fun () ->
+              (Profiler.profile ~obs ~engine ~jobs prog ~inputs).Profiler.profile)
+        in
         let profile =
           match profile_file with
-          | Some path -> Impact_profile.Profile_io.load path
-          | None ->
-            let inputs =
-              match inputs with [] -> [ "" ] | files -> List.map read_file files
-            in
-            Obs.span obs "profile" (fun () ->
-                (Profiler.profile ~obs ~engine ~jobs prog ~inputs).Profiler.profile)
+          | None -> profile_dynamically ()
+          | Some path -> (
+            (* The saved profile is validated against this very program:
+               a corrupt file or a checksum recorded for different IL is
+               a typed stale-profile error.  Strict aborts; degrade
+               re-profiles, and if that fails too, falls back to static
+               weights (no inlining). *)
+            match Profile_io.load ~expect_checksum:checksum path with
+            | Ok p -> p
+            | Error e -> (
+              match policy with
+              | Pipeline.Strict -> raise (Ierr.Error e)
+              | Pipeline.Degrade -> (
+                Printf.eprintf "impactc: warning: %s; re-profiling\n"
+                  (Ierr.to_string e);
+                try profile_dynamically ()
+                with e2 ->
+                  Printf.eprintf
+                    "impactc: warning: re-profiling failed (%s); using static \
+                     weights (no inlining)\n"
+                    (match e2 with
+                    | Ierr.Error t -> Ierr.to_string t
+                    | e2 -> Printexc.to_string e2);
+                  Profile.static_uniform
+                    ~nfuncs:(Array.length prog.Il.funcs)
+                    ~nsites:prog.Il.next_site)))
         in
         let report = Obs.span obs "inline" (fun () -> Inliner.run ~obs prog profile) in
         Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
@@ -279,9 +366,17 @@ let inline_cmd =
   Cmd.v
     (Cmd.info "inline" ~doc:"Profile-guided inline expansion of a C program")
     Term.(const run $ source_arg $ inputs_arg $ profile_file_arg $ engine_arg
-          $ jobs_arg $ trace_arg $ metrics_out_arg)
+          $ jobs_arg $ policy_arg $ trace_arg $ metrics_out_arg)
 
 (* bench *)
+
+let report_degradations r =
+  List.iter
+    (fun (d : Pipeline.degradation) ->
+      Printf.eprintf "impactc: degraded [%s] %s — %s\n"
+        (Ierr.stage_name d.Pipeline.d_stage)
+        d.Pipeline.d_detail d.Pipeline.d_action)
+    r.Pipeline.degradations
 
 let bench_cmd =
   let name_arg =
@@ -300,33 +395,36 @@ let bench_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the benchmark's table rows (Report.to_json) to $(docv)")
   in
-  let run name engine jobs trace metrics_out json =
+  let run name engine jobs policy timeout trace metrics_out json =
     match Impact_bench_progs.Suite.find name with
     | exception Not_found ->
       Printf.eprintf "unknown benchmark '%s'\n" name;
-      exit 1
+      exit 2
     | bench ->
-      let r =
-        with_obs ~trace ~metrics_out (fun obs ->
-            Impact_harness.Pipeline.run ~obs ~engine ~jobs bench)
-      in
-      (match json with
-      | Some path ->
-        let oc = open_out path in
-        output_string oc (Sink.json_to_string (Impact_harness.Report.to_json [ r ]));
-        output_char oc '\n';
-        close_out oc
-      | None -> ());
-      Printf.printf "%s: code %+.0f%%, calls -%.0f%%, outputs match: %b\n"
-        name
-        (Impact_harness.Pipeline.code_increase r)
-        (Impact_harness.Pipeline.call_decrease r)
-        r.Impact_harness.Pipeline.outputs_match
+      guarded Ierr.Driver (fun () ->
+          let r =
+            with_obs ~policy ~trace ~metrics_out (fun obs ->
+                Pipeline.run ~obs ~policy ~engine ~jobs
+                  ?budget:(budget_of_timeout timeout) bench)
+          in
+          report_degradations r;
+          (match json with
+          | Some path ->
+            guarded Ierr.Artifact (fun () ->
+                Atomic_io.write_string path
+                  (Sink.json_to_string (Impact_harness.Report.to_json [ r ])
+                  ^ "\n"))
+          | None -> ());
+          Printf.printf "%s: code %+.0f%%, calls -%.0f%%, outputs match: %b\n"
+            name
+            (Pipeline.code_increase r)
+            (Pipeline.call_decrease r)
+            r.Pipeline.outputs_match)
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
     Term.(
-      const run $ name_arg $ engine_arg $ jobs_arg $ trace_arg $ metrics_out_arg
-      $ json_arg)
+      const run $ name_arg $ engine_arg $ jobs_arg $ policy_arg $ timeout_arg
+      $ trace_arg $ metrics_out_arg $ json_arg)
 
 (* Default command: the full observed pipeline over a user C file —
    `impactc --trace t.jsonl --metrics-out m.json -O file.c` compiles,
@@ -334,11 +432,11 @@ let bench_cmd =
    span. *)
 
 let default_term =
-  let run src inputs optimize engine jobs trace metrics_out =
+  let run src inputs optimize engine jobs policy timeout trace metrics_out =
     match src with
     | None -> `Help (`Pager, None)
     | Some src ->
-      with_frontend_errors (fun () ->
+      guarded Ierr.Driver (fun () ->
           let source = read_file src in
           let bench =
             {
@@ -353,20 +451,21 @@ let default_term =
             }
           in
           let r =
-            with_obs ~trace ~metrics_out (fun obs ->
-                Impact_harness.Pipeline.run ~obs ~pre_opt:optimize ~engine ~jobs
-                  bench)
+            with_obs ~policy ~trace ~metrics_out (fun obs ->
+                Pipeline.run ~obs ~policy ~pre_opt:optimize ~engine ~jobs
+                  ?budget:(budget_of_timeout timeout) bench)
           in
-          Printf.printf "%s\n" (Profile.to_string r.Impact_harness.Pipeline.profile);
+          report_degradations r;
+          Printf.printf "%s\n" (Profile.to_string r.Pipeline.profile);
           Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
-            r.Impact_harness.Pipeline.inliner.Inliner.size_before
-            r.Impact_harness.Pipeline.inliner.Inliner.size_after
-            (Impact_harness.Pipeline.code_increase r);
+            r.Pipeline.inliner.Inliner.size_before
+            r.Pipeline.inliner.Inliner.size_after
+            (Pipeline.code_increase r);
           Printf.printf "dynamic calls: %.0f -> %.0f per run (-%.0f%%)\n"
-            r.Impact_harness.Pipeline.profile.Profile.avg_calls
-            r.Impact_harness.Pipeline.post_profile.Profile.avg_calls
-            (Impact_harness.Pipeline.call_decrease r);
-          Printf.printf "outputs match: %b\n" r.Impact_harness.Pipeline.outputs_match);
+            r.Pipeline.profile.Profile.avg_calls
+            r.Pipeline.post_profile.Profile.avg_calls
+            (Pipeline.call_decrease r);
+          Printf.printf "outputs match: %b\n" r.Pipeline.outputs_match);
       `Ok ()
   in
   let opt_source_arg =
@@ -375,12 +474,28 @@ let default_term =
   Term.(
     ret
       (const run $ opt_source_arg $ inputs_arg $ optimize_arg $ engine_arg
-     $ jobs_arg $ trace_arg $ metrics_out_arg))
+     $ jobs_arg $ policy_arg $ timeout_arg $ trace_arg $ metrics_out_arg))
 
 let () =
   let doc = "profile-guided inline function expansion for C (PLDI 1989)" in
   let info = Cmd.info "impactc" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default:default_term info
-          [ parse_cmd; il_cmd; run_cmd; profile_cmd; inline_cmd; bench_cmd ]))
+  let group =
+    Cmd.group ~default:default_term info
+      [ parse_cmd; il_cmd; run_cmd; profile_cmd; inline_cmd; bench_cmd ]
+  in
+  (* ~catch:false so failures reach the typed handler below instead of
+     cmdliner's backtrace printer; usage errors map to exit 2, typed
+     errors to their taxonomy code (3 front-end, 4 profile, 5 internal),
+     and the message always carries the source location when the error
+     has one. *)
+  match Cmd.eval_value ~catch:false group with
+  | Ok (`Ok ()) -> exit 0
+  | Ok (`Help | `Version) -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 5
+  | exception Ierr.Error e ->
+    Printf.eprintf "impactc: %s\n" (Ierr.to_string e);
+    exit (Ierr.exit_code e)
+  | exception e ->
+    Printf.eprintf "impactc: internal error: %s\n" (Printexc.to_string e);
+    exit 5

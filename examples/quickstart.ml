@@ -32,7 +32,7 @@ let () =
 
   (* 2. Profile over representative inputs. *)
   let inputs = [ "hello, world"; "attack at dawn"; "Veni vidi vici" ] in
-  let { Impact_profile.Profiler.profile; runs } =
+  let { Impact_profile.Profiler.profile; runs; _ } =
     Impact_profile.Profiler.profile prog ~inputs
   in
   Printf.printf "profiled %d runs: %s\n" (List.length runs)

@@ -65,6 +65,11 @@ let rename_instr ~reg_off ~label_off ~frame_off ~ret_reg ~exit_label ~fresh_site
    (fresh, original) site pairs of the duplicated call sites. *)
 let splice_call (prog : Il.program) ~(caller : Il.func) ~callee_fid ~args ~ret
     ~push =
+  (* Chaos injection point, before any namespace mutation: a fault here
+     leaves only the streaming buffer (discarded by the engine's
+     rollback) and earlier splices' namespace bumps, which the engine
+     snapshots. *)
+  Impact_support.Fault.hit Impact_support.Fault.Expand_splice;
   let callee = prog.Il.funcs.(callee_fid) in
   let reg_off = caller.Il.nregs in
   let label_off = caller.Il.nlabels in
@@ -120,8 +125,8 @@ let expand_site (prog : Il.program) ~(caller : Il.func) ~site =
    visit the same splice points, in the same order, with the same
    namespace offsets.  Callers with no selected site are skipped without
    touching their bodies at all. *)
-let expand_all ?(obs = Impact_obs.Obs.null) (prog : Il.program) (linear : Linearize.t)
-    (selection : Select.t) =
+let expand_all ?(obs = Impact_obs.Obs.null) ?on_caller_error (prog : Il.program)
+    (linear : Linearize.t) (selection : Select.t) =
   let expansions = ref [] in
   let copied = ref [] in
   (* The site index: selected site id -> callee, plus the per-caller
@@ -135,10 +140,18 @@ let expand_all ?(obs = Impact_obs.Obs.null) (prog : Il.program) (linear : Linear
         (1 + Option.value (Hashtbl.find_opt pending d.Select.d_caller) ~default:0))
     selection.Select.decisions;
   let obs_on = Impact_obs.Obs.enabled obs in
-  Array.iter
-    (fun fid ->
-      let caller = prog.Il.funcs.(fid) in
-      if caller.Il.alive && Hashtbl.mem pending fid then begin
+  let expand_caller fid =
+    let caller = prog.Il.funcs.(fid) in
+    if caller.Il.alive && Hashtbl.mem pending fid then begin
+      (* Everything a failed caller could have half-mutated: the
+         namespace counters splice_call bumps, and the two report lists.
+         The body itself is only installed on success, below. *)
+      let snap_nregs = caller.Il.nregs in
+      let snap_nlabels = caller.Il.nlabels in
+      let snap_frame = caller.Il.frame_size in
+      let snap_expansions = !expansions in
+      let snap_copied = !copied in
+      try
         let body = caller.Il.body in
         (* Non-label instruction counts of every body suffix, so each
            splice can report the same caller_size the rescan engine
@@ -189,8 +202,24 @@ let expand_all ?(obs = Impact_obs.Obs.null) (prog : Il.program) (linear : Linear
             | instr -> push instr)
           body;
         caller.Il.body <- Vec.to_array out
-      end)
-    linear.Linearize.sequence;
+      with e -> (
+        match on_caller_error with
+        | None -> raise e
+        | Some handler ->
+          (* Skip this caller: roll its namespaces and the report lists
+             back to the snapshot (the body was never installed) and
+             carry on with the rest of the plan.  Fresh site ids handed
+             out by failed splices stay consumed — gaps in the numbering
+             are harmless, collisions would not be. *)
+          caller.Il.nregs <- snap_nregs;
+          caller.Il.nlabels <- snap_nlabels;
+          caller.Il.frame_size <- snap_frame;
+          expansions := snap_expansions;
+          copied := snap_copied;
+          handler fid e)
+    end
+  in
+  Array.iter expand_caller linear.Linearize.sequence;
   { expansions = List.rev !expansions; copied_sites = List.rev !copied }
 
 (* The seed engine, kept as the reference oracle for the equivalence

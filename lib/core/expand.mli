@@ -53,9 +53,17 @@ val expand_site :
     {!expand_all_rescan} (the equivalence is enforced by a property
     test).  With an enabled [obs] context each physical splice emits one
     ["expand"] event and bumps the [expand.expansions] /
-    [expand.copied_sites] counters. *)
+    [expand.copied_sites] counters.
+
+    [?on_caller_error] is the graceful-degradation hook: when given, a
+    caller whose rewrite raises is rolled back (namespace counters
+    restored, no body installed, its entries dropped from the report)
+    and [on_caller_error fid exn] is called instead of propagating — the
+    rest of the plan still runs.  Without it (default) the exception
+    propagates unchanged. *)
 val expand_all :
   ?obs:Impact_obs.Obs.t ->
+  ?on_caller_error:(Impact_il.Il.fid -> exn -> unit) ->
   Impact_il.Il.program -> Linearize.t -> Select.t -> report
 
 (** [expand_all_rescan ?obs prog linear selection] is the original

@@ -14,7 +14,8 @@ type report = {
   dead_removed : int;
 }
 
-let run ?(obs = Impact_obs.Obs.null) ?(config = Config.default) prog profile =
+let run ?(obs = Impact_obs.Obs.null) ?(config = Config.default)
+    ?on_expand_error prog profile =
   let module Obs = Impact_obs.Obs in
   let prog = Il.copy_program prog in
   let size_before = Il.program_code_size prog in
@@ -36,7 +37,11 @@ let run ?(obs = Impact_obs.Obs.null) ?(config = Config.default) prog profile =
         Linearize.linearize ~obs ~order graph ~seed:config.Config.linearize_seed)
   in
   let selection = Obs.span obs "select" (fun () -> Select.select ~obs graph config linear) in
-  let expansion = Obs.span obs "expand" (fun () -> Expand.expand_all ~obs prog linear selection) in
+  let expansion =
+    Obs.span obs "expand" (fun () ->
+        Expand.expand_all ~obs ?on_caller_error:on_expand_error prog linear
+          selection)
+  in
   (* Conservative function-level dead-code elimination.  With external
      calls present this removes nothing (every function stays reachable
      through $$$), exactly as the paper observes. *)

@@ -27,6 +27,7 @@ type report = {
 val run :
   ?obs:Impact_obs.Obs.t ->
   ?config:Config.t ->
+  ?on_expand_error:(Impact_il.Il.fid -> exn -> unit) ->
   Impact_il.Il.program ->
   Impact_profile.Profile.t ->
   report

@@ -1,0 +1,26 @@
+(** Exception classification for the pipeline.
+
+    Maps the exceptions the lower layers raise — front-end errors with
+    source locations, interpreter traps and budget exhaustion, injected
+    faults, plain I/O failures — onto the typed
+    {!Impact_support.Ierr.t} taxonomy, tagged with the pipeline stage
+    that was executing when they escaped. *)
+
+(** [stage_policy stage] is the default (severity, recovery) pair a
+    failure in [stage] carries when the escaping exception does not
+    dictate its own. *)
+val stage_policy :
+  Impact_support.Ierr.stage ->
+  Impact_support.Ierr.severity * Impact_support.Ierr.recovery
+
+(** [classify stage exn] converts [exn] into a typed error attributed to
+    [stage].  An {!Impact_support.Ierr.Error} payload passes through
+    unchanged (the innermost stage wins); front-end exceptions carry
+    their source location into [loc]; everything else gets the stage's
+    default severity and recovery from {!stage_policy}. *)
+val classify : Impact_support.Ierr.stage -> exn -> Impact_support.Ierr.t
+
+(** [guard stage f] runs [f ()] and re-raises any escaping exception as
+    [Impact_support.Ierr.Error (classify stage exn)].  Already-typed
+    errors propagate untouched. *)
+val guard : Impact_support.Ierr.stage -> (unit -> 'a) -> 'a

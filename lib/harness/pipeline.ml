@@ -9,6 +9,15 @@ module Classify = Impact_core.Classify
 module Config = Impact_core.Config
 module Benchmark = Impact_bench_progs.Benchmark
 module Obs = Impact_obs.Obs
+module Ierr = Impact_support.Ierr
+
+type policy = Strict | Degrade
+
+type degradation = {
+  d_stage : Ierr.stage;
+  d_detail : string;
+  d_action : string;
+}
 
 type result = {
   bench : Benchmark.t;
@@ -21,6 +30,7 @@ type result = {
   post_profile : Profile.t;
   post_classified : Classify.classified list;
   outputs_match : bool;
+  degradations : degradation list;
 }
 
 let count_c_lines src =
@@ -28,68 +38,262 @@ let count_c_lines src =
   |> List.filter (fun l -> String.trim l <> "")
   |> List.length
 
-let run ?(obs = Obs.null) ?(config = Config.default) ?(pre_opt = true)
-    ?(post_cleanup = false) ?engine ?jobs (bench : Benchmark.t) =
+(* Render an exception for a degradation note: typed errors print
+   themselves; anything else is classified first so the note reads like
+   the Strict-mode message would ("run exceeded its wall-clock budget"
+   rather than a bare constructor name). *)
+let exn_detail stage = function
+  | Ierr.Error e -> Ierr.to_string e
+  | e -> Ierr.to_string (Errors.classify stage e)
+
+let same_outcome (a : Machine.outcome) (b : Machine.outcome) =
+  String.equal a.Machine.output_digest b.Machine.output_digest
+  && a.Machine.exit_code = b.Machine.exit_code
+
+(* Tolerant profiling returns survivors in input order plus the failed
+   input indices; scatter them back onto input positions so the pre- and
+   post-expansion runs can be compared per input even when different
+   inputs failed in each pass. *)
+let scatter_runs n runs (failures : (int * exn) list) =
+  let failed = Array.make n false in
+  List.iter (fun (i, _) -> if i >= 0 && i < n then failed.(i) <- true) failures;
+  let arr = Array.make n None in
+  let rem = ref runs in
+  for i = 0 to n - 1 do
+    if not failed.(i) then
+      match !rem with
+      | r :: tl ->
+        arr.(i) <- Some r;
+        rem := tl
+      | [] -> ()
+  done;
+  arr
+
+let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
+    ?(pre_opt = true) ?(post_cleanup = false) ?engine ?jobs ?budget ?fuel
+    (bench : Benchmark.t) =
+  let degradations = ref [] in
+  let note d_stage d_detail d_action =
+    degradations := { d_stage; d_detail; d_action } :: !degradations;
+    Obs.instant obs ~kind:"degrade"
+      ~attrs:
+        [
+          ("stage", Impact_obs.Sink.String (Ierr.stage_name d_stage));
+          ("action", Impact_obs.Sink.String d_action);
+          ("detail", Impact_obs.Sink.String d_detail);
+        ]
+      "pipeline.degraded"
+  in
   Obs.span obs "pipeline"
     ~attrs:[ ("benchmark", Impact_obs.Sink.String bench.Benchmark.name) ]
     (fun () ->
       let ast =
-        Obs.span obs "parse" (fun () ->
-            Impact_cfront.Parser.parse_program bench.Benchmark.source)
+        Errors.guard Ierr.Parse (fun () ->
+            Obs.span obs "parse" (fun () ->
+                Impact_cfront.Parser.parse_program bench.Benchmark.source))
       in
-      let tast = Obs.span obs "sema" (fun () -> Impact_cfront.Sema.check ast) in
-      let prog = Obs.span obs "lower" (fun () -> Lower.lower tast) in
+      let tast =
+        Errors.guard Ierr.Sema (fun () ->
+            Obs.span obs "sema" (fun () -> Impact_cfront.Sema.check ast))
+      in
+      let prog =
+        Errors.guard Ierr.Lower (fun () ->
+            Obs.span obs "lower" (fun () -> Lower.lower tast))
+      in
       Obs.gauge_int obs "il.size_lowered" (Il.program_code_size prog);
       (* The paper's setup: constant folding and jump optimisation run before
          inline expansion. *)
       if pre_opt then
-        ignore (Obs.span obs "pre_opt" (fun () -> Impact_opt.Driver.pre_inline prog));
+        Errors.guard Ierr.Lower (fun () ->
+            ignore
+              (Obs.span obs "pre_opt" (fun () ->
+                   Impact_opt.Driver.pre_inline prog)));
       Obs.gauge_int obs "il.size_pre_inline" (Il.program_code_size prog);
-      let inputs = bench.Benchmark.inputs () in
+      let inputs =
+        Errors.guard Ierr.Driver (fun () -> bench.Benchmark.inputs ())
+      in
+      let nfuncs = Array.length prog.Il.funcs in
+      let nsites = prog.Il.next_site in
       (* Only counters and digests are consumed downstream, so neither
          profiling pass needs to hold every run's output text. *)
-      let { Profiler.profile; runs } =
-        Obs.span obs "profile" (fun () ->
-            Profiler.profile ~obs ?engine ?jobs ~keep_outputs:false prog ~inputs)
+      let static_fallback = ref false in
+      let profile, runs, pre_failures =
+        match policy with
+        | Strict ->
+          let { Profiler.profile; runs; _ } =
+            Errors.guard Ierr.Profile_run (fun () ->
+                Obs.span obs "profile" (fun () ->
+                    Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
+                      ~keep_outputs:false prog ~inputs))
+          in
+          (profile, runs, [])
+        | Degrade -> (
+          try
+            let { Profiler.profile; runs; failures } =
+              Obs.span obs "profile" (fun () ->
+                  Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
+                    ~keep_outputs:false ~tolerant:true
+                    ~on_retry:(fun i e ->
+                      note Ierr.Profile_run
+                        (Printf.sprintf "run on input %d failed (%s)" i
+                           (exn_detail Ierr.Profile_run e))
+                        "retried once")
+                    prog ~inputs)
+            in
+            List.iter
+              (fun (i, e) ->
+                note Ierr.Profile_run
+                  (Printf.sprintf "run on input %d failed after retry (%s)" i
+                     (exn_detail Ierr.Profile_run e))
+                  "dropped from profile average")
+              failures;
+            (profile, runs, failures)
+          with e ->
+            static_fallback := true;
+            note Ierr.Profile_run
+              (Printf.sprintf "profiling failed (%s)" (exn_detail Ierr.Profile_run e))
+              "fell back to static uniform weights (no inlining)";
+            (Profile.static_uniform ~nfuncs ~nsites, [], []))
       in
       let graph =
-        Obs.span obs "callgraph" (fun () ->
-            Callgraph.build
-              ~refine_pointer_targets:config.Config.refine_pointer_targets prog
-              profile)
+        Errors.guard Ierr.Callgraph (fun () ->
+            Obs.span obs "callgraph" (fun () ->
+                Callgraph.build
+                  ~refine_pointer_targets:config.Config.refine_pointer_targets
+                  prog profile))
       in
       let classified =
-        Obs.span obs "classify" (fun () ->
-            Classify.classify ~obs ~stage:"classify.pre" graph config)
+        Errors.guard Ierr.Select (fun () ->
+            Obs.span obs "classify" (fun () ->
+                Classify.classify ~obs ~stage:"classify.pre" graph config))
+      in
+      (* Expansion failures are typed at the source: in Strict they abort
+         with a caller-naming [Expand] error; in Degrade the caller is
+         skipped, logged as a decision, and the rest of the plan kept. *)
+      let on_expand_error fid exn =
+        let fname =
+          if fid >= 0 && fid < nfuncs then prog.Il.funcs.(fid).Il.name
+          else string_of_int fid
+        in
+        match policy with
+        | Strict ->
+          let e = Errors.classify Ierr.Expand exn in
+          raise
+            (Ierr.Error
+               {
+                 e with
+                 Ierr.msg =
+                   Printf.sprintf "while expanding into %s: %s" fname e.Ierr.msg;
+               })
+        | Degrade ->
+          note Ierr.Expand
+            (Printf.sprintf "expansion into %s failed (%s)" fname
+               (exn_detail Ierr.Expand exn))
+            "caller skipped, rest of plan kept"
       in
       let inliner =
-        Obs.span obs "inline" (fun () -> Inliner.run ~obs ~config prog profile)
+        Errors.guard Ierr.Select (fun () ->
+            Obs.span obs "inline" (fun () ->
+                Inliner.run ~obs ~config ~on_expand_error prog profile))
       in
       if post_cleanup then
-        ignore
-          (Obs.span obs "post_opt" (fun () ->
-               Impact_opt.Driver.post_inline_cleanup inliner.Inliner.program));
+        Errors.guard Ierr.Lower (fun () ->
+            ignore
+              (Obs.span obs "post_opt" (fun () ->
+                   Impact_opt.Driver.post_inline_cleanup
+                     inliner.Inliner.program)));
       Obs.gauge_int obs "il.size_post_inline"
         (Il.program_code_size inliner.Inliner.program);
-      let { Profiler.profile = post_profile; runs = post_runs } =
-        Obs.span obs "re_profile" (fun () ->
-            Profiler.profile ~obs ?engine ?jobs ~keep_outputs:false
-              inliner.Inliner.program ~inputs)
+      let post_prog = inliner.Inliner.program in
+      let post_profile, outputs_match =
+        if !static_fallback then (
+          (* No dynamic behaviour was ever observed; the expanded program
+             equals the no-inlining baseline, so re-running it could only
+             repeat the original failure. *)
+          note Ierr.Profile_run "no dynamic profile to compare against"
+            "re-profile skipped; post metrics are static";
+          ( Profile.static_uniform
+              ~nfuncs:(Array.length post_prog.Il.funcs)
+              ~nsites:post_prog.Il.next_site,
+            true ))
+        else
+          match policy with
+          | Strict ->
+            let { Profiler.profile = post_profile; runs = post_runs; _ } =
+              Errors.guard Ierr.Profile_run (fun () ->
+                  Obs.span obs "re_profile" (fun () ->
+                      Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
+                        ~keep_outputs:false post_prog ~inputs))
+            in
+            (post_profile, List.for_all2 same_outcome runs post_runs)
+          | Degrade -> (
+            try
+              let {
+                Profiler.profile = post_profile;
+                runs = post_runs;
+                failures = post_failures;
+              } =
+                Obs.span obs "re_profile" (fun () ->
+                    Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
+                      ~keep_outputs:false ~tolerant:true
+                      ~on_retry:(fun i e ->
+                        note Ierr.Profile_run
+                          (Printf.sprintf
+                             "re-profile run on input %d failed (%s)" i
+                             (exn_detail Ierr.Profile_run e))
+                          "retried once")
+                    post_prog ~inputs)
+              in
+              List.iter
+                (fun (i, e) ->
+                  note Ierr.Profile_run
+                    (Printf.sprintf
+                       "re-profile run on input %d failed after retry (%s)" i
+                       (exn_detail Ierr.Profile_run e))
+                    "dropped from post-inline average")
+                post_failures;
+              let n = List.length inputs in
+              let pre = scatter_runs n runs pre_failures in
+              let post = scatter_runs n post_runs post_failures in
+              let matches = ref true in
+              for i = 0 to n - 1 do
+                match (pre.(i), post.(i)) with
+                | Some a, Some b -> if not (same_outcome a b) then matches := false
+                | None, None -> () (* failed both times: nothing to compare *)
+                | _ -> matches := false (* behaviour diverged under expansion *)
+              done;
+              (post_profile, !matches)
+            with e ->
+              note Ierr.Profile_run
+                (Printf.sprintf "re-profiling failed (%s)" (exn_detail Ierr.Profile_run e))
+                "post metrics are static; outputs unverified";
+              ( Profile.static_uniform
+                  ~nfuncs:(Array.length post_prog.Il.funcs)
+                  ~nsites:post_prog.Il.next_site,
+                false ))
       in
-      let outputs_match =
-        List.for_all2
-          (fun (a : Machine.outcome) (b : Machine.outcome) ->
-            String.equal a.Machine.output_digest b.Machine.output_digest
-            && a.Machine.exit_code = b.Machine.exit_code)
-          runs post_runs
+      let post_graph =
+        Errors.guard Ierr.Callgraph (fun () ->
+            Callgraph.build post_prog post_profile)
       in
-      let post_graph = Callgraph.build inliner.Inliner.program post_profile in
       let post_classified =
-        Obs.span obs "post_classify" (fun () ->
-            Classify.classify ~obs ~stage:"classify.post" post_graph config)
+        Errors.guard Ierr.Select (fun () ->
+            Obs.span obs "post_classify" (fun () ->
+                Classify.classify ~obs ~stage:"classify.post" post_graph config))
       in
       Obs.gauge_int obs "pipeline.c_lines" (count_c_lines bench.Benchmark.source);
       Obs.gauge_int obs "pipeline.nruns" (List.length inputs);
+      (* A broken trace sink never took the computation down (sinks fail
+         open); decide its severity now that the result is in hand. *)
+      (match Impact_obs.Sink.broken (Obs.sink obs) with
+      | None -> ()
+      | Some e -> (
+        match policy with
+        | Strict -> raise (Ierr.Error (Errors.classify Ierr.Artifact e))
+        | Degrade ->
+          note Ierr.Artifact
+            (Printf.sprintf "trace sink failed (%s)" (exn_detail Ierr.Artifact e))
+            "later events dropped; run kept"));
       {
         bench;
         c_lines = count_c_lines bench.Benchmark.source;
@@ -101,15 +305,38 @@ let run ?(obs = Obs.null) ?(config = Config.default) ?(pre_opt = true)
         post_profile;
         post_classified;
         outputs_match;
+        degradations = List.rev !degradations;
       })
 
-let run_suite ?obs ?config ?post_cleanup ?engine ?jobs () =
+let run_suite ?obs ?policy ?config ?post_cleanup ?engine ?jobs () =
   (* Parallelism fans out across benchmarks; each benchmark's own
      profiling stays sequential (inner ?jobs unset) so domains are not
      oversubscribed.  The pool preserves suite order. *)
   Impact_support.Pool.map_list ?jobs
-    (fun b -> run ?obs ?config ?post_cleanup ?engine b)
+    (fun b -> run ?obs ?policy ?config ?post_cleanup ?engine b)
     Impact_bench_progs.Suite.all
+
+type suite_report = {
+  completed : result list;
+  failed : (Benchmark.t * Ierr.t) list;
+}
+
+let run_suite_report ?obs ?(policy = Degrade) ?config ?post_cleanup ?engine
+    ?jobs ?(benches = Impact_bench_progs.Suite.all) () =
+  let outcomes =
+    Impact_support.Pool.map_list_results ?jobs
+      (fun b -> run ?obs ~policy ?config ?post_cleanup ?engine b)
+      benches
+  in
+  let completed, failed =
+    List.fold_left2
+      (fun (ok, bad) b outcome ->
+        match outcome with
+        | Ok r -> (r :: ok, bad)
+        | Error e -> (ok, (b, Errors.classify Ierr.Driver e) :: bad))
+      ([], []) benches outcomes
+  in
+  { completed = List.rev completed; failed = List.rev failed }
 
 let code_increase r =
   let before = float_of_int r.inliner.Inliner.size_before in

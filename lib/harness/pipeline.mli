@@ -7,7 +7,32 @@
 
     Re-profiling both verifies behaviour (outputs must be identical) and
     yields the honest post-inline dynamic numbers for Table 4, including
-    the residual call classification of §4.4. *)
+    the residual call classification of §4.4.
+
+    Every stage boundary is guarded: a failure surfaces as exactly one
+    typed {!Impact_support.Ierr.Error} tagged with the stage that raised
+    it, never a bare lower-layer exception. *)
+
+(** How the pipeline reacts to recoverable failures.
+
+    [Strict] (the default) aborts on the first error of any severity.
+    [Degrade] recovers where the error taxonomy permits: a failing
+    profiling run is retried once and then dropped from the average; if
+    profiling fails outright the pipeline falls back to
+    {!Impact_profile.Profile.static_uniform} weights (every arc below
+    the paper's weight threshold, so the result is exactly the
+    no-inlining baseline); a caller whose expansion fails is skipped and
+    the rest of the plan kept; a broken trace sink is reported instead
+    of fatal.  Each recovery is recorded as a {!degradation}. *)
+type policy = Strict | Degrade
+
+(** One recovery taken under {!Degrade}: which stage failed, what
+    happened, and what the pipeline did about it. *)
+type degradation = {
+  d_stage : Impact_support.Ierr.stage;
+  d_detail : string;
+  d_action : string;
+}
 
 type result = {
   bench : Impact_bench_progs.Benchmark.t;
@@ -23,44 +48,84 @@ type result = {
       (** classification of the expanded program under the re-profile *)
   outputs_match : bool;
       (** every run produced byte-identical output (same MD5 digest and
-          exit code) before and after expansion *)
+          exit code) before and after expansion; vacuously true when the
+          pipeline degraded to static weights and never ran the program *)
+  degradations : degradation list;
+      (** recoveries taken, in the order they happened; empty under
+          [Strict] and on a clean degraded run *)
 }
 
-(** [run ?obs ?config ?post_cleanup ?engine ?jobs bench] executes the
-    full pipeline.  [post_cleanup] additionally runs the comprehensive
-    post-inline optimisations the paper skipped (default false — the
-    paper's setup).  With an enabled [obs] context every stage (parse,
-    sema, lower, pre_opt, profile, callgraph, classify, inline — with
-    linearize / select / expand / dce children — re_profile,
-    post_classify) runs in its own span under a root ["pipeline"] span,
-    and the decision log, IL-size gauges and run-level counters flow
-    through the sink.  [pre_opt] (default true) may be disabled to skip
-    the pre-inline optimisation pass when measuring a raw lowering.
+(** [run ?obs ?policy ?config ?post_cleanup ?engine ?jobs ?budget ?fuel
+    bench] executes the full pipeline.  [post_cleanup] additionally runs
+    the comprehensive post-inline optimisations the paper skipped
+    (default false — the paper's setup).  With an enabled [obs] context
+    every stage (parse, sema, lower, pre_opt, profile, callgraph,
+    classify, inline — with linearize / select / expand / dce children —
+    re_profile, post_classify) runs in its own span under a root
+    ["pipeline"] span, and the decision log, IL-size gauges and
+    run-level counters flow through the sink; recoveries taken under
+    [Degrade] additionally appear as ["pipeline.degraded"] instant
+    events.  [pre_opt] (default true) may be disabled to skip the
+    pre-inline optimisation pass when measuring a raw lowering.
     [engine] selects the interpreter core and [jobs] the number of
     domains for the two profiling passes; both leave the result
-    unchanged.
-    @raise Impact_interp.Machine.Trap if the program misbehaves. *)
+    unchanged.  [budget] and [fuel] bound every profiling run
+    ({!Impact_interp.Rt.budget}).
+    @raise Impact_support.Ierr.Error on failure: always under [Strict];
+      under [Degrade] only for errors with no recovery (front-end
+      failures, and profile failures once the static fallback has also
+      failed). *)
 val run :
   ?obs:Impact_obs.Obs.t ->
+  ?policy:policy ->
   ?config:Impact_core.Config.t ->
   ?pre_opt:bool ->
   ?post_cleanup:bool ->
   ?engine:Impact_interp.Machine.engine ->
   ?jobs:int ->
+  ?budget:Impact_interp.Rt.budget ->
+  ?fuel:int ->
   Impact_bench_progs.Benchmark.t ->
   result
 
-(** [run_suite ?obs ?config ?post_cleanup ?engine ?jobs ()] runs all
-    twelve benchmarks, in suite order; [jobs > 1] fans the benchmarks
-    across domains (each benchmark's own profiling stays sequential). *)
+(** [run_suite ?obs ?policy ?config ?post_cleanup ?engine ?jobs ()] runs
+    all twelve benchmarks, in suite order; [jobs > 1] fans the
+    benchmarks across domains (each benchmark's own profiling stays
+    sequential).  The first benchmark failure aborts the suite — use
+    {!run_suite_report} to isolate failures instead. *)
 val run_suite :
   ?obs:Impact_obs.Obs.t ->
+  ?policy:policy ->
   ?config:Impact_core.Config.t ->
   ?post_cleanup:bool ->
   ?engine:Impact_interp.Machine.engine ->
   ?jobs:int ->
   unit ->
   result list
+
+(** The failure-isolating suite outcome: results for the benchmarks that
+    completed (in suite order) and one typed error per benchmark that
+    did not. *)
+type suite_report = {
+  completed : result list;
+  failed : (Impact_bench_progs.Benchmark.t * Impact_support.Ierr.t) list;
+}
+
+(** [run_suite_report ?policy ?benches ()] runs [benches] (default: the
+    full suite), isolating failures: a benchmark that fails — even
+    fatally — is reported in [failed] with its typed error while the
+    rest of the suite completes.  [policy] (default [Degrade]) governs
+    each benchmark's own recovery behaviour. *)
+val run_suite_report :
+  ?obs:Impact_obs.Obs.t ->
+  ?policy:policy ->
+  ?config:Impact_core.Config.t ->
+  ?post_cleanup:bool ->
+  ?engine:Impact_interp.Machine.engine ->
+  ?jobs:int ->
+  ?benches:Impact_bench_progs.Benchmark.t list ->
+  unit ->
+  suite_report
 
 (** Derived Table 4 quantities. *)
 

@@ -17,6 +17,8 @@ exception Trap = Rt.Trap
 
 exception Out_of_fuel = Rt.Out_of_fuel
 
+exception Deadline_exceeded = Rt.Deadline_exceeded
+
 exception Program_exit = Rt.Program_exit
 
 type outcome = Rt.outcome = {
@@ -54,12 +56,15 @@ type activation = {
   ret_reg : Il.reg option;  (* where the caller wants the result *)
 }
 
-let run_reference ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
+let run_reference ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
     ?(stack_size = 1024 * 1024) ?icache ?(obs = Impact_obs.Obs.null)
     (prog : Il.program) ~input =
-  let st = Rt.create_state ~fuel ~heap_size ~stack_size prog ~input in
+  let st = Rt.create_state ?budget ~fuel ~heap_size ~stack_size prog ~input in
   let nfuncs = Array.length prog.Il.funcs in
   let enter_activation ~sp (f : Il.func) args ret_reg =
+    (* Deadline first: before the stack check and before any counter
+       moves, matching {!Threaded.activate} exactly. *)
+    Rt.check_deadline st;
     (* One activation consumes the full paper-style stack usage: frame
        slots plus the virtual-register save area plus call overhead.
        Frame slots live at the bottom, [fp, fp + frame_size). *)
@@ -99,6 +104,10 @@ let run_reference ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
        (match instr with
        | Il.Label _ -> ()
        | _ ->
+         (* Injection point for the chaos suite; a single atomic-flag
+            read when nothing is armed.  Only the reference engine pays
+            it — [run] routes here whenever faults are enabled. *)
+         Impact_support.Fault.hit Impact_support.Fault.Interp_step;
          st.Rt.counters.Counters.ils <- st.Rt.counters.Counters.ils + 1;
          (match icache with
          | Some cache -> Impact_icache.Icache.access cache a.code.(a.pc - 1)
@@ -193,13 +202,17 @@ let run_reference ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run ?fuel ?heap_size ?stack_size ?icache ?obs ?(engine = Threaded)
+let run ?budget ?fuel ?heap_size ?stack_size ?icache ?obs ?(engine = Threaded)
     (prog : Il.program) ~input =
   match (engine, icache) with
-  | Threaded, None when Threaded.supported prog ->
-    Threaded.run ?fuel ?heap_size ?stack_size ?obs prog ~input
+  | Threaded, None
+    when Threaded.supported prog && not (Impact_support.Fault.enabled ()) ->
+    Threaded.run ?budget ?fuel ?heap_size ?stack_size ?obs prog ~input
   | _ ->
     (* The i-cache model needs real instruction addresses, so it always
        drives the reference engine; so do the rare programs the decoder
-       rejects (immediates beyond 62 bits, out-of-range static refs). *)
-    run_reference ?fuel ?heap_size ?stack_size ?icache ?obs prog ~input
+       rejects (immediates beyond 62 bits, out-of-range static refs).
+       Armed fault injection also routes here: the reference engine
+       carries the per-instruction [Interp_step] point, so the threaded
+       hot path stays hook-free and pays nothing when chaos is off. *)
+    run_reference ?budget ?fuel ?heap_size ?stack_size ?icache ?obs prog ~input

@@ -43,6 +43,10 @@ exception Trap of string
 (** Raised when execution exceeds the instruction budget. *)
 exception Out_of_fuel
 
+(** Raised when execution exceeds the run's wall-clock budget
+    ({!Rt.budget}).  Both engines check at every activation entry. *)
+exception Deadline_exceeded
+
 (** The result of one run. *)
 type outcome = Rt.outcome = {
   exit_code : int;
@@ -68,9 +72,12 @@ val engine_of_string : string -> engine option
 
 val engine_to_string : engine -> string
 
-(** [run ?fuel ?heap_size ?stack_size ?icache ?obs ?engine prog ~input]
-    executes [prog] from [main] with [input] as its stdin.
+(** [run ?budget ?fuel ?heap_size ?stack_size ?icache ?obs ?engine prog
+    ~input] executes [prog] from [main] with [input] as its stdin.
 
+    @param budget wall-clock deadline and output watermark (default
+      {!Rt.no_budget} — both off; see {!Rt.budget}).  The deadline
+      raises {!Deadline_exceeded}; the watermark raises {!Trap}.
     @param fuel instruction budget (default 1_000_000_000)
     @param heap_size bytes of heap (default 4 MiB)
     @param stack_size bytes of control stack (default 1 MiB)
@@ -81,10 +88,15 @@ val engine_to_string : engine -> string
     @param obs when enabled, one ["run"] event with the run-level
       counters (ILs, CTs, calls, returns, externals, peak stack) is
       emitted after the run, and [machine.*] counters accumulate
-    @param engine interpreter core (default {!Threaded})
+    @param engine interpreter core (default {!Threaded}).  While fault
+      injection is armed ({!Impact_support.Fault.enabled}) the reference
+      engine is used regardless, because it carries the per-instruction
+      [Interp_step] injection point; the threaded hot path has no hooks
+      and pays nothing when chaos is off.
     @raise Trap on runtime errors
     @raise Out_of_fuel if the budget is exhausted *)
 val run :
+  ?budget:Rt.budget ->
   ?fuel:int ->
   ?heap_size:int ->
   ?stack_size:int ->
@@ -98,6 +110,7 @@ val run :
 (** The reference oracle: a direct small-step interpreter over the IL.
     Same signature and semantics as {!run} minus engine selection. *)
 val run_reference :
+  ?budget:Rt.budget ->
   ?fuel:int ->
   ?heap_size:int ->
   ?stack_size:int ->

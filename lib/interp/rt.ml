@@ -16,9 +16,23 @@ exception Trap of string
 
 exception Out_of_fuel
 
+exception Deadline_exceeded
+
 exception Program_exit of int
 
 let trap fmt = Printf.ksprintf (fun msg -> raise (Trap msg)) fmt
+
+(* Resource budgets beyond fuel: a wall-clock deadline and an output
+   watermark.  Fuel already makes every run finite instruction-wise; the
+   deadline bounds real time (a profiling run on a slow machine or under
+   a fault cannot wedge a pool worker) and the watermark bounds the
+   output buffer a runaway print loop can grow.  [timeout_s = 0.] and
+   [max_output = 0] mean unlimited. *)
+type budget = { timeout_s : float; max_output : int }
+
+let no_budget = { timeout_s = 0.; max_output = 0 }
+
+let budget ?(timeout_s = 0.) ?(max_output = 0) () = { timeout_s; max_output }
 
 type outcome = {
   exit_code : int;
@@ -60,10 +74,30 @@ type state = {
   stack_top : int;
   mutable min_sp : int;
   mutable fuel : int;
+  (* absolute wall-clock deadline ([infinity] = none) and output
+     watermark in bytes ([max_int] = none), from the run's [budget] *)
+  deadline_at : float;
+  max_output : int;
   input : string;
   mutable in_pos : int;
   out : Buffer.t;
 }
+
+(* Both engines call this at every activation entry, before any counter
+   moves, so deadline trap points are engine-independent.  The disabled
+   path is one float compare. *)
+let[@inline] check_deadline st =
+  if st.deadline_at <> infinity && Unix.gettimeofday () > st.deadline_at then
+    raise Deadline_exceeded
+
+let[@inline never] output_trap st =
+  trap "output budget exceeded (%d bytes, limit %d)" (Buffer.length st.out)
+    st.max_output
+
+(* Checked by the output externals below (shared by both engines, so
+   watermark trap points agree by construction). *)
+let[@inline] check_output st =
+  if Buffer.length st.out >= st.max_output then output_trap st
 
 (* ------------------------------------------------------------------ *)
 (* Memory                                                              *)
@@ -141,14 +175,17 @@ let[@inline] ext_getchar st =
   else -1
 
 let[@inline] ext_putchar st c =
+  check_output st;
   Buffer.add_char st.out (Char.chr (c land 0xff));
   c land 0xff
 
 let[@inline] ext_print_int st n =
+  check_output st;
   Buffer.add_string st.out (string_of_int n);
   0
 
 let ext_print_str st p =
+  check_output st;
   Buffer.add_string st.out (read_c_string st p);
   0
 
@@ -173,6 +210,7 @@ let ext_read st ptr n =
 let ext_write st ptr n =
   if n < 0 then trap "write of negative size %d" n;
   if n > 0 then begin
+    check_output st;
     check_range st ptr n;
     Buffer.add_subbytes st.out st.mem ptr n
   end;
@@ -304,7 +342,8 @@ let switch_table st ~fid ~index table =
 (* Per-run state                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let create_state ~fuel ~heap_size ~stack_size (prog : Il.program) ~input =
+let create_state ?(budget = no_budget) ~fuel ~heap_size ~stack_size
+    (prog : Il.program) ~input =
   (* Lay out globals and strings. *)
   let nglobals = Array.length prog.Il.globals in
   let global_addr = Array.make (max nglobals 1) 0 in
@@ -343,6 +382,10 @@ let create_state ~fuel ~heap_size ~stack_size (prog : Il.program) ~input =
       stack_top;
       min_sp = stack_top;
       fuel;
+      deadline_at =
+        (if budget.timeout_s > 0. then Unix.gettimeofday () +. budget.timeout_s
+         else infinity);
+      max_output = (if budget.max_output > 0 then budget.max_output else max_int);
       input;
       in_pos = 0;
       out = Buffer.create 4096;

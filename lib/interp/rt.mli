@@ -12,11 +12,28 @@ exception Trap of string
 (** Raised when execution exceeds the instruction budget. *)
 exception Out_of_fuel
 
+(** Raised when execution exceeds the run's wall-clock budget
+    ({!budget}[.timeout_s]).  Checked at every activation entry, before
+    any counter moves, in both engines. *)
+exception Deadline_exceeded
+
 (** Raised by the [exit] external; caught by both engines. *)
 exception Program_exit of int
 
 (** [trap fmt ...] raises {!Trap} with a formatted message. *)
 val trap : ('a, unit, string, 'b) format4 -> 'a
+
+(** Resource budgets beyond fuel.  [timeout_s] is a per-run wall-clock
+    limit in seconds ({!Deadline_exceeded} when exceeded); [max_output]
+    is an output watermark in bytes (a {!Trap} once the output buffer
+    reaches it, checked by the output externals).  Zero means unlimited
+    in both fields; {!no_budget} disables both — the checks then cost
+    one compare each. *)
+type budget = { timeout_s : float; max_output : int }
+
+val no_budget : budget
+
+val budget : ?timeout_s:float -> ?max_output:int -> unit -> budget
 
 (** The result of one run.  [output_digest] is the MD5 of [output],
     still valid when a caller drops the output text itself (see
@@ -58,6 +75,8 @@ type state = {
   stack_top : int;
   mutable min_sp : int;
   mutable fuel : int;
+  deadline_at : float;
+  max_output : int;
   input : string;
   mutable in_pos : int;
   out : Buffer.t;
@@ -65,14 +84,23 @@ type state = {
 
 (** [create_state ~fuel ~heap_size ~stack_size prog ~input] lays out
     globals, strings, heap and stack, and returns a fresh run state with
-    the global images and interned strings written into memory. *)
+    the global images and interned strings written into memory.
+    [?budget] (default {!no_budget}) arms the wall-clock deadline and
+    output watermark. *)
 val create_state :
+  ?budget:budget ->
   fuel:int ->
   heap_size:int ->
   stack_size:int ->
   Impact_il.Il.program ->
   input:string ->
   state
+
+(** [check_deadline st] raises {!Deadline_exceeded} when the run's
+    deadline has passed.  Both engines call it at every activation
+    entry, before any counter moves, so deadline trap points are
+    engine-independent. *)
+val check_deadline : state -> unit
 
 (** Memory access (all bounds-checked; out-of-range traps). *)
 

@@ -224,6 +224,9 @@ let install c df regs fp =
    reference engine's [enter_activation]. *)
 let activate c df =
   let st = c.st in
+  (* Deadline first: before the stack check and before any counter
+     moves, matching the reference engine's [enter_activation]. *)
+  Rt.check_deadline st;
   let nfp = c.fp - df.stack_use in
   if nfp < st.Rt.stack_base then Rt.trap "control stack overflow in %s" df.fname;
   if nfp < st.Rt.min_sp then st.Rt.min_sp <- nfp;
@@ -786,10 +789,10 @@ and ignore_op (_ : ctx) = ()
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
+let run ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
     ?(stack_size = 1024 * 1024) ?(obs = Impact_obs.Obs.null)
     (prog : Il.program) ~input =
-  let st = Rt.create_state ~fuel ~heap_size ~stack_size prog ~input in
+  let st = Rt.create_state ?budget ~fuel ~heap_size ~stack_size prog ~input in
   let dummy =
     {
       ffid = -1;

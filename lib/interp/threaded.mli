@@ -18,12 +18,14 @@
     on the reference engine. *)
 val supported : Impact_il.Il.program -> bool
 
-(** [run ?fuel ?heap_size ?stack_size ?obs prog ~input] — semantics and
-    defaults of {!Machine.run} (no i-cache support).
+(** [run ?budget ?fuel ?heap_size ?stack_size ?obs prog ~input] —
+    semantics and defaults of {!Machine.run} (no i-cache support).
 
     @raise Rt.Trap on runtime errors
-    @raise Rt.Out_of_fuel if the budget is exhausted *)
+    @raise Rt.Out_of_fuel if the budget is exhausted
+    @raise Rt.Deadline_exceeded if the wall-clock budget is exhausted *)
 val run :
+  ?budget:Rt.budget ->
   ?fuel:int ->
   ?heap_size:int ->
   ?stack_size:int ->

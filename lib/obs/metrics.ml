@@ -72,8 +72,9 @@ let flush ?trace t =
       (snapshot t)
   end
 
+(* Atomic (temp + rename): an interrupted run never leaves a truncated
+   metrics snapshot at [path]. *)
 let write_json t path =
-  let oc = open_out path in
-  output_string oc (Sink.json_to_string (to_json t));
-  output_char oc '\n';
-  close_out oc
+  Impact_support.Atomic_io.with_file path (fun oc ->
+      output_string oc (Sink.json_to_string (to_json t));
+      output_char oc '\n')

@@ -291,37 +291,63 @@ let event_of_line s = event_of_json (json_of_string s)
    sink, and interleaved JSONL lines or a torn event list must not be
    possible.  The null sink stays lock-free — the [enabled] check keeps
    the disabled path at zero cost. *)
+(* Sinks fail open: a write that raises (disk full, closed channel, an
+   injected {!Impact_support.Fault.Sink_write} fault) records the first
+   error and stops emitting instead of unwinding whatever pipeline stage
+   happened to emit the event — observability must never take the
+   computation down.  Drivers decide severity afterwards via {!broken}:
+   a strict run turns a broken sink into a typed artifact error, a
+   degraded run reports it and keeps the result. *)
 type t =
   | S_null
-  | S_memory of { mu : Mutex.t; mutable events : event list }
-  | S_jsonl of { mu : Mutex.t; oc : out_channel }
-  | S_custom of { mu : Mutex.t; f : event -> unit }
+  | S_memory of { mu : Mutex.t; mutable events : event list; mutable err : exn option }
+  | S_jsonl of { mu : Mutex.t; oc : out_channel; mutable err : exn option }
+  | S_custom of { mu : Mutex.t; f : event -> unit; mutable err : exn option }
 
 let null = S_null
 
-let memory () = S_memory { mu = Mutex.create (); events = [] }
+let memory () = S_memory { mu = Mutex.create (); events = []; err = None }
 
-let jsonl oc = S_jsonl { mu = Mutex.create (); oc }
+let jsonl oc = S_jsonl { mu = Mutex.create (); oc; err = None }
 
-let custom f = S_custom { mu = Mutex.create (); f }
+let custom f = S_custom { mu = Mutex.create (); f; err = None }
 
 let enabled = function S_null -> false | _ -> true
 
 let emit t ev =
   match t with
   | S_null -> ()
-  | S_memory m -> Mutex.protect m.mu (fun () -> m.events <- ev :: m.events)
-  | S_jsonl { mu; oc } ->
-    let line = json_to_string (event_to_json ev) in
-    Mutex.protect mu (fun () ->
-        output_string oc line;
-        output_char oc '\n')
-  | S_custom { mu; f } -> Mutex.protect mu (fun () -> f ev)
+  | S_memory m -> (
+    try
+      Impact_support.Fault.hit Impact_support.Fault.Sink_write;
+      Mutex.protect m.mu (fun () -> m.events <- ev :: m.events)
+    with e -> Mutex.protect m.mu (fun () -> if m.err = None then m.err <- Some e))
+  | S_jsonl j -> (
+    try
+      Impact_support.Fault.hit Impact_support.Fault.Sink_write;
+      let line = json_to_string (event_to_json ev) in
+      Mutex.protect j.mu (fun () ->
+          output_string j.oc line;
+          output_char j.oc '\n')
+    with e -> Mutex.protect j.mu (fun () -> if j.err = None then j.err <- Some e))
+  | S_custom c -> (
+    try
+      Impact_support.Fault.hit Impact_support.Fault.Sink_write;
+      Mutex.protect c.mu (fun () -> c.f ev)
+    with e -> Mutex.protect c.mu (fun () -> if c.err = None then c.err <- Some e))
 
 let events = function
   | S_memory m -> Mutex.protect m.mu (fun () -> List.rev m.events)
   | S_null | S_jsonl _ | S_custom _ -> []
 
+let broken = function
+  | S_null -> None
+  | S_memory m -> Mutex.protect m.mu (fun () -> m.err)
+  | S_jsonl j -> Mutex.protect j.mu (fun () -> j.err)
+  | S_custom c -> Mutex.protect c.mu (fun () -> c.err)
+
 let close = function
-  | S_jsonl { mu; oc } -> Mutex.protect mu (fun () -> flush oc)
+  | S_jsonl j -> (
+    try Mutex.protect j.mu (fun () -> flush j.oc)
+    with e -> Mutex.protect j.mu (fun () -> if j.err = None then j.err <- Some e))
   | S_null | S_memory _ | S_custom _ -> ()

@@ -80,10 +80,19 @@ val custom : (event -> unit) -> t
 val enabled : t -> bool
 
 val emit : t -> event -> unit
+(** Sinks fail open: a write that raises (disk full, closed channel, an
+    injected fault) records the first error and silently stops emitting
+    — observability never unwinds the pipeline.  Check {!broken} after
+    the run to decide whether that matters. *)
 
 (** [events t] is the buffered contents of a {!memory} sink, in emission
     order; [[]] for every other sink. *)
 val events : t -> event list
+
+(** [broken t] is the first write error this sink swallowed, if any.
+    Strict drivers turn it into a typed artifact error; degraded
+    drivers report it alongside the result. *)
+val broken : t -> exn option
 
 (** [close t] flushes buffered output (JSONL channel). *)
 val close : t -> unit

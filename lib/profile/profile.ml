@@ -27,6 +27,23 @@ let of_counters ~nruns ~max_stacks (c : Impact_interp.Counters.t) =
       (List.fold_left (fun acc s -> acc +. float_of_int s) 0. max_stacks /. n);
   }
 
+(* The graceful-degradation profile: one nominal run, every weight zero.
+   Under the paper's "< 10 calls per run" rule every arc then classifies
+   as weight-below-threshold, so the inliner selects nothing and the
+   program is exactly the no-inlining baseline. *)
+let static_uniform ~nfuncs ~nsites =
+  {
+    nruns = 1;
+    func_weight = Array.make (max nfuncs 1) 0.;
+    site_weight = Array.make (max nsites 1) 0.;
+    avg_ils = 0.;
+    avg_cts = 0.;
+    avg_calls = 0.;
+    avg_returns = 0.;
+    avg_ext_calls = 0.;
+    avg_max_stack = 0.;
+  }
+
 let func_weight p fid =
   if fid >= 0 && fid < Array.length p.func_weight then p.func_weight.(fid) else 0.
 

@@ -24,6 +24,13 @@ type t = {
     per-run counters; [max_stacks] are the per-run stack extents. *)
 val of_counters : nruns:int -> max_stacks:int list -> Impact_interp.Counters.t -> t
 
+(** [static_uniform ~nfuncs ~nsites] is the graceful-degradation
+    profile: one nominal run, every node and arc weight zero.  Under the
+    paper's weight threshold every arc classifies as
+    weight-below-threshold, so an inliner fed this profile selects
+    nothing — the no-inlining baseline. *)
+val static_uniform : nfuncs:int -> nsites:int -> t
+
 (** [func_weight p fid] is the node weight, 0 when out of range. *)
 val func_weight : t -> int -> float
 

@@ -1,12 +1,43 @@
-exception Parse_error of string
+(* Profile serialisation.
 
-let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+   Current format (v2) adds a program checksum to the header so a stale
+   profile — collected against a different build of the program — is
+   detected at load time instead of silently steering the inliner:
 
-let magic = "impact-profile 1"
+     impact-profile v2 <md5-of-program-dump | ->
 
-let to_string (p : Profile.t) =
+   v1 files ("impact-profile 1") are still read; they carry no checksum,
+   so staleness cannot be detected for them.
+
+   Every failure mode (unreadable file, malformed line, negative or
+   overflowing count, unknown section, checksum mismatch) surfaces as a
+   typed {!Impact_support.Ierr.t} with stage [Profile_io], severity
+   [Degradable] and recovery [Fallback_static]: a degrading driver may
+   re-profile or fall back to uniform static weights (every arc below
+   the paper's weight threshold — no inlining). *)
+
+module Ierr = Impact_support.Ierr
+module Fault = Impact_support.Fault
+
+let magic_v2 = "impact-profile v2"
+
+(* Hard ceilings on the array sizes a profile file can request, so a
+   hostile or corrupt "counts" line cannot drive [Array.make] into
+   gigabytes (or an [Invalid_argument] crash). *)
+let max_entries = 10_000_000
+let max_runs = 1_000_000_000
+
+let fail fmt =
+  Ierr.error ~severity:Ierr.Degradable ~recovery:Ierr.Fallback_static
+    Ierr.Profile_io fmt
+
+let program_checksum prog = Digest.to_hex (Digest.string (Impact_il.Il_pp.dump prog))
+
+let to_string ?checksum (p : Profile.t) =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf magic;
+  Buffer.add_string buf magic_v2;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (match checksum with Some c -> c | None -> "-");
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Printf.sprintf "runs %d\n" p.Profile.nruns);
   Buffer.add_string buf
@@ -39,99 +70,158 @@ let split_fields l =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun f -> f <> "")
 
-let of_string s =
+(* A weight must be a finite non-negative float: counts of events cannot
+   be negative, and NaN/infinity would poison every comparison the
+   selector makes. *)
+let weight_of_string line w =
+  match float_of_string_opt w with
+  | Some v when Float.is_finite v && v >= 0. -> v
+  | Some _ -> fail "negative or non-finite weight in %S" line
+  | None -> fail "bad weight %S in %S" w line
+
+let parse ?expect_checksum s =
   let lines =
     String.split_on_char '\n' s
     |> List.map strip_cr
     |> List.filter (fun l -> String.trim l <> "")
   in
-  match lines with
-  | header :: rest when split_fields header = [ "impact-profile"; "1" ] ->
-    let nruns = ref 0 in
-    let totals = ref None in
-    let sizes = ref None in
-    let funcs = ref [] in
-    let sites = ref [] in
-    List.iter
-      (fun line ->
-        match split_fields line with
-        | [ "runs"; n ] -> (
-          match int_of_string_opt n with
-          | Some n when n > 0 -> nruns := n
-          | Some _ | None -> fail "bad run count %S" n)
-        | [ "totals"; a; b; c; d; e; f ] -> (
-          match List.map float_of_string_opt [ a; b; c; d; e; f ] with
-          | [ Some a; Some b; Some c; Some d; Some e; Some f ] ->
-            totals := Some (a, b, c, d, e, f)
-          | _ -> fail "bad totals line %S" line)
-        | [ "counts"; nf; ns ] -> (
-          match (int_of_string_opt nf, int_of_string_opt ns) with
-          | Some nf, Some ns when nf >= 0 && ns >= 0 -> sizes := Some (nf, ns)
-          | _, _ -> fail "bad counts line %S" line)
-        | [ "func"; fid; w ] -> (
-          match (int_of_string_opt fid, float_of_string_opt w) with
-          | Some fid, Some w when fid >= 0 -> funcs := (fid, w) :: !funcs
-          | _, _ -> fail "bad func line %S" line)
-        | [ "site"; id; w ] -> (
-          match (int_of_string_opt id, float_of_string_opt w) with
-          | Some id, Some w when id >= 0 -> sites := (id, w) :: !sites
-          | _, _ -> fail "bad site line %S" line)
-        | _ -> fail "unrecognised line %S" line)
-      rest;
-    let nf, ns =
-      match !sizes with
-      | Some sizes -> sizes
-      | None -> fail "missing counts line"
-    in
-    let a, b, c, d, e, f =
-      match !totals with
-      | Some t -> t
-      | None -> fail "missing totals line"
-    in
-    if !nruns = 0 then fail "missing runs line";
-    let func_weight = Array.make (max nf 1) 0. in
-    let site_weight = Array.make (max ns 1) 0. in
-    List.iter
-      (fun (fid, w) ->
-        if fid >= nf then fail "func id %d out of bounds %d" fid nf;
-        func_weight.(fid) <- w)
-      !funcs;
-    List.iter
-      (fun (id, w) ->
-        if id >= ns then fail "site id %d out of bounds %d" id ns;
-        site_weight.(id) <- w)
-      !sites;
-    {
-      Profile.nruns = !nruns;
-      func_weight;
-      site_weight;
-      avg_ils = a;
-      avg_cts = b;
-      avg_calls = c;
-      avg_returns = d;
-      avg_ext_calls = e;
-      avg_max_stack = f;
-    }
-  | _ -> fail "missing %S header" magic
+  let header, rest =
+    match lines with
+    | header :: rest -> (split_fields header, rest)
+    | [] -> fail "empty profile"
+  in
+  (match header with
+  | [ "impact-profile"; "v2"; checksum ] -> (
+    match expect_checksum with
+    | Some expected when checksum <> "-" && checksum <> expected ->
+      fail "stale profile: checksum %s does not match program %s" checksum
+        expected
+    | _ -> ())
+  | [ "impact-profile"; "1" ] ->
+    (* v1 back-compat: no checksum recorded, staleness undetectable. *)
+    ()
+  | _ -> fail "missing %S header" magic_v2);
+  let nruns = ref 0 in
+  let totals = ref None in
+  let sizes = ref None in
+  let funcs = ref [] in
+  let sites = ref [] in
+  List.iter
+    (fun line ->
+      match split_fields line with
+      | [ "runs"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 && n <= max_runs -> nruns := n
+        | Some _ | None -> fail "bad run count %S" n)
+      | [ "totals"; a; b; c; d; e; f ] -> (
+        match List.map (weight_of_string line) [ a; b; c; d; e; f ] with
+        | [ a; b; c; d; e; f ] -> totals := Some (a, b, c, d, e, f)
+        | _ -> assert false)
+      | [ "counts"; nf; ns ] -> (
+        match (int_of_string_opt nf, int_of_string_opt ns) with
+        | Some nf, Some ns
+          when nf >= 0 && ns >= 0 && nf <= max_entries && ns <= max_entries ->
+          sizes := Some (nf, ns)
+        | Some nf, Some ns when nf >= 0 && ns >= 0 ->
+          fail "counts line requests %d/%d entries (limit %d)" nf ns max_entries
+        | _, _ -> fail "bad counts line %S" line)
+      | [ "func"; fid; w ] -> (
+        match int_of_string_opt fid with
+        | Some fid when fid >= 0 ->
+          funcs := (fid, weight_of_string line w) :: !funcs
+        | Some _ | None -> fail "bad func line %S" line)
+      | [ "site"; id; w ] -> (
+        match int_of_string_opt id with
+        | Some id when id >= 0 -> sites := (id, weight_of_string line w) :: !sites
+        | Some _ | None -> fail "bad site line %S" line)
+      | section :: _ -> fail "unknown section %S in line %S" section line
+      | [] -> assert false (* blank lines were filtered *))
+    rest;
+  let nf, ns =
+    match !sizes with
+    | Some sizes -> sizes
+    | None -> fail "missing counts line"
+  in
+  let a, b, c, d, e, f =
+    match !totals with
+    | Some t -> t
+    | None -> fail "missing totals line"
+  in
+  if !nruns = 0 then fail "missing runs line";
+  let func_weight = Array.make (max nf 1) 0. in
+  let site_weight = Array.make (max ns 1) 0. in
+  List.iter
+    (fun (fid, w) ->
+      if fid >= nf then fail "func id %d out of bounds %d" fid nf;
+      func_weight.(fid) <- w)
+    !funcs;
+  List.iter
+    (fun (id, w) ->
+      if id >= ns then fail "site id %d out of bounds %d" id ns;
+      site_weight.(id) <- w)
+    !sites;
+  {
+    Profile.nruns = !nruns;
+    func_weight;
+    site_weight;
+    avg_ils = a;
+    avg_cts = b;
+    avg_calls = c;
+    avg_returns = d;
+    avg_ext_calls = e;
+    avg_max_stack = f;
+  }
 
-(* Write-to-temp then rename, so a crash mid-write never leaves a
-   truncated profile at [path]: the reader sees either the old file or
-   the complete new one. *)
-let save path p =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try
-     output_string oc (to_string p);
-     close_out oc
-   with exn ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise exn);
-  Sys.rename tmp path
+let of_string ?expect_checksum s =
+  match
+    Fault.hit Fault.Profile_read;
+    parse ?expect_checksum s
+  with
+  | p -> Ok p
+  | exception Ierr.Error e -> Error e
+  | exception e ->
+    (* Catch-all floor: whatever goes wrong while parsing, the caller
+       sees a typed profile-io error, never a raw exception. *)
+    Error
+      (Ierr.of_exn ~severity:Ierr.Degradable ~recovery:Ierr.Fallback_static
+         Ierr.Profile_io e)
 
-let load path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_string s
+let of_string_exn ?expect_checksum s =
+  match of_string ?expect_checksum s with
+  | Ok p -> p
+  | Error e -> raise (Ierr.Error e)
+
+(* Write-to-temp then rename (via Atomic_io), so a crash mid-write never
+   leaves a truncated profile at [path]: the reader sees either the old
+   file or the complete new one. *)
+let save ?checksum path p =
+  match
+    Fault.hit Fault.Profile_write;
+    Impact_support.Atomic_io.write_string path (to_string ?checksum p)
+  with
+  | () -> ()
+  | exception (Ierr.Error _ as e) -> raise e
+  | exception e ->
+    raise
+      (Ierr.Error
+         (Ierr.of_exn ~severity:Ierr.Degradable ~recovery:Ierr.Abort
+            Ierr.Profile_io e))
+
+let load ?expect_checksum path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> of_string ?expect_checksum s
+  | exception e ->
+    Error
+      (Ierr.of_exn ~severity:Ierr.Degradable ~recovery:Ierr.Fallback_static
+         Ierr.Profile_io e)
+
+let load_exn ?expect_checksum path =
+  match load ?expect_checksum path with
+  | Ok p -> p
+  | Error e -> raise (Ierr.Error e)

@@ -5,32 +5,58 @@
     The format is a line-oriented text file:
 
     {v
-    impact-profile 1
+    impact-profile v2 <checksum>
     runs <n>
     totals <ils> <cts> <calls> <returns> <ext_calls> <max_stack>
     func <fid> <weight>      (one line per non-zero node weight)
     site <id> <weight>       (one line per non-zero arc weight)
     v}
 
-    Weights are averages over the run set and may be fractional. *)
+    Weights are averages over the run set and may be fractional.  The
+    header's [<checksum>] is the {!program_checksum} of the program the
+    profile was collected against ([-] when not recorded), so a stale
+    profile is detected at load time.  v1 files ([impact-profile 1]) are
+    still read; they carry no checksum.
 
-(** Raised by {!of_string} on malformed input, with a description. *)
-exception Parse_error of string
+    All failure modes — unreadable file, malformed line,
+    negative/overflowing count, unknown section, stale checksum — are
+    reported as typed {!Impact_support.Ierr.t} values (stage
+    [Profile_io], severity [Degradable], recovery [Fallback_static]),
+    never raw exceptions: array sizes requested by the file are bounds-
+    checked before allocation.  Readers/writers carry the
+    {!Impact_support.Fault.Profile_read}/[Profile_write] injection
+    points. *)
 
-(** [to_string p] serialises a profile. *)
-val to_string : Profile.t -> string
+(** [program_checksum prog] is the MD5 (hex) of the program's textual
+    dump — the staleness fingerprint recorded in v2 headers. *)
+val program_checksum : Impact_il.Il.program -> string
 
-(** [of_string s] parses a serialised profile.  CRLF line endings and
-    runs of spaces/tabs between fields are tolerated.
-    @raise Parse_error on malformed input. *)
-val of_string : string -> Profile.t
+(** [to_string ?checksum p] serialises a profile with a v2 header;
+    [?checksum] defaults to the unrecorded marker [-]. *)
+val to_string : ?checksum:string -> Profile.t -> string
 
-(** [save path p] writes [to_string p] to [path] atomically: the bytes
-    go to [path ^ ".tmp"] first and are renamed over [path], so a crash
-    mid-write never leaves a truncated profile behind. *)
-val save : string -> Profile.t -> unit
+(** [of_string ?expect_checksum s] parses a serialised profile.  CRLF
+    line endings and runs of spaces/tabs between fields are tolerated.
+    With [?expect_checksum], a v2 header whose recorded checksum differs
+    is rejected as stale (v1 headers and unrecorded [-] checksums pass).
+    Never raises: every failure is a typed [Error]. *)
+val of_string :
+  ?expect_checksum:string -> string -> (Profile.t, Impact_support.Ierr.t) result
 
-(** [load path] reads and parses a profile file.
-    @raise Parse_error on malformed content.
-    @raise Sys_error if the file cannot be read. *)
-val load : string -> Profile.t
+(** [of_string_exn] is {!of_string}, raising {!Impact_support.Ierr.Error}. *)
+val of_string_exn : ?expect_checksum:string -> string -> Profile.t
+
+(** [save ?checksum path p] writes [to_string p] to [path] atomically:
+    the bytes go to [path ^ ".tmp"] first and are renamed over [path],
+    so a crash mid-write never leaves a truncated profile behind.
+    @raise Impact_support.Ierr.Error when the file cannot be written. *)
+val save : ?checksum:string -> string -> Profile.t -> unit
+
+(** [load ?expect_checksum path] reads and parses a profile file.
+    Never raises: an unreadable file or malformed content is a typed
+    [Error]. *)
+val load :
+  ?expect_checksum:string -> string -> (Profile.t, Impact_support.Ierr.t) result
+
+(** [load_exn] is {!load}, raising {!Impact_support.Ierr.Error}. *)
+val load_exn : ?expect_checksum:string -> string -> Profile.t

@@ -1,0 +1,112 @@
+(* Deterministic, seeded fault injection.
+
+   A fixed set of named injection points is compiled into the pipeline
+   (profile read/write, pool worker start/finish, interpreter step,
+   expand splice, trace sink write).  Each [hit p] call is a single
+   atomic-flag read when nothing is armed — the disabled path is a
+   no-op — and when a point is armed with [arm p ~after:n] the (n+1)-th
+   hit of that point raises [Injected p], exactly once ([~once:false]
+   turns every hit from the trigger on into a fault, for tests that must
+   defeat retry).
+
+   Everything is driven by counters, never by time or randomness at
+   fire time, so a chaos run is reproducible: the same seed arms the
+   same points with the same triggers ([plan_of_seed]) and the same
+   program hits them in the same order. *)
+
+type point =
+  | Profile_read
+  | Profile_write
+  | Pool_worker_start
+  | Pool_worker_finish
+  | Interp_step
+  | Expand_splice
+  | Sink_write
+
+exception Injected of point
+
+let all_points =
+  [ Profile_read; Profile_write; Pool_worker_start; Pool_worker_finish;
+    Interp_step; Expand_splice; Sink_write ]
+
+let npoints = List.length all_points
+
+let index = function
+  | Profile_read -> 0
+  | Profile_write -> 1
+  | Pool_worker_start -> 2
+  | Pool_worker_finish -> 3
+  | Interp_step -> 4
+  | Expand_splice -> 5
+  | Sink_write -> 6
+
+let point_name = function
+  | Profile_read -> "profile-read"
+  | Profile_write -> "profile-write"
+  | Pool_worker_start -> "pool-worker-start"
+  | Pool_worker_finish -> "pool-worker-finish"
+  | Interp_step -> "interp-step"
+  | Expand_splice -> "expand-splice"
+  | Sink_write -> "sink-write"
+
+let point_of_name s =
+  List.find_opt (fun p -> point_name p = s) all_points
+
+(* [armed.(i)] holds the hit ordinal that triggers (-1 = disarmed);
+   [sticky.(i)] marks ~once:false points; [counts.(i)] counts hits.
+   All atomic: hits can come from any worker domain. *)
+let enabled_flag = Atomic.make false
+let armed = Array.init npoints (fun _ -> Atomic.make (-1))
+let sticky = Array.init npoints (fun _ -> Atomic.make false)
+let counts = Array.init npoints (fun _ -> Atomic.make 0)
+
+let enabled () = Atomic.get enabled_flag
+
+let refresh_enabled () =
+  Atomic.set enabled_flag
+    (Array.exists (fun a -> Atomic.get a >= 0) armed)
+
+let arm ?(once = true) p ~after =
+  let i = index p in
+  Atomic.set sticky.(i) (not once);
+  Atomic.set armed.(i) (max 0 after);
+  Atomic.set enabled_flag true
+
+let disarm p =
+  let i = index p in
+  Atomic.set armed.(i) (-1);
+  Atomic.set sticky.(i) false;
+  refresh_enabled ()
+
+let reset () =
+  Array.iter (fun a -> Atomic.set a (-1)) armed;
+  Array.iter (fun s -> Atomic.set s false) sticky;
+  Array.iter (fun c -> Atomic.set c 0) counts;
+  Atomic.set enabled_flag false
+
+let hits p = Atomic.get counts.(index p)
+
+(* Out of line so the enabled check inlines to load+branch. *)
+let hit_armed p =
+  let i = index p in
+  let n = Atomic.fetch_and_add counts.(i) 1 in
+  let trigger = Atomic.get armed.(i) in
+  if trigger >= 0 && (n = trigger || (n > trigger && Atomic.get sticky.(i)))
+  then raise (Injected p)
+
+let[@inline] hit p = if Atomic.get enabled_flag then hit_armed p
+
+let with_point ?once p ~after f =
+  arm ?once p ~after;
+  Fun.protect ~finally:reset f
+
+(* A deterministic chaos plan: for each point, a trigger ordinal derived
+   from the seed by a split-mix style mixer.  Pure arithmetic — no
+   clock, no global RNG state. *)
+let plan_of_seed ~seed =
+  List.map
+    (fun p ->
+      let z = (seed * 0x9E3779B9 + (index p + 1) * 0x85EBCA6B) land 0x3FFFFFFF in
+      let z = (z lxor (z lsr 13)) * 0xC2B2AE35 land 0x3FFFFFFF in
+      (p, (z lxor (z lsr 16)) mod 5))
+    all_points

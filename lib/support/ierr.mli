@@ -1,0 +1,73 @@
+(** Structured pipeline errors.
+
+    Every failure anywhere in the tool chain is reported as one {!t}
+    carrying the stage it came from ({!stage}), how bad it is
+    ({!severity}), and what a degrading driver is allowed to do about it
+    ({!recovery}).  The harness converts foreign exceptions into {!t}
+    at each stage boundary; drivers decide policy (strict vs degrade)
+    from the carried fields rather than by matching exception
+    constructors. *)
+
+type stage =
+  | Parse
+  | Sema
+  | Lower
+  | Profile_io
+  | Profile_run
+  | Callgraph
+  | Select
+  | Expand
+  | Pool
+  | Artifact
+  | Driver
+
+type severity =
+  | Fatal       (** no sound fallback exists: stop this unit of work *)
+  | Degradable  (** a conservative substitute exists (e.g. static weights) *)
+  | Skippable   (** the unit can be skipped; the rest is unaffected *)
+
+type recovery =
+  | Abort
+  | Fallback_static  (** replace the profile with uniform static weights *)
+  | Skip_caller      (** drop one caller from the expansion plan *)
+  | Skip_benchmark   (** isolate one benchmark of a suite *)
+  | Retry_once       (** re-run the failed unit once, then give up *)
+
+type t = {
+  stage : stage;
+  severity : severity;
+  recovery : recovery;
+  msg : string;
+  loc : string option;  (** source location, when one exists *)
+}
+
+exception Error of t
+
+val make :
+  ?severity:severity -> ?recovery:recovery -> ?loc:string -> stage -> string -> t
+(** [make stage msg] defaults to [Fatal]/[Abort] and no location. *)
+
+val error :
+  ?severity:severity ->
+  ?recovery:recovery ->
+  ?loc:string ->
+  stage ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+(** [error stage fmt ...] raises {!Error} with a formatted message. *)
+
+val stage_name : stage -> string
+val severity_name : severity -> string
+val recovery_name : recovery -> string
+
+val exit_code : t -> int
+(** CLI exit code for the error's class: front end (parse/sema/lower) 3,
+    profile (io/run) 4, everything else 5.  Usage errors (2) never reach
+    a {!t}; they are produced by the CLI parser itself. *)
+
+val to_string : t -> string
+(** ["<stage> error at <loc>: <msg>"], location omitted when absent. *)
+
+val of_exn : ?severity:severity -> ?recovery:recovery -> stage -> exn -> t
+(** Wrap an arbitrary exception; an existing {!Error} payload passes
+    through unchanged (its original stage wins). *)

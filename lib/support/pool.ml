@@ -6,44 +6,90 @@
    input order no matter which domain ran which item — parallel and
    sequential maps are indistinguishable to the caller.
 
-   Exceptions are captured per index; after all domains join, the
-   exception of the lowest failed index is re-raised (again independent
-   of scheduling), and workers stop picking up new work once any item
-   has failed.  [f] must therefore be safe to call from any domain and
-   must not share mutable state across items. *)
+   Failure discipline:
+   - [map_array] is fail-fast: exceptions are captured per index, workers
+     stop picking up new work once any item has failed, and after all
+     domains join the exception of the lowest failed index is re-raised
+     (independent of scheduling).
+   - [map_array_results] never fails fast: every item yields an
+     [(_, exn) result], optionally after one same-domain retry, so a
+     degrading caller can keep the survivors and report the casualties.
+   - A failure during *submission* (a [Domain.spawn] that raises, or an
+     injected [Pool_worker_start] fault) stops the cursor, joins every
+     domain already spawned, and re-raises — the remaining queue is
+     drained, never leaked.
+   - An exception escaping a worker *body* (outside per-item capture,
+     e.g. an injected [Pool_worker_finish] fault) is stowed in a
+     compare-and-set slot and re-raised only after every domain has
+     joined, so no join is ever skipped.
+
+   [f] must be safe to call from any domain and must not share unguarded
+   mutable state across items. *)
 
 type 'a cell = Empty | Value of 'a | Error of exn
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Spawn [jobs - 1] copies of [worker], run one on the calling domain,
+   join them all, then re-raise any exception that escaped a worker
+   body.  [quit] is the shared stop flag item loops poll. *)
+let parallel_run ~jobs ~quit worker =
+  let escaped : exn option Atomic.t = Atomic.make None in
+  let wrapped () =
+    match
+      worker ();
+      Fault.hit Fault.Pool_worker_finish
+    with
+    | () -> ()
+    | exception e ->
+      Atomic.set quit true;
+      ignore (Atomic.compare_and_set escaped None (Some e))
+  in
+  let spawned = ref [] in
+  (try
+     for _ = 1 to jobs - 1 do
+       Fault.hit Fault.Pool_worker_start;
+       spawned := Domain.spawn wrapped :: !spawned
+     done
+   with e ->
+     (* Submission failed: stop handing out work, drain by joining what
+        was already spawned, then re-raise deterministically. *)
+     Atomic.set quit true;
+     List.iter Domain.join !spawned;
+     raise e);
+  wrapped ();
+  List.iter Domain.join !spawned;
+  match Atomic.get escaped with Some e -> raise e | None -> ()
+
 let map_array ?(jobs = 1) (f : 'a -> 'b) (items : 'a array) : 'b array =
   let n = Array.length items in
   let jobs = max 1 (min jobs n) in
-  if jobs = 1 then Array.map f items
+  if jobs = 1 then begin
+    Fault.hit Fault.Pool_worker_start;
+    let r = Array.map f items in
+    Fault.hit Fault.Pool_worker_finish;
+    r
+  end
   else begin
     let results = Array.make n Empty in
     let next = Atomic.make 0 in
-    let failed = Atomic.make false in
+    let quit = Atomic.make false in
     let worker () =
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failed then continue := false
+        if i >= n || Atomic.get quit then continue := false
         else
           match f items.(i) with
           | v -> results.(i) <- Value v
           | exception e ->
             results.(i) <- Error e;
-            Atomic.set failed true
+            Atomic.set quit true
       done
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    if Atomic.get failed then begin
-      (* Deterministic error: re-raise for the lowest failed index. *)
-      Array.iter (function Error e -> raise e | _ -> ()) results
-    end;
+    parallel_run ~jobs ~quit worker;
+    (* Deterministic error: re-raise for the lowest failed index. *)
+    Array.iter (function Error e -> raise e | _ -> ()) results;
     Array.map
       (function
         | Value v -> v
@@ -54,5 +100,51 @@ let map_array ?(jobs = 1) (f : 'a -> 'b) (items : 'a array) : 'b array =
       results
   end
 
+let map_array_results ?(jobs = 1) ?(retry = false) ?on_retry (f : 'a -> 'b)
+    (items : 'a array) : ('b, exn) result array =
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  let attempt i x =
+    match f x with
+    | v -> Ok v
+    | exception e ->
+      if retry then begin
+        (match on_retry with Some g -> g i e | None -> ());
+        match f x with v -> Ok v | exception e2 -> Stdlib.Error e2
+      end
+      else Stdlib.Error e
+  in
+  if jobs = 1 then begin
+    Fault.hit Fault.Pool_worker_start;
+    let r = Array.mapi attempt items in
+    Fault.hit Fault.Pool_worker_finish;
+    r
+  end
+  else begin
+    let results = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let quit = Atomic.make false in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get quit then continue := false
+        else results.(i) <- Value (attempt i items.(i))
+      done
+    in
+    parallel_run ~jobs ~quit worker;
+    Array.map
+      (function
+        | Value r -> r
+        | Empty | Error _ ->
+          (* Unreached: results-mode workers only stop early when a
+             worker body escaped, and that re-raises in parallel_run. *)
+          assert false)
+      results
+  end
+
 let map_list ?jobs f items =
   Array.to_list (map_array ?jobs f (Array.of_list items))
+
+let map_list_results ?jobs ?retry ?on_retry f items =
+  Array.to_list (map_array_results ?jobs ?retry ?on_retry f (Array.of_list items))

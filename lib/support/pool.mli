@@ -7,6 +7,15 @@
     or a single item degrades to a plain sequential map with no domain
     spawned.
 
+    Resilience guarantees (both variants):
+    - a failure during worker {e submission} (a [Domain.spawn] that
+      raises, or an injected {!Fault.Pool_worker_start} fault) joins
+      every already-spawned domain before re-raising — the remaining
+      queue is drained, never leaked;
+    - an exception escaping a worker body outside per-item capture is
+      re-raised only after every domain has joined;
+    - results are always reassembled in input order.
+
     [f] is called from arbitrary domains: it must not share unguarded
     mutable state across items (per-item state, or a mutex-protected
     sink, is fine — see {!Impact_obs.Sink}). *)
@@ -14,6 +23,31 @@
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_array_results] never fails fast: every item yields an
+    [(_, exn) result] in input order.  With [~retry:true] a failing item
+    is retried once, deterministically, on the same domain ([?on_retry]
+    observes the first failure; it may be called from any worker domain
+    and must be thread-safe).  Hung tasks are the caller's problem:
+    bound them with interpreter budgets ({!Impact_interp.Rt.budget} —
+    fuel plus wall-clock deadline), which make every profiling run
+    finite; the pool then turns crashes into typed per-item errors. *)
+
+val map_array_results :
+  ?jobs:int ->
+  ?retry:bool ->
+  ?on_retry:(int -> exn -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+
+val map_list_results :
+  ?jobs:int ->
+  ?retry:bool ->
+  ?on_retry:(int -> exn -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn) result list
 
 (** [default_jobs ()] is the runtime's recommended domain count for this
     machine. *)

@@ -1,0 +1,343 @@
+(* Chaos suite: deterministic fault injection across the fault × stage
+   matrix.
+
+   For every injection point, an armed fault driven through the
+   appropriate entry (the full pipeline for interpreter / pool / expand /
+   sink faults, Profile_io for the serialisation faults) must end in
+   exactly one typed {!Ierr.Error} under [Strict], or in a completed,
+   explicitly-marked degraded run under [Degrade] — never an unhandled
+   exception, a partial artifact, or a wrong inlining decision. *)
+
+module Ierr = Impact_support.Ierr
+module Fault = Impact_support.Fault
+module Atomic_io = Impact_support.Atomic_io
+module Profile = Impact_profile.Profile
+module Profile_io = Impact_profile.Profile_io
+module Profiler = Impact_profile.Profiler
+module Pipeline = Impact_harness.Pipeline
+module Inliner = Impact_core.Inliner
+module Expand = Impact_core.Expand
+module Benchmark = Impact_bench_progs.Benchmark
+module Suite = Impact_bench_progs.Suite
+module Il = Impact_il.Il
+module Obs = Impact_obs.Obs
+module Sink = Impact_obs.Sink
+
+let bench () = Suite.find "cmp"
+
+let run_pipeline ~policy () =
+  (* A live sink so Sink_write has something to hit; memory keeps it
+     self-contained. *)
+  let obs = Obs.create (Sink.memory ()) in
+  Pipeline.run ~obs ~policy (bench ())
+
+(* ------------------------------------------------------------------ *)
+(* The matrix                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Strict: every pipeline-reachable point must surface as exactly one
+   typed, stage-tagged error. *)
+let test_matrix_strict () =
+  let expect point stages =
+    Fault.with_point point ~after:0 (fun () ->
+        match run_pipeline ~policy:Pipeline.Strict () with
+        | _ ->
+          Alcotest.failf "%s: pipeline succeeded with the fault armed"
+            (Fault.point_name point)
+        | exception Ierr.Error e ->
+          if not (List.mem e.Ierr.stage stages) then
+            Alcotest.failf "%s: error tagged %s, expected one of [%s]"
+              (Fault.point_name point)
+              (Ierr.stage_name e.Ierr.stage)
+              (String.concat "; " (List.map Ierr.stage_name stages))
+        | exception e ->
+          Alcotest.failf "%s: untyped exception escaped: %s"
+            (Fault.point_name point) (Printexc.to_string e))
+  in
+  expect Fault.Pool_worker_start [ Ierr.Profile_run ];
+  expect Fault.Pool_worker_finish [ Ierr.Profile_run ];
+  expect Fault.Interp_step [ Ierr.Profile_run ];
+  expect Fault.Expand_splice [ Ierr.Expand ];
+  expect Fault.Sink_write [ Ierr.Artifact ]
+
+(* Degrade: the same faults must yield a completed run that says how it
+   degraded; faults that kill profiling must leave the no-inlining
+   baseline, not a half-informed plan. *)
+let test_matrix_degrade () =
+  let complete point ~expect_no_inlining =
+    Fault.with_point point ~after:0 (fun () ->
+        match run_pipeline ~policy:Pipeline.Degrade () with
+        | exception e ->
+          Alcotest.failf "%s: degraded run failed: %s" (Fault.point_name point)
+            (Printexc.to_string e)
+        | r ->
+          if r.Pipeline.degradations = [] then
+            Alcotest.failf "%s: degraded run carries no degradation marks"
+              (Fault.point_name point);
+          if
+            expect_no_inlining
+            && r.Pipeline.inliner.Inliner.expansion.Expand.expansions <> []
+          then
+            Alcotest.failf
+              "%s: inlining decisions made without a trustworthy profile"
+              (Fault.point_name point);
+          r)
+  in
+  (* A dead pool / dead worker means no profile: static fallback. *)
+  let r = complete Fault.Pool_worker_start ~expect_no_inlining:true in
+  Alcotest.(check bool) "static fallback is vacuously verified" true
+    r.Pipeline.outputs_match;
+  ignore (complete Fault.Pool_worker_finish ~expect_no_inlining:true);
+  (* One failing interpreter run is retried and the retry succeeds (the
+     one-shot fault is spent), so the full profile survives. *)
+  let r = complete Fault.Interp_step ~expect_no_inlining:false in
+  Alcotest.(check bool) "retried profile still verifies outputs" true
+    r.Pipeline.outputs_match;
+  (* A failing splice skips that caller but keeps the program correct. *)
+  let r = complete Fault.Expand_splice ~expect_no_inlining:false in
+  Alcotest.(check bool) "outputs still match with a skipped caller" true
+    r.Pipeline.outputs_match;
+  (* A broken sink is reported, not fatal. *)
+  ignore (complete Fault.Sink_write ~expect_no_inlining:false)
+
+(* A sticky interpreter fault (fires on every hit, defeating the retry)
+   kills every profiling run: the degraded result must be exactly the
+   no-inlining baseline, pinned by comparing IL dumps. *)
+let test_degraded_equals_no_inline_baseline () =
+  let r =
+    Fault.with_point ~once:false Fault.Interp_step ~after:0 (fun () ->
+        run_pipeline ~policy:Pipeline.Degrade ())
+  in
+  Alcotest.(check bool) "no expansions" true
+    (r.Pipeline.inliner.Inliner.expansion.Expand.expansions = []);
+  Alcotest.(check bool) "static fallback recorded" true
+    (List.exists
+       (fun (d : Pipeline.degradation) -> d.Pipeline.d_stage = Ierr.Profile_run)
+       r.Pipeline.degradations);
+  Alcotest.(check string) "inlined program is byte-identical to the baseline"
+    (Impact_il.Il_pp.dump r.Pipeline.prog)
+    (Impact_il.Il_pp.dump r.Pipeline.inliner.Inliner.program);
+  Alcotest.(check bool) "vacuous output verification" true
+    r.Pipeline.outputs_match
+
+(* Budgets compose with the policies: an impossible per-run deadline is
+   a typed profile error under Strict and a degraded no-inlining run
+   under Degrade. *)
+let test_budget_exhaustion_policies () =
+  let budget = Impact_interp.Rt.budget ~timeout_s:1e-9 () in
+  (match Pipeline.run ~policy:Pipeline.Strict ~budget (bench ()) with
+  | _ -> Alcotest.fail "expected the deadline to abort the strict run"
+  | exception Ierr.Error e ->
+    Alcotest.(check string) "deadline is a profile-run error" "profile-run"
+      (Ierr.stage_name e.Ierr.stage)
+  | exception e ->
+    Alcotest.failf "untyped exception escaped: %s" (Printexc.to_string e));
+  let r = Pipeline.run ~policy:Pipeline.Degrade ~budget (bench ()) in
+  Alcotest.(check bool) "degraded run completed with marks" true
+    (r.Pipeline.degradations <> []);
+  Alcotest.(check bool) "no inlining without a profile" true
+    (r.Pipeline.inliner.Inliner.expansion.Expand.expansions = [])
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation faults and artifact atomicity                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_profile () =
+  {
+    Profile.nruns = 2;
+    func_weight = [| 10.; 0.5 |];
+    site_weight = [| 3.; 0. |];
+    avg_ils = 100.;
+    avg_cts = 20.;
+    avg_calls = 5.;
+    avg_returns = 5.;
+    avg_ext_calls = 1.;
+    avg_max_stack = 2.;
+  }
+
+let test_profile_read_fault () =
+  let s = Profile_io.to_string (sample_profile ()) in
+  Fault.with_point Fault.Profile_read ~after:0 (fun () ->
+      match Profile_io.of_string s with
+      | Ok _ -> Alcotest.fail "read fault not injected"
+      | Error e ->
+        Alcotest.(check string) "typed profile-io error" "profile-io"
+          (Ierr.stage_name e.Ierr.stage));
+  (* One-shot: the very next read succeeds. *)
+  match Profile_io.of_string s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "clean read failed: %s" (Ierr.to_string e)
+
+let test_profile_write_fault_leaves_nothing () =
+  let path = Filename.temp_file "impact_chaos" ".prof" in
+  Sys.remove path;
+  Fault.with_point Fault.Profile_write ~after:0 (fun () ->
+      match Profile_io.save path (sample_profile ()) with
+      | () -> Alcotest.fail "write fault not injected"
+      | exception Ierr.Error e ->
+        Alcotest.(check string) "typed profile-io error" "profile-io"
+          (Ierr.stage_name e.Ierr.stage));
+  Alcotest.(check bool) "no artifact" false (Sys.file_exists path);
+  Alcotest.(check bool) "no temp file" false
+    (Sys.file_exists (Atomic_io.tmp_path path))
+
+let test_atomic_writer_discards_on_failure () =
+  let path = Filename.temp_file "impact_chaos" ".json" in
+  Sys.remove path;
+  (match
+     Atomic_io.with_file path (fun oc ->
+         output_string oc "half a record";
+         failwith "disk on fire")
+   with
+  | () -> Alcotest.fail "writer failure swallowed"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "no partial artifact" false (Sys.file_exists path);
+  Alcotest.(check bool) "no temp file" false
+    (Sys.file_exists (Atomic_io.tmp_path path));
+  (* And the success path really installs the bytes. *)
+  Atomic_io.write_string path "whole record";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "content installed" "whole record" line
+
+(* Stale-profile detection: a checksum recorded for different IL is a
+   typed error, and a v1 header (no checksum) still loads. *)
+let test_stale_and_legacy_profiles () =
+  let p = sample_profile () in
+  let s = Profile_io.to_string ~checksum:"0123456789abcdef0123456789abcdef" p in
+  (match Profile_io.of_string ~expect_checksum:"feedfacefeedfacefeedfacefeedface" s with
+  | Ok _ -> Alcotest.fail "stale profile accepted"
+  | Error e ->
+    Alcotest.(check string) "stale is profile-io" "profile-io"
+      (Ierr.stage_name e.Ierr.stage));
+  (match Profile_io.of_string ~expect_checksum:"0123456789abcdef0123456789abcdef" s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "matching checksum rejected: %s" (Ierr.to_string e));
+  let v1 =
+    (* Rewrite the v2 header into the legacy one. *)
+    match String.index_opt s '\n' with
+    | Some i -> "impact-profile 1" ^ String.sub s i (String.length s - i)
+    | None -> Alcotest.fail "unexpected serialisation"
+  in
+  match Profile_io.of_string ~expect_checksum:"anything" v1 with
+  | Ok p' -> Alcotest.(check int) "v1 loads" p.Profile.nruns p'.Profile.nruns
+  | Error e -> Alcotest.failf "v1 profile rejected: %s" (Ierr.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Suite isolation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_suite_isolation () =
+  let bad =
+    {
+      Benchmark.name = "broken";
+      description = "deliberately unparsable";
+      source = "int main( { return 0; }";
+      inputs = (fun () -> [ "" ]);
+    }
+  in
+  let report =
+    Pipeline.run_suite_report ~benches:[ bench (); bad ] ()
+  in
+  (match report.Pipeline.completed with
+  | [ r ] ->
+    Alcotest.(check string) "survivor completed" "cmp"
+      r.Pipeline.bench.Benchmark.name
+  | l -> Alcotest.failf "expected one completed benchmark, got %d" (List.length l));
+  match report.Pipeline.failed with
+  | [ (b, e) ] ->
+    Alcotest.(check string) "failure isolated" "broken" b.Benchmark.name;
+    Alcotest.(check string) "failure typed as parse" "parse"
+      (Ierr.stage_name e.Ierr.stage);
+    Alcotest.(check bool) "location reported" true (e.Ierr.loc <> None)
+  | l -> Alcotest.failf "expected one failed benchmark, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded plans and disabled-fault hygiene                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_seeded_plans_deterministic () =
+  let a = Fault.plan_of_seed ~seed:42 in
+  let b = Fault.plan_of_seed ~seed:42 in
+  Alcotest.(check bool) "same seed, same plan" true (a = b);
+  Alcotest.(check int) "plan covers every point" (List.length Fault.all_points)
+    (List.length a);
+  (* Drive a handful of seeded armings through the degraded pipeline:
+     whatever the plan, the run completes or fails typed. *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (point, after) ->
+          Fault.with_point point ~after (fun () ->
+              match run_pipeline ~policy:Pipeline.Degrade () with
+              | _ -> ()
+              | exception Ierr.Error _ -> ()
+              | exception e ->
+                Alcotest.failf "seed %d, %s@%d: untyped exception %s" seed
+                  (Fault.point_name point) after (Printexc.to_string e)))
+        (Fault.plan_of_seed ~seed))
+    [ 1; 7 ]
+
+let test_disabled_faults_are_free () =
+  Fault.reset ();
+  Alcotest.(check bool) "nothing armed" false (Fault.enabled ());
+  (* With nothing armed the hooks must be inert: a clean strict run. *)
+  let r = run_pipeline ~policy:Pipeline.Strict () in
+  Alcotest.(check bool) "clean run verifies" true r.Pipeline.outputs_match;
+  Alcotest.(check bool) "no degradations under strict" true
+    (r.Pipeline.degradations = [])
+
+(* ------------------------------------------------------------------ *)
+(* Property: corrupt bytes never escape the taxonomy                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_mutated_profiles_never_raise =
+  let canonical =
+    Profile_io.to_string ~checksum:(String.make 32 'a') (sample_profile ())
+  in
+  QCheck.Test.make ~count:500
+    ~name:"profile_io: byte mutation / truncation yields Ok or typed Error"
+    QCheck.(pair small_nat small_nat)
+    (fun (pos, byte) ->
+      let n = String.length canonical in
+      let mutated =
+        let b = Bytes.of_string canonical in
+        Bytes.set b (pos mod n) (Char.chr (byte mod 256));
+        Bytes.to_string b
+      in
+      let truncated = String.sub canonical 0 (pos mod (n + 1)) in
+      let total s =
+        match Profile_io.of_string ~expect_checksum:(String.make 32 'a') s with
+        | Ok _ | Error _ -> true
+        | exception _ -> false
+      in
+      total mutated && total truncated)
+
+let tests =
+  [
+    Alcotest.test_case "matrix: strict yields one typed error" `Quick
+      test_matrix_strict;
+    Alcotest.test_case "matrix: degrade completes with marks" `Quick
+      test_matrix_degrade;
+    Alcotest.test_case "degraded run equals no-inline baseline" `Quick
+      test_degraded_equals_no_inline_baseline;
+    Alcotest.test_case "budget exhaustion under both policies" `Quick
+      test_budget_exhaustion_policies;
+    Alcotest.test_case "profile read fault is typed" `Quick
+      test_profile_read_fault;
+    Alcotest.test_case "profile write fault leaves no artifact" `Quick
+      test_profile_write_fault_leaves_nothing;
+    Alcotest.test_case "atomic writer discards on failure" `Quick
+      test_atomic_writer_discards_on_failure;
+    Alcotest.test_case "stale and legacy profile headers" `Quick
+      test_stale_and_legacy_profiles;
+    Alcotest.test_case "suite isolates a failing benchmark" `Quick
+      test_suite_isolation;
+    Alcotest.test_case "seeded plans are deterministic and safe" `Slow
+      test_seeded_plans_deterministic;
+    Alcotest.test_case "disabled faults are inert" `Quick
+      test_disabled_faults_are_free;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_mutated_profiles_never_raise ]

@@ -262,6 +262,58 @@ let test_keep_outputs () =
     kept.Profiler.runs dropped.Profiler.runs
 
 (* ------------------------------------------------------------------ *)
+(* Resource budgets: both engines must hit the same wall at the same
+   place — the output watermark traps with the identical message, and
+   the wall-clock deadline raises the same exception.                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_output_budget_parity () =
+  let prog =
+    Testutil.compile
+      {|
+extern int putchar(int c);
+int main() { int i; for (i = 0; i < 100; i++) putchar(65); return 0; }
+|}
+  in
+  let budget = Impact_interp.Rt.budget ~max_output:10 () in
+  let trap engine =
+    match Machine.run ~budget ~engine prog ~input:"" with
+    | _ -> Alcotest.fail "expected the output budget to trap"
+    | exception Machine.Trap msg -> msg
+  in
+  Alcotest.(check string) "identical output-budget trap"
+    (trap Machine.Reference) (trap Machine.Threaded);
+  (* Under the watermark the budget is invisible: outcomes stay equal to
+     an unbudgeted run on both engines. *)
+  let roomy = Impact_interp.Rt.budget ~max_output:1000 () in
+  let t = Machine.run ~budget:roomy ~engine:Machine.Threaded prog ~input:"" in
+  let r = Machine.run ~budget:roomy ~engine:Machine.Reference prog ~input:"" in
+  check_outcomes_equal "under the output budget" t r;
+  check_outcomes_equal "budget invisible when not hit" t
+    (Machine.run ~engine:Machine.Reference prog ~input:"")
+
+let test_deadline_parity () =
+  let prog =
+    Testutil.compile
+      {|
+int one() { return 1; }
+int main() { int i, s = 0; for (i = 0; i < 200000; i++) s += one(); return s & 0; }
+|}
+  in
+  let budget = Impact_interp.Rt.budget ~timeout_s:1e-9 () in
+  List.iter
+    (fun engine ->
+      match Machine.run ~budget ~engine prog ~input:"" with
+      | _ -> Alcotest.fail "expected Deadline_exceeded"
+      | exception Machine.Deadline_exceeded -> ())
+    [ Machine.Threaded; Machine.Reference ];
+  (* A generous deadline never fires. *)
+  let roomy = Impact_interp.Rt.budget ~timeout_s:3600. () in
+  let t = Machine.run ~budget:roomy ~engine:Machine.Threaded prog ~input:"" in
+  let r = Machine.run ~budget:roomy ~engine:Machine.Reference prog ~input:"" in
+  check_outcomes_equal "under the deadline" t r
+
+(* ------------------------------------------------------------------ *)
 
 let props =
   [
@@ -283,4 +335,7 @@ let tests =
         test_unsupported_fallback;
       Alcotest.test_case "keep_outputs drops text, keeps digest" `Quick
         test_keep_outputs;
+      Alcotest.test_case "output-budget trap parity" `Quick
+        test_output_budget_parity;
+      Alcotest.test_case "deadline parity" `Quick test_deadline_parity;
     ]

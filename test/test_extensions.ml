@@ -109,7 +109,7 @@ int main() { int c, s = 0; while ((c = getchar()) != -1) s = tick(s); return s &
 
 let test_profile_roundtrip () =
   let p = sample_profile () in
-  let p' = Profile_io.of_string (Profile_io.to_string p) in
+  let p' = Profile_io.of_string_exn (Profile_io.to_string p) in
   Alcotest.(check int) "nruns" p.Profile.nruns p'.Profile.nruns;
   Alcotest.(check (array (float 1e-9))) "func weights" p.Profile.func_weight
     p'.Profile.func_weight;
@@ -122,8 +122,10 @@ let test_profile_roundtrip () =
 let test_profile_parse_errors () =
   let expect_error s =
     match Profile_io.of_string s with
-    | exception Profile_io.Parse_error _ -> ()
-    | _ -> Alcotest.fail ("accepted malformed profile: " ^ s)
+    | Error e ->
+      Alcotest.(check string) "stage is profile-io" "profile-io"
+        (Impact_support.Ierr.stage_name e.Impact_support.Ierr.stage)
+    | Ok _ -> Alcotest.fail ("accepted malformed profile: " ^ s)
   in
   expect_error "";
   expect_error "not a profile";
@@ -139,7 +141,7 @@ let test_profile_tolerant_parsing () =
   let canonical = Profile_io.to_string p in
   (* DOS line endings. *)
   let crlf = String.concat "\r\n" (String.split_on_char '\n' canonical) in
-  let from_crlf = Profile_io.of_string crlf in
+  let from_crlf = Profile_io.of_string_exn crlf in
   Alcotest.(check int) "crlf: nruns" p.Profile.nruns from_crlf.Profile.nruns;
   Alcotest.(check (array (float 1e-9))) "crlf: site weights" p.Profile.site_weight
     from_crlf.Profile.site_weight;
@@ -149,12 +151,12 @@ let test_profile_tolerant_parsing () =
     |> List.map (fun l -> String.concat "   " (String.split_on_char ' ' l))
     |> String.concat "\n"
   in
-  let from_spaced = Profile_io.of_string spaced in
+  let from_spaced = Profile_io.of_string_exn spaced in
   Alcotest.(check (array (float 1e-9))) "spaces: func weights" p.Profile.func_weight
     from_spaced.Profile.func_weight;
   (* Tab separators, including in the header. *)
   let tabbed = String.map (fun c -> if c = ' ' then '\t' else c) canonical in
-  let from_tabbed = Profile_io.of_string tabbed in
+  let from_tabbed = Profile_io.of_string_exn tabbed in
   Alcotest.(check (array (float 1e-9))) "tabs: site weights" p.Profile.site_weight
     from_tabbed.Profile.site_weight
 
@@ -164,12 +166,12 @@ let test_profile_atomic_save () =
   Profile_io.save path p;
   Alcotest.(check bool) "no temp file left behind" false
     (Sys.file_exists (path ^ ".tmp"));
-  let loaded = Profile_io.load path in
+  let loaded = Profile_io.load_exn path in
   Alcotest.(check int) "saved profile loads" p.Profile.nruns loaded.Profile.nruns;
   (* Overwriting goes through the same rename and replaces the content. *)
   let p2 = { p with Profile.nruns = p.Profile.nruns + 1 } in
   Profile_io.save path p2;
-  let loaded2 = Profile_io.load path in
+  let loaded2 = Profile_io.load_exn path in
   Alcotest.(check int) "overwrite replaces content" p2.Profile.nruns
     loaded2.Profile.nruns;
   Alcotest.(check bool) "overwrite leaves no temp file" false
@@ -186,7 +188,7 @@ int main() { int i, s = 0; for (i = 0; i < 50; i++) s += hot(i); return s & 0; }
   in
   let prog = Testutil.compile src in
   let { Profiler.profile; _ } = Profiler.profile prog ~inputs:[ "" ] in
-  let reloaded = Profile_io.of_string (Profile_io.to_string profile) in
+  let reloaded = Profile_io.of_string_exn (Profile_io.to_string profile) in
   let config =
     { Impact_core.Config.default with program_size_limit_ratio = 3.0 }
   in

@@ -18,4 +18,5 @@ let () =
       ("extensions", Test_extensions.tests);
       ("weights", Test_weights.tests);
       ("obs", Test_obs.tests);
+      ("chaos", Test_chaos.tests);
     ]

@@ -133,6 +133,88 @@ let test_pool_exception () =
                (Array.init 20 (fun i -> i)))))
     [ 1; 2; 4 ]
 
+module Fault = Impact_support.Fault
+
+(* Regression: a fault thrown while submitting workers used to leak the
+   spawned domains (never joined) and race them for the exception.  The
+   submission loop now drains every spawned domain before re-raising the
+   submission failure, so the error is deterministic and the pool stays
+   usable. *)
+let test_pool_submission_fault () =
+  Fault.with_point Fault.Pool_worker_start ~after:0 (fun () ->
+      match Pool.map_array ~jobs:4 (fun i -> i) (Array.init 64 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected the armed submission fault to surface"
+      | exception Fault.Injected Fault.Pool_worker_start -> ());
+  Alcotest.(check (array int)) "pool usable after submission fault"
+    (Array.init 64 (fun i -> i * 2))
+    (Pool.map_array ~jobs:4 (fun i -> i * 2) (Array.init 64 (fun i -> i)))
+
+let test_pool_worker_finish_fault () =
+  Fault.with_point Fault.Pool_worker_finish ~after:0 (fun () ->
+      match Pool.map_array ~jobs:4 (fun i -> i) (Array.init 64 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected the armed worker-finish fault to surface"
+      | exception Fault.Injected Fault.Pool_worker_finish -> ());
+  (* Sequential path hits the same points. *)
+  Fault.with_point Fault.Pool_worker_finish ~after:0 (fun () ->
+      match Pool.map_array ~jobs:1 (fun i -> i) [| 1; 2 |] with
+      | _ -> Alcotest.fail "expected the sequential worker-finish fault"
+      | exception Fault.Injected Fault.Pool_worker_finish -> ())
+
+let test_pool_results_retry () =
+  (* A transient failure succeeds on the single deterministic retry. *)
+  let attempts = Array.make 8 0 in
+  let results =
+    Pool.map_array_results ~retry:true
+      (fun i ->
+        attempts.(i) <- attempts.(i) + 1;
+        if i = 3 && attempts.(i) = 1 then raise (Boom i) else i * 10)
+      (Array.init 8 (fun i -> i))
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) "retried value" (i * 10) v
+      | Error _ -> Alcotest.failf "index %d failed despite retry" i)
+    results;
+  Alcotest.(check int) "item 3 ran exactly twice" 2 attempts.(3);
+  (* A sticky failure exhausts the retry and lands in its own slot,
+     leaving the other slots intact; on_retry observes the first miss. *)
+  let retried = ref [] in
+  let results =
+    Pool.map_array_results ~retry:true
+      ~on_retry:(fun i _ -> retried := i :: !retried)
+      (fun i -> if i = 2 then raise (Boom i) else i)
+      (Array.init 5 (fun i -> i))
+  in
+  (match results.(2) with
+  | Error (Boom 2) -> ()
+  | _ -> Alcotest.fail "sticky failure must surface as Error (Boom 2)");
+  (match results.(4) with
+  | Ok 4 -> ()
+  | _ -> Alcotest.fail "unrelated slots must be unaffected");
+  Alcotest.(check (list int)) "on_retry saw only index 2" [ 2 ] !retried
+
+let test_pool_results_order () =
+  (* Reassembly is input-order stable for every job count, with failed
+     items in their own slots rather than shifting the rest. *)
+  List.iter
+    (fun jobs ->
+      let results =
+        Pool.map_list_results ~jobs
+          (fun i -> if i mod 3 = 0 then raise (Boom i) else i)
+          (List.init 20 (fun i -> i))
+      in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+            Alcotest.(check int) "slot holds its own item" i v;
+            if i mod 3 = 0 then Alcotest.failf "index %d should have failed" i
+          | Error (Boom b) -> Alcotest.(check int) "error in its own slot" i b
+          | Error _ -> Alcotest.fail "unexpected error kind")
+        results)
+    [ 1; 2; 4 ]
+
 let props =
   let open QCheck in
   [
@@ -163,5 +245,12 @@ let tests =
     Alcotest.test_case "stats aggregates" `Quick test_stats_mean_stddev;
     Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
     Alcotest.test_case "pool exception determinism" `Quick test_pool_exception;
+    Alcotest.test_case "pool submission-fault drain" `Quick
+      test_pool_submission_fault;
+    Alcotest.test_case "pool worker-finish fault" `Quick
+      test_pool_worker_finish_fault;
+    Alcotest.test_case "pool results retry once" `Quick test_pool_results_retry;
+    Alcotest.test_case "pool results keep input order" `Quick
+      test_pool_results_order;
   ]
   @ List.map QCheck_alcotest.to_alcotest props
