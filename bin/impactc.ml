@@ -175,6 +175,35 @@ let timeout_arg =
     & info [ "timeout" ] ~docv:"SECONDS"
         ~doc:"Wall-clock budget per profiling run (default: none)")
 
+(* Incremental driving: --cache DIR makes every expensive pipeline stage
+   consult a content-addressed store first, so reruns over unchanged
+   sources/configs skip the work entirely. *)
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Reuse front-end, profiling, classification and inlining artifacts \
+           from the content-addressed stage cache at $(docv) when their \
+           inputs (source bytes, program and profile checksums, config \
+           fingerprint) are unchanged, and store fresh ones for the next \
+           run.  Corrupt or truncated entries are recomputed, never fatal.")
+
+let cache_of = Option.map Impact_harness.Cache.create
+
+let report_cache = function
+  | None -> ()
+  | Some c ->
+    let s = Impact_support.Cstore.stats (Impact_harness.Cache.cstore c) in
+    Printf.eprintf
+      "impactc: cache: %d hit(s), %d miss(es), %d stored, %d corrupt, %d \
+       evicted\n"
+      s.Impact_support.Cstore.hits s.Impact_support.Cstore.misses
+      s.Impact_support.Cstore.stores s.Impact_support.Cstore.corrupt
+      s.Impact_support.Cstore.evictions
+
 let budget_of_timeout = function
   | None -> None
   | Some t -> Some (Impact_interp.Rt.budget ~timeout_s:t ())
@@ -395,19 +424,21 @@ let bench_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the benchmark's table rows (Report.to_json) to $(docv)")
   in
-  let run name engine jobs policy timeout trace metrics_out json =
+  let run name engine jobs policy timeout cache_dir trace metrics_out json =
     match Impact_bench_progs.Suite.find name with
     | exception Not_found ->
       Printf.eprintf "unknown benchmark '%s'\n" name;
       exit 2
     | bench ->
       guarded Ierr.Driver (fun () ->
+          let cache = cache_of cache_dir in
           let r =
             with_obs ~policy ~trace ~metrics_out (fun obs ->
-                Pipeline.run ~obs ~policy ~engine ~jobs
+                Pipeline.run ~obs ~policy ?cache ~engine ~jobs
                   ?budget:(budget_of_timeout timeout) bench)
           in
           report_degradations r;
+          report_cache cache;
           (match json with
           | Some path ->
             guarded Ierr.Artifact (fun () ->
@@ -424,7 +455,7 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
     Term.(
       const run $ name_arg $ engine_arg $ jobs_arg $ policy_arg $ timeout_arg
-      $ trace_arg $ metrics_out_arg $ json_arg)
+      $ cache_arg $ trace_arg $ metrics_out_arg $ json_arg)
 
 (* Default command: the full observed pipeline over a user C file —
    `impactc --trace t.jsonl --metrics-out m.json -O file.c` compiles,
@@ -432,7 +463,8 @@ let bench_cmd =
    span. *)
 
 let default_term =
-  let run src inputs optimize engine jobs policy timeout trace metrics_out =
+  let run src inputs optimize engine jobs policy timeout cache_dir trace
+      metrics_out =
     match src with
     | None -> `Help (`Pager, None)
     | Some src ->
@@ -450,12 +482,14 @@ let default_term =
                   | files -> List.map read_file files);
             }
           in
+          let cache = cache_of cache_dir in
           let r =
             with_obs ~policy ~trace ~metrics_out (fun obs ->
-                Pipeline.run ~obs ~policy ~pre_opt:optimize ~engine ~jobs
-                  ?budget:(budget_of_timeout timeout) bench)
+                Pipeline.run ~obs ~policy ~pre_opt:optimize ?cache ~engine
+                  ~jobs ?budget:(budget_of_timeout timeout) bench)
           in
           report_degradations r;
+          report_cache cache;
           Printf.printf "%s\n" (Profile.to_string r.Pipeline.profile);
           Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
             r.Pipeline.inliner.Inliner.size_before
@@ -474,7 +508,8 @@ let default_term =
   Term.(
     ret
       (const run $ opt_source_arg $ inputs_arg $ optimize_arg $ engine_arg
-     $ jobs_arg $ policy_arg $ timeout_arg $ trace_arg $ metrics_out_arg))
+     $ jobs_arg $ policy_arg $ timeout_arg $ cache_arg $ trace_arg
+     $ metrics_out_arg))
 
 let () =
   let doc = "profile-guided inline function expansion for C (PLDI 1989)" in

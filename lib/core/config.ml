@@ -31,3 +31,25 @@ let default =
     linearization = Lin_weight_sorted;
     refine_pointer_targets = false;
   }
+
+let heuristic_name = function
+  | Profile_guided -> "profile_guided"
+  | Static_leaf -> "static_leaf"
+  | Static_small n -> Printf.sprintf "static_small:%d" n
+
+let linearization_name = function
+  | Lin_weight_sorted -> "weight_sorted"
+  | Lin_random -> "random"
+  | Lin_reverse -> "reverse"
+  | Lin_topological -> "topological"
+
+(* A canonical rendering of every field, used to key cached
+   selection/expansion artifacts: two configs share a fingerprint iff
+   no field differs, so flipping any knob invalidates exactly the
+   stages that depend on it. *)
+let fingerprint t =
+  Printf.sprintf
+    "wt=%.17g;stack=%d;fsize=%d;ratio=%.17g;seed=%d;heur=%s;lin=%s;refine=%b"
+    t.weight_threshold t.stack_bound t.func_size_limit
+    t.program_size_limit_ratio t.linearize_seed (heuristic_name t.heuristic)
+    (linearization_name t.linearization) t.refine_pointer_targets

@@ -44,3 +44,11 @@ type t = {
     suite-wide code expansion lands at the paper's ~17% — and
     profile-guided selection. *)
 val default : t
+
+val heuristic_name : heuristic -> string
+val linearization_name : linearization -> string
+
+(** A canonical rendering of every field.  Two configs share a
+    fingerprint iff no field differs — the invalidation key for cached
+    selection/expansion artifacts. *)
+val fingerprint : t -> string

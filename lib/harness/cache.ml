@@ -1,0 +1,66 @@
+(* The pipeline's stage cache: typed (Marshal) payloads over the
+   content-addressed {!Impact_support.Cstore}, with hit/miss/store
+   counters flowing through the observability context.
+
+   Key discipline: every key mixes in [format_salt] — a format ordinal
+   bumped whenever a marshalled type changes shape, plus the compiler
+   version (Marshal's wire format is compiler-bound) — so entries
+   written by an incompatible build can never match.  Payload bytes are
+   digest-verified by the store before Marshal ever sees them; the
+   Marshal guard below is a second floor, not the defence. *)
+
+module Cstore = Impact_support.Cstore
+module Obs = Impact_obs.Obs
+
+type t = { store : Cstore.t }
+
+let format_salt = "impact-stage-cache fmt1 " ^ Sys.ocaml_version
+
+let create ?max_bytes dir = { store = Cstore.create ?max_bytes dir }
+
+let cstore t = t.store
+
+let key parts = Cstore.digest_key (format_salt :: parts)
+
+let count obs outcome stage =
+  Obs.incr obs ("cache." ^ outcome);
+  Obs.incr obs ("cache." ^ outcome ^ "." ^ stage)
+
+let find t obs ~stage ~key =
+  match Cstore.find t.store ~stage ~key with
+  | Cstore.Hit payload -> (
+    match Marshal.from_string payload 0 with
+    | v ->
+      count obs "hit" stage;
+      Obs.instant obs ~kind:"cache"
+        ~attrs:
+          [
+            ("stage", Impact_obs.Sink.String stage);
+            ("key", Impact_obs.Sink.String key);
+          ]
+        "cache.reuse";
+      Some v
+    | exception _ ->
+      count obs "corrupt" stage;
+      None)
+  | Cstore.Miss ->
+    count obs "miss" stage;
+    None
+  | Cstore.Corrupt _ ->
+    (* The store already dropped the entry and remembers the typed
+       reason; to the pipeline this is just a miss. *)
+    count obs "corrupt" stage;
+    None
+
+let put t obs ~stage ~key v =
+  Cstore.store t.store ~stage ~key (Marshal.to_string v []);
+  count obs "store" stage
+
+(* End-of-run snapshot of store-level state the per-lookup counters
+   cannot see (evictions happen inside the store). *)
+let publish t obs =
+  let s = Cstore.stats t.store in
+  Obs.gauge_int obs "cache.evictions" s.Cstore.evictions;
+  Obs.gauge_int obs "cache.store_failures" s.Cstore.store_failures;
+  Obs.gauge_int obs "cache.entries" (Cstore.entry_count t.store);
+  Obs.gauge_int obs "cache.bytes" (Cstore.total_bytes t.store)

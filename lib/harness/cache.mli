@@ -1,0 +1,41 @@
+(** The pipeline's stage cache: typed payloads over the
+    content-addressed {!Impact_support.Cstore}.
+
+    {!Pipeline.run} consults it at every expensive stage boundary —
+    front end, profiling, classification, selection+expansion — keyed
+    by a digest of everything the stage's result depends on, so a warm
+    rerun of an unchanged benchmark skips the stage entirely while a
+    one-byte source change or a flipped {!Impact_core.Config} field
+    invalidates exactly the stages downstream of the change.
+
+    Payloads travel through [Marshal]; every key mixes in a format
+    ordinal and the compiler version, so entries written by an
+    incompatible build can never match.  Each lookup/store bumps the
+    [cache.hit]/[cache.miss]/[cache.corrupt]/[cache.store] counters
+    (total and per-stage, e.g. [cache.hit.inline]) on the given
+    observability context, and each hit emits a ["cache.reuse"] instant
+    event.  Like the store beneath it, this layer never raises. *)
+
+type t
+
+(** [create ?max_bytes dir] opens the backing {!Impact_support.Cstore}
+    at [dir]. *)
+val create : ?max_bytes:int -> string -> t
+
+(** The backing store — for stats and direct inspection in tests. *)
+val cstore : t -> Impact_support.Cstore.t
+
+(** [key parts] derives a cache key: {!Impact_support.Cstore.digest_key}
+    over the parts with the format salt prepended. *)
+val key : string list -> string
+
+(** [find t obs ~stage ~key] — [Some v] on a verified hit; [None] on a
+    miss or a corrupt entry (the store drops corrupt entries and keeps
+    the typed reason in {!Impact_support.Cstore.last_error}). *)
+val find : t -> Impact_obs.Obs.t -> stage:string -> key:string -> 'a option
+
+val put : t -> Impact_obs.Obs.t -> stage:string -> key:string -> 'a -> unit
+
+(** [publish t obs] gauges end-of-run store state ([cache.evictions],
+    [cache.store_failures], [cache.entries], [cache.bytes]). *)
+val publish : t -> Impact_obs.Obs.t -> unit

@@ -25,6 +25,9 @@ let stage_policy : Ierr.stage -> Ierr.severity * Ierr.recovery = function
   | Ierr.Callgraph | Ierr.Select -> (Ierr.Fatal, Ierr.Abort)
   | Ierr.Pool -> (Ierr.Degradable, Ierr.Retry_once)
   | Ierr.Artifact -> (Ierr.Skippable, Ierr.Skip_benchmark)
+  (* A broken cache entry is never fatal to anything: the stage that
+     missed simply recomputes. *)
+  | Ierr.Cache -> (Ierr.Skippable, Ierr.Retry_once)
   | Ierr.Driver -> (Ierr.Fatal, Ierr.Abort)
 
 let classify stage exn : Ierr.t =

@@ -11,6 +11,7 @@ module Benchmark_def = Impact_bench_progs.Benchmark
 module Sink = Impact_obs.Sink
 module Machine = Impact_interp.Machine
 module Pool = Impact_support.Pool
+module Cstore = Impact_support.Cstore
 
 type timing = {
   stage : string;
@@ -119,6 +120,50 @@ let domain_scaling ?engine ?(job_counts = [ 1; 2; 4 ]) () =
   let pairs = suite_run_pairs () in
   List.map (fun jobs -> (jobs, profile_sweep_ms ?engine ~jobs pairs)) job_counts
 
+(* Cold-vs-warm stage-cache timing: one suite run populating a fresh
+   content-addressed cache, then a second run over the same directory
+   through a fresh handle, so the warm stats count only warm-run
+   traffic. *)
+
+type cache_timing = {
+  cache_cold_ms : float;
+  cache_warm_ms : float;
+  warm_hits : int;
+  warm_misses : int;
+}
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let cache_cold_warm ?jobs () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "impact-perf-cache.%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let timed_run () =
+    let cache = Cache.create dir in
+    let t0 = Unix.gettimeofday () in
+    let results = Pipeline.run_suite ?jobs ~cache () in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    if not (List.for_all (fun r -> r.Pipeline.outputs_match) results) then
+      failwith "Perf.cache_cold_warm: cached suite run diverged";
+    (ms, Cstore.stats (Cache.cstore cache))
+  in
+  let cold_ms, _cold = timed_run () in
+  let warm_ms, warm = timed_run () in
+  rm_rf dir;
+  {
+    cache_cold_ms = cold_ms;
+    cache_warm_ms = warm_ms;
+    warm_hits = warm.Cstore.hits;
+    warm_misses = warm.Cstore.misses;
+  }
+
 let stage_total stage perfs =
   List.fold_left
     (fun acc p ->
@@ -127,7 +172,7 @@ let stage_total stage perfs =
         acc p.timings)
     0. perfs
 
-let to_json ?suite_wall_ms ?scaling perfs =
+let to_json ?suite_wall_ms ?suite_jobs ?scaling ?cache perfs =
   let bench_json p =
     ( p.bench,
       Sink.Obj
@@ -149,6 +194,9 @@ let to_json ?suite_wall_ms ?scaling perfs =
     ((match suite_wall_ms with
      | Some ms -> [ ("suite_wall_ms", Sink.Float ms) ]
      | None -> [])
+    @ (match suite_jobs with
+      | Some jobs -> [ ("suite_jobs", Sink.Int jobs) ]
+      | None -> [])
     @ [
         ("benchmarks", Sink.Obj (List.map bench_json perfs));
         ("expand_total_ns", Sink.Float indexed);
@@ -160,14 +208,41 @@ let to_json ?suite_wall_ms ?scaling perfs =
         ( "engine_speedup",
           Sink.Float (if threaded > 0. then reference /. threaded else 0.) );
       ]
+    @ (match scaling with
+      | None -> []
+      | Some rows ->
+        [
+          (* [Domain.recommended_domain_count], not a physical-core
+             count: what the runtime suggests fanning across. *)
+          ("recommended_domains", Sink.Int (Pool.default_jobs ()));
+          ( "profile_sweep_jobs",
+            Sink.List (List.map (fun (jobs, _) -> Sink.Int jobs) rows) );
+          ( "profile_jobs_wall_ms",
+            Sink.Obj
+              (List.map
+                 (fun (jobs, ms) -> (string_of_int jobs, Sink.Float ms))
+                 rows) );
+        ])
     @
-    match scaling with
+    match cache with
     | None -> []
-    | Some rows ->
+    | Some c ->
       [
-        ("cores", Sink.Int (Pool.default_jobs ()));
-        ( "profile_jobs_wall_ms",
+        ( "cache",
           Sink.Obj
-            (List.map (fun (jobs, ms) -> (string_of_int jobs, Sink.Float ms)) rows)
-        );
+            [
+              ("cold_ms", Sink.Float c.cache_cold_ms);
+              ("warm_ms", Sink.Float c.cache_warm_ms);
+              ( "warm_speedup",
+                Sink.Float
+                  (if c.cache_warm_ms > 0. then c.cache_cold_ms /. c.cache_warm_ms
+                   else 0.) );
+              ("warm_hits", Sink.Int c.warm_hits);
+              ("warm_misses", Sink.Int c.warm_misses);
+              ( "warm_hit_rate",
+                Sink.Float
+                  (let total = c.warm_hits + c.warm_misses in
+                   if total = 0 then 0.
+                   else float_of_int c.warm_hits /. float_of_int total) );
+            ] );
       ])

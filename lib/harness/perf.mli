@@ -57,14 +57,38 @@ val domain_scaling :
   unit ->
   (int * float) list
 
-(** [to_json ?suite_wall_ms ?scaling perfs] is the BENCH_perf.json
-    document: per-benchmark per-stage timings, the suite-wide
-    expansion-engine totals and their speedup ratio, the
+(** Cold-vs-warm timing of a whole suite run through the
+    content-addressed stage cache ({!Cache}).  [warm_hits] and
+    [warm_misses] come from the warm run only (a fresh handle over the
+    same directory), so [warm_misses = 0] means the rerun did no stage
+    work at all. *)
+type cache_timing = {
+  cache_cold_ms : float;
+  cache_warm_ms : float;
+  warm_hits : int;
+  warm_misses : int;
+}
+
+(** [cache_cold_warm ?jobs ()] runs the suite twice against a fresh
+    temporary cache directory — cold (populating) then warm (replaying)
+    — and reports both wall clocks plus the warm run's hit/miss
+    counters.  The temporary directory is removed afterwards.  Raises
+    [Failure] if either cached run's inlined outputs diverge. *)
+val cache_cold_warm : ?jobs:int -> unit -> cache_timing
+
+(** [to_json ?suite_wall_ms ?suite_jobs ?scaling ?cache perfs] is the
+    BENCH_perf.json document: per-benchmark per-stage timings, the
+    suite-wide expansion-engine totals and their speedup ratio, the
     threaded-vs-reference profiling totals ([engine_speedup]), and, when
-    [scaling] rows are given, the core count and per-job-count profiling
-    wall clocks. *)
+    given, the wall clock and actual job count of the end-to-end suite
+    run ([suite_wall_ms], [suite_jobs]), the scaling sweep —
+    [recommended_domains] ([Domain.recommended_domain_count]), the
+    job counts actually swept ([profile_sweep_jobs]) and their wall
+    clocks — and the cold-vs-warm stage-cache section ([cache]). *)
 val to_json :
   ?suite_wall_ms:float ->
+  ?suite_jobs:int ->
   ?scaling:(int * float) list ->
+  ?cache:cache_timing ->
   bench_perf list ->
   Impact_obs.Sink.json

@@ -46,9 +46,13 @@ let exn_detail stage = function
   | Ierr.Error e -> Ierr.to_string e
   | e -> Ierr.to_string (Errors.classify stage e)
 
-let same_outcome (a : Machine.outcome) (b : Machine.outcome) =
-  String.equal a.Machine.output_digest b.Machine.output_digest
-  && a.Machine.exit_code = b.Machine.exit_code
+(* Runs are compared (and cached) as (output digest, exit code) pairs:
+   everything behavioural the pipeline verifies, and nothing engine- or
+   timing-dependent, so a cached profile's runs unify with fresh ones. *)
+let outcome_pair (o : Machine.outcome) =
+  (o.Machine.output_digest, o.Machine.exit_code)
+
+let same_outcome (da, ca) (db, cb) = String.equal da db && ca = cb
 
 (* Tolerant profiling returns survivors in input order plus the failed
    input indices; scatter them back onto input positions so the pre- and
@@ -70,8 +74,8 @@ let scatter_runs n runs (failures : (int * exn) list) =
   arr
 
 let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
-    ?(pre_opt = true) ?(post_cleanup = false) ?engine ?jobs ?budget ?fuel
-    (bench : Benchmark.t) =
+    ?(pre_opt = true) ?(post_cleanup = false) ?cache ?engine ?jobs ?budget
+    ?fuel (bench : Benchmark.t) =
   let degradations = ref [] in
   let note d_stage d_detail d_action =
     degradations := { d_stage; d_detail; d_action } :: !degradations;
@@ -84,88 +88,170 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
         ]
       "pipeline.degraded"
   in
+  (* Cache plumbing.  Without a cache every lookup misses and every
+     store is a no-op, so the uncached pipeline is byte-identical to the
+     pre-cache one.  A stage's result is stored only when the stage
+     completed without degradations ([clean] below): a cached artifact
+     always replays a clean computation, never a recovered one whose
+     notes would silently vanish on reuse. *)
+  let cache_find ~stage ~key =
+    match cache with None -> None | Some c -> Cache.find c obs ~stage ~key
+  in
+  let cache_put ~stage ~key v =
+    match cache with None -> () | Some c -> Cache.put c obs ~stage ~key v
+  in
+  let clean_mark () = List.length !degradations in
+  let clean since = List.length !degradations = since in
+  let engine_name =
+    Machine.engine_to_string
+      (match engine with Some e -> e | None -> Machine.Threaded)
+  in
+  (* Wall-clock budgets and fuel can truncate runs non-deterministically,
+     so profiles collected under either are never cached. *)
+  let profile_cacheable = budget = None && fuel = None in
   Obs.span obs "pipeline"
     ~attrs:[ ("benchmark", Impact_obs.Sink.String bench.Benchmark.name) ]
     (fun () ->
-      let ast =
-        Errors.guard Ierr.Parse (fun () ->
-            Obs.span obs "parse" (fun () ->
-                Impact_cfront.Parser.parse_program bench.Benchmark.source))
-      in
-      let tast =
-        Errors.guard Ierr.Sema (fun () ->
-            Obs.span obs "sema" (fun () -> Impact_cfront.Sema.check ast))
+      (* Front end (parse + sema + lower + pre-inline optimisation) is a
+         pure function of the source text and the [pre_opt] switch. *)
+      let front_key =
+        Cache.key [ "front"; bench.Benchmark.source; string_of_bool pre_opt ]
       in
       let prog =
-        Errors.guard Ierr.Lower (fun () ->
-            Obs.span obs "lower" (fun () -> Lower.lower tast))
+        match cache_find ~stage:"front" ~key:front_key with
+        | Some prog -> prog
+        | None ->
+          let ast =
+            Errors.guard Ierr.Parse (fun () ->
+                Obs.span obs "parse" (fun () ->
+                    Impact_cfront.Parser.parse_program bench.Benchmark.source))
+          in
+          let tast =
+            Errors.guard Ierr.Sema (fun () ->
+                Obs.span obs "sema" (fun () -> Impact_cfront.Sema.check ast))
+          in
+          let prog =
+            Errors.guard Ierr.Lower (fun () ->
+                Obs.span obs "lower" (fun () -> Lower.lower tast))
+          in
+          Obs.gauge_int obs "il.size_lowered" (Il.program_code_size prog);
+          (* The paper's setup: constant folding and jump optimisation run
+             before inline expansion. *)
+          if pre_opt then
+            Errors.guard Ierr.Lower (fun () ->
+                ignore
+                  (Obs.span obs "pre_opt" (fun () ->
+                       Impact_opt.Driver.pre_inline prog)));
+          cache_put ~stage:"front" ~key:front_key prog;
+          prog
       in
-      Obs.gauge_int obs "il.size_lowered" (Il.program_code_size prog);
-      (* The paper's setup: constant folding and jump optimisation run before
-         inline expansion. *)
-      if pre_opt then
-        Errors.guard Ierr.Lower (fun () ->
-            ignore
-              (Obs.span obs "pre_opt" (fun () ->
-                   Impact_opt.Driver.pre_inline prog)));
       Obs.gauge_int obs "il.size_pre_inline" (Il.program_code_size prog);
       let inputs =
         Errors.guard Ierr.Driver (fun () -> bench.Benchmark.inputs ())
       in
       let nfuncs = Array.length prog.Il.funcs in
       let nsites = prog.Il.next_site in
+      (* A profile entry is keyed by the engine, the program's checksum
+         and the raw input bytes; the payload carries the averaged
+         profile plus each run's (digest, exit code) pair, so a warm
+         rerun can still verify outputs without executing anything. *)
+      let profile_key_of sum =
+        Cache.key (("profile-" ^ engine_name) :: sum :: inputs)
+      in
+      let prog_sum = Impact_profile.Profile_io.program_checksum prog in
       (* Only counters and digests are consumed downstream, so neither
          profiling pass needs to hold every run's output text. *)
       let static_fallback = ref false in
       let profile, runs, pre_failures =
-        match policy with
-        | Strict ->
-          let { Profiler.profile; runs; _ } =
-            Errors.guard Ierr.Profile_run (fun () ->
-                Obs.span obs "profile" (fun () ->
-                    Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
-                      ~keep_outputs:false prog ~inputs))
-          in
-          (profile, runs, [])
-        | Degrade -> (
-          try
-            let { Profiler.profile; runs; failures } =
-              Obs.span obs "profile" (fun () ->
-                  Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
-                    ~keep_outputs:false ~tolerant:true
-                    ~on_retry:(fun i e ->
-                      note Ierr.Profile_run
-                        (Printf.sprintf "run on input %d failed (%s)" i
-                           (exn_detail Ierr.Profile_run e))
-                        "retried once")
-                    prog ~inputs)
-            in
-            List.iter
-              (fun (i, e) ->
+        match
+          if profile_cacheable then
+            cache_find ~stage:"profile" ~key:(profile_key_of prog_sum)
+          else None
+        with
+        | Some (profile, pairs) -> (profile, pairs, [])
+        | None ->
+          let since = clean_mark () in
+          let profile, runs, failures =
+            match policy with
+            | Strict ->
+              let { Profiler.profile; runs; _ } =
+                Errors.guard Ierr.Profile_run (fun () ->
+                    Obs.span obs "profile" (fun () ->
+                        Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
+                          ~keep_outputs:false prog ~inputs))
+              in
+              (profile, List.map outcome_pair runs, [])
+            | Degrade -> (
+              try
+                let { Profiler.profile; runs; failures } =
+                  Obs.span obs "profile" (fun () ->
+                      Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
+                        ~keep_outputs:false ~tolerant:true
+                        ~on_retry:(fun i e ->
+                          note Ierr.Profile_run
+                            (Printf.sprintf "run on input %d failed (%s)" i
+                               (exn_detail Ierr.Profile_run e))
+                            "retried once")
+                        prog ~inputs)
+                in
+                List.iter
+                  (fun (i, e) ->
+                    note Ierr.Profile_run
+                      (Printf.sprintf "run on input %d failed after retry (%s)"
+                         i
+                         (exn_detail Ierr.Profile_run e))
+                      "dropped from profile average")
+                  failures;
+                (profile, List.map outcome_pair runs, failures)
+              with e ->
+                static_fallback := true;
                 note Ierr.Profile_run
-                  (Printf.sprintf "run on input %d failed after retry (%s)" i
+                  (Printf.sprintf "profiling failed (%s)"
                      (exn_detail Ierr.Profile_run e))
-                  "dropped from profile average")
-              failures;
-            (profile, runs, failures)
-          with e ->
-            static_fallback := true;
-            note Ierr.Profile_run
-              (Printf.sprintf "profiling failed (%s)" (exn_detail Ierr.Profile_run e))
-              "fell back to static uniform weights (no inlining)";
-            (Profile.static_uniform ~nfuncs ~nsites, [], []))
+                  "fell back to static uniform weights (no inlining)";
+                (Profile.static_uniform ~nfuncs ~nsites, [], []))
+          in
+          if
+            profile_cacheable && failures = []
+            && (not !static_fallback)
+            && clean since
+          then
+            cache_put ~stage:"profile" ~key:(profile_key_of prog_sum)
+              (profile, runs);
+          (profile, runs, failures)
       in
-      let graph =
-        Errors.guard Ierr.Callgraph (fun () ->
-            Obs.span obs "callgraph" (fun () ->
-                Callgraph.build
-                  ~refine_pointer_targets:config.Config.refine_pointer_targets
-                  prog profile))
+      let profile_sum = Impact_profile.Profile_io.profile_checksum profile in
+      let config_fp = Config.fingerprint config in
+      (* Classification depends on the program, the profile's content,
+         the config, and which pointer-target analysis actually ran (the
+         post pass never refines, whatever the config says). *)
+      let classify_key_of ~tag ~prog_sum ~profile_sum ~refine =
+        Cache.key
+          [ "classify"; tag; prog_sum; profile_sum; config_fp;
+            string_of_bool refine ]
       in
       let classified =
-        Errors.guard Ierr.Select (fun () ->
-            Obs.span obs "classify" (fun () ->
-                Classify.classify ~obs ~stage:"classify.pre" graph config))
+        let key =
+          classify_key_of ~tag:"pre" ~prog_sum ~profile_sum
+            ~refine:config.Config.refine_pointer_targets
+        in
+        match cache_find ~stage:"classify" ~key with
+        | Some cl -> cl
+        | None ->
+          let graph =
+            Errors.guard Ierr.Callgraph (fun () ->
+                Obs.span obs "callgraph" (fun () ->
+                    Callgraph.build
+                      ~refine_pointer_targets:
+                        config.Config.refine_pointer_targets prog profile))
+          in
+          let cl =
+            Errors.guard Ierr.Select (fun () ->
+                Obs.span obs "classify" (fun () ->
+                    Classify.classify ~obs ~stage:"classify.pre" graph config))
+          in
+          cache_put ~stage:"classify" ~key cl;
+          cl
       in
       (* Expansion failures are typed at the source: in Strict they abort
          with a caller-naming [Expand] error; in Degrade the caller is
@@ -191,20 +277,63 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
                (exn_detail Ierr.Expand exn))
             "caller skipped, rest of plan kept"
       in
+      (* Selection + expansion is a pure function of the program, the
+         profile's content and the config; the cached payload is the
+         whole report (expanded program included), so a hit skips
+         linearisation, selection, expansion and DCE in one step. *)
       let inliner =
-        Errors.guard Ierr.Select (fun () ->
-            Obs.span obs "inline" (fun () ->
-                Inliner.run ~obs ~config ~on_expand_error prog profile))
+        let key =
+          Cache.key
+            [ "inline"; prog_sum; profile_sum; config_fp;
+              string_of_bool post_cleanup ]
+        in
+        match cache_find ~stage:"inline" ~key with
+        | Some r ->
+          Obs.instant obs ~kind:"decision"
+            ~attrs:
+              [
+                ("benchmark", Impact_obs.Sink.String bench.Benchmark.name);
+                ("config", Impact_obs.Sink.String config_fp);
+                ("profile", Impact_obs.Sink.String profile_sum);
+              ]
+            "inline.cached";
+          r
+        | None ->
+          let since = clean_mark () in
+          let r =
+            Errors.guard Ierr.Select (fun () ->
+                Obs.span obs "inline" (fun () ->
+                    Inliner.run ~obs ~config ~on_expand_error prog profile))
+          in
+          if post_cleanup then
+            Errors.guard Ierr.Lower (fun () ->
+                ignore
+                  (Obs.span obs "post_opt" (fun () ->
+                       Impact_opt.Driver.post_inline_cleanup
+                         r.Inliner.program)));
+          if clean since then cache_put ~stage:"inline" ~key r;
+          r
       in
-      if post_cleanup then
-        Errors.guard Ierr.Lower (fun () ->
-            ignore
-              (Obs.span obs "post_opt" (fun () ->
-                   Impact_opt.Driver.post_inline_cleanup
-                     inliner.Inliner.program)));
       Obs.gauge_int obs "il.size_post_inline"
         (Il.program_code_size inliner.Inliner.program);
       let post_prog = inliner.Inliner.program in
+      let post_sum = Impact_profile.Profile_io.program_checksum post_prog in
+      (* Positional comparison of pre- and post-expansion runs; under
+         Degrade the two passes may have dropped different inputs, so
+         failures are scattered back onto input positions first. *)
+      let compare_runs post_pairs post_failures =
+        let n = List.length inputs in
+        let pre = scatter_runs n runs pre_failures in
+        let post = scatter_runs n post_pairs post_failures in
+        let matches = ref true in
+        for i = 0 to n - 1 do
+          match (pre.(i), post.(i)) with
+          | Some a, Some b -> if not (same_outcome a b) then matches := false
+          | None, None -> () (* failed both times: nothing to compare *)
+          | _ -> matches := false (* behaviour diverged under expansion *)
+        done;
+        !matches
+      in
       let post_profile, outputs_match =
         if !static_fallback then (
           (* No dynamic behaviour was ever observed; the expanded program
@@ -217,69 +346,91 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
               ~nsites:post_prog.Il.next_site,
             true ))
         else
-          match policy with
-          | Strict ->
-            let { Profiler.profile = post_profile; runs = post_runs; _ } =
-              Errors.guard Ierr.Profile_run (fun () ->
+          match
+            if profile_cacheable then
+              cache_find ~stage:"profile" ~key:(profile_key_of post_sum)
+            else None
+          with
+          | Some (post_profile, post_pairs) ->
+            (post_profile, compare_runs post_pairs [])
+          | None -> (
+            match policy with
+            | Strict ->
+              let { Profiler.profile = post_profile; runs = post_runs; _ } =
+                Errors.guard Ierr.Profile_run (fun () ->
+                    Obs.span obs "re_profile" (fun () ->
+                        Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
+                          ~keep_outputs:false post_prog ~inputs))
+              in
+              let post_pairs = List.map outcome_pair post_runs in
+              if profile_cacheable then
+                cache_put ~stage:"profile" ~key:(profile_key_of post_sum)
+                  (post_profile, post_pairs);
+              (post_profile, compare_runs post_pairs [])
+            | Degrade -> (
+              let since = clean_mark () in
+              try
+                let {
+                  Profiler.profile = post_profile;
+                  runs = post_runs;
+                  failures = post_failures;
+                } =
                   Obs.span obs "re_profile" (fun () ->
                       Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
-                        ~keep_outputs:false post_prog ~inputs))
-            in
-            (post_profile, List.for_all2 same_outcome runs post_runs)
-          | Degrade -> (
-            try
-              let {
-                Profiler.profile = post_profile;
-                runs = post_runs;
-                failures = post_failures;
-              } =
-                Obs.span obs "re_profile" (fun () ->
-                    Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
-                      ~keep_outputs:false ~tolerant:true
-                      ~on_retry:(fun i e ->
-                        note Ierr.Profile_run
-                          (Printf.sprintf
-                             "re-profile run on input %d failed (%s)" i
-                             (exn_detail Ierr.Profile_run e))
-                          "retried once")
-                    post_prog ~inputs)
-              in
-              List.iter
-                (fun (i, e) ->
-                  note Ierr.Profile_run
-                    (Printf.sprintf
-                       "re-profile run on input %d failed after retry (%s)" i
-                       (exn_detail Ierr.Profile_run e))
-                    "dropped from post-inline average")
-                post_failures;
-              let n = List.length inputs in
-              let pre = scatter_runs n runs pre_failures in
-              let post = scatter_runs n post_runs post_failures in
-              let matches = ref true in
-              for i = 0 to n - 1 do
-                match (pre.(i), post.(i)) with
-                | Some a, Some b -> if not (same_outcome a b) then matches := false
-                | None, None -> () (* failed both times: nothing to compare *)
-                | _ -> matches := false (* behaviour diverged under expansion *)
-              done;
-              (post_profile, !matches)
-            with e ->
-              note Ierr.Profile_run
-                (Printf.sprintf "re-profiling failed (%s)" (exn_detail Ierr.Profile_run e))
-                "post metrics are static; outputs unverified";
-              ( Profile.static_uniform
-                  ~nfuncs:(Array.length post_prog.Il.funcs)
-                  ~nsites:post_prog.Il.next_site,
-                false ))
-      in
-      let post_graph =
-        Errors.guard Ierr.Callgraph (fun () ->
-            Callgraph.build post_prog post_profile)
+                        ~keep_outputs:false ~tolerant:true
+                        ~on_retry:(fun i e ->
+                          note Ierr.Profile_run
+                            (Printf.sprintf
+                               "re-profile run on input %d failed (%s)" i
+                               (exn_detail Ierr.Profile_run e))
+                            "retried once")
+                      post_prog ~inputs)
+                in
+                List.iter
+                  (fun (i, e) ->
+                    note Ierr.Profile_run
+                      (Printf.sprintf
+                         "re-profile run on input %d failed after retry (%s)" i
+                         (exn_detail Ierr.Profile_run e))
+                      "dropped from post-inline average")
+                  post_failures;
+                let post_pairs = List.map outcome_pair post_runs in
+                if profile_cacheable && post_failures = [] && clean since then
+                  cache_put ~stage:"profile" ~key:(profile_key_of post_sum)
+                    (post_profile, post_pairs);
+                (post_profile, compare_runs post_pairs post_failures)
+              with e ->
+                note Ierr.Profile_run
+                  (Printf.sprintf "re-profiling failed (%s)"
+                     (exn_detail Ierr.Profile_run e))
+                  "post metrics are static; outputs unverified";
+                ( Profile.static_uniform
+                    ~nfuncs:(Array.length post_prog.Il.funcs)
+                    ~nsites:post_prog.Il.next_site,
+                  false )))
       in
       let post_classified =
-        Errors.guard Ierr.Select (fun () ->
-            Obs.span obs "post_classify" (fun () ->
-                Classify.classify ~obs ~stage:"classify.post" post_graph config))
+        let key =
+          classify_key_of ~tag:"post" ~prog_sum:post_sum
+            ~profile_sum:
+              (Impact_profile.Profile_io.profile_checksum post_profile)
+            ~refine:false
+        in
+        match cache_find ~stage:"classify" ~key with
+        | Some cl -> cl
+        | None ->
+          let post_graph =
+            Errors.guard Ierr.Callgraph (fun () ->
+                Callgraph.build post_prog post_profile)
+          in
+          let cl =
+            Errors.guard Ierr.Select (fun () ->
+                Obs.span obs "post_classify" (fun () ->
+                    Classify.classify ~obs ~stage:"classify.post" post_graph
+                      config))
+          in
+          cache_put ~stage:"classify" ~key cl;
+          cl
       in
       Obs.gauge_int obs "pipeline.c_lines" (count_c_lines bench.Benchmark.source);
       Obs.gauge_int obs "pipeline.nruns" (List.length inputs);
@@ -294,6 +445,7 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
           note Ierr.Artifact
             (Printf.sprintf "trace sink failed (%s)" (exn_detail Ierr.Artifact e))
             "later events dropped; run kept"));
+      (match cache with Some c -> Cache.publish c obs | None -> ());
       {
         bench;
         c_lines = count_c_lines bench.Benchmark.source;
@@ -308,12 +460,13 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
         degradations = List.rev !degradations;
       })
 
-let run_suite ?obs ?policy ?config ?post_cleanup ?engine ?jobs () =
+let run_suite ?obs ?policy ?config ?post_cleanup ?cache ?engine ?jobs () =
   (* Parallelism fans out across benchmarks; each benchmark's own
      profiling stays sequential (inner ?jobs unset) so domains are not
-     oversubscribed.  The pool preserves suite order. *)
+     oversubscribed.  The pool preserves suite order.  One cache is
+     shared by all workers (the store is mutex-protected). *)
   Impact_support.Pool.map_list ?jobs
-    (fun b -> run ?obs ?policy ?config ?post_cleanup ?engine b)
+    (fun b -> run ?obs ?policy ?config ?post_cleanup ?cache ?engine b)
     Impact_bench_progs.Suite.all
 
 type suite_report = {
@@ -321,11 +474,11 @@ type suite_report = {
   failed : (Benchmark.t * Ierr.t) list;
 }
 
-let run_suite_report ?obs ?(policy = Degrade) ?config ?post_cleanup ?engine
-    ?jobs ?(benches = Impact_bench_progs.Suite.all) () =
+let run_suite_report ?obs ?(policy = Degrade) ?config ?post_cleanup ?cache
+    ?engine ?jobs ?(benches = Impact_bench_progs.Suite.all) () =
   let outcomes =
     Impact_support.Pool.map_list_results ?jobs
-      (fun b -> run ?obs ~policy ?config ?post_cleanup ?engine b)
+      (fun b -> run ?obs ~policy ?config ?post_cleanup ?cache ?engine b)
       benches
   in
   let completed, failed =

@@ -71,6 +71,20 @@ type result = {
     domains for the two profiling passes; both leave the result
     unchanged.  [budget] and [fuel] bound every profiling run
     ({!Impact_interp.Rt.budget}).
+
+    [cache] makes the run incremental: each expensive stage — front end
+    (keyed by source text), the two profiling passes (keyed by program
+    checksum, input bytes, and engine), classification and
+    selection+expansion (keyed by program/profile checksums and the
+    {!Impact_core.Config.fingerprint}) — first consults the stage cache
+    and, on a verified hit, is skipped entirely with a byte-identical
+    result.  Only clean computations are stored (no degradations, no
+    dropped runs, no budget/fuel truncation), so a cached artifact never
+    replays a recovery; a corrupt cache entry is a counted miss, never a
+    failure, even under [Strict].  Hits and misses appear as
+    [cache.hit]/[cache.miss] counters and ["cache.reuse"] instants on
+    [obs], and a reused selection additionally logs an ["inline.cached"]
+    decision event.
     @raise Impact_support.Ierr.Error on failure: always under [Strict];
       under [Degrade] only for errors with no recovery (front-end
       failures, and profile failures once the static fallback has also
@@ -81,6 +95,7 @@ val run :
   ?config:Impact_core.Config.t ->
   ?pre_opt:bool ->
   ?post_cleanup:bool ->
+  ?cache:Cache.t ->
   ?engine:Impact_interp.Machine.engine ->
   ?jobs:int ->
   ?budget:Impact_interp.Rt.budget ->
@@ -98,6 +113,7 @@ val run_suite :
   ?policy:policy ->
   ?config:Impact_core.Config.t ->
   ?post_cleanup:bool ->
+  ?cache:Cache.t ->
   ?engine:Impact_interp.Machine.engine ->
   ?jobs:int ->
   unit ->
@@ -121,6 +137,7 @@ val run_suite_report :
   ?policy:policy ->
   ?config:Impact_core.Config.t ->
   ?post_cleanup:bool ->
+  ?cache:Cache.t ->
   ?engine:Impact_interp.Machine.engine ->
   ?jobs:int ->
   ?benches:Impact_bench_progs.Benchmark.t list ->

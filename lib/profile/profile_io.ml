@@ -58,6 +58,12 @@ let to_string ?checksum (p : Profile.t) =
     p.Profile.site_weight;
   Buffer.contents buf
 
+(* Identity of a profile's *content*, for keying artifacts derived from
+   it (the cached selection/expansion stage): two profiles with the
+   same checksum steer the inliner identically, because the checksum
+   covers the full canonical serialisation. *)
+let profile_checksum p = Digest.to_hex (Digest.string (to_string p))
+
 (* Tolerate files that went through DOS line endings or had their
    separators mangled (editors, diff tools): strip a trailing CR and
    split fields on any run of spaces/tabs. *)

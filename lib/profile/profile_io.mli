@@ -31,6 +31,11 @@
     dump — the staleness fingerprint recorded in v2 headers. *)
 val program_checksum : Impact_il.Il.program -> string
 
+(** [profile_checksum p] is the MD5 (hex) of the profile's canonical
+    serialisation — the identity of the profile's content, for keying
+    artifacts (cached inlining decisions) derived from it. *)
+val profile_checksum : Profile.t -> string
+
 (** [to_string ?checksum p] serialises a profile with a v2 header;
     [?checksum] defaults to the unrecorded marker [-]. *)
 val to_string : ?checksum:string -> Profile.t -> string

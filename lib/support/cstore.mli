@@ -1,0 +1,75 @@
+(** Content-addressed artifact store — the persistence behind the
+    incremental driver's stage cache.
+
+    Each entry is one file [<stage>-<key>.ice] in the store directory,
+    where [key] is a digest the caller derives (via {!digest_key}) from
+    everything that determines the payload: stage tag, config
+    fingerprint, input checksums.  Entries carry a versioned header,
+    like the v2 profile format:
+
+    {v
+    impact-cache v1 <stage> <key> <md5-of-payload> <payload-length>
+    <payload bytes>
+    v}
+
+    so a truncated, bit-flipped, or foreign file is detected before a
+    single payload byte is trusted.  Corruption surfaces as a typed
+    {!Ierr.t} carried by a {!lookup.Corrupt} result — a miss with a
+    reason, never a crash — and the bad entry is dropped so the next
+    store repairs it.  Writes are atomic ({!Atomic_io} temp + rename).
+
+    When payload bytes exceed the size budget, least-recently-used
+    entries are evicted; access order is persisted to an [INDEX] file so
+    recency survives process restarts (the index is advisory — losing it
+    degrades only the LRU ordering, never correctness).
+
+    Operations are mutex-protected, so one store may be shared by
+    parallel suite runs; no operation ever raises.  The
+    {!Fault.Cache_read}/{!Fault.Cache_write} injection points fire on
+    every entry read/write. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable corrupt : int;
+      (** entries present but failing header/digest verification *)
+  mutable stores : int;
+  mutable store_failures : int;
+  mutable evictions : int;
+}
+
+type t
+
+(** The result of a lookup: the verified payload, a plain miss, or a
+    corrupt entry (dropped; carries the typed reason). *)
+type lookup =
+  | Hit of string
+  | Miss
+  | Corrupt of Ierr.t
+
+(** [digest_key parts] is a collision-free MD5 (hex) over the ordered
+    parts: each part is length-prefixed, so [["ab"; "c"]] and
+    [["a"; "bc"]] digest differently, and parts may hold arbitrary
+    bytes (program sources, stdin data). *)
+val digest_key : string list -> string
+
+(** [create ?max_bytes dir] opens (creating if needed) a store rooted at
+    [dir], scanning existing entries and the [INDEX] for recency.
+    [max_bytes] (default 256 MiB) bounds the total entry bytes kept. *)
+val create : ?max_bytes:int -> string -> t
+
+val find : t -> stage:string -> key:string -> lookup
+
+(** [store t ~stage ~key payload] writes an entry atomically, then
+    evicts LRU entries (never the one just stored) while over budget.
+    Best-effort: a failed write is counted in {!stats} and remembered in
+    {!last_error}, never raised — the caller loses only reuse. *)
+val store : t -> stage:string -> key:string -> string -> unit
+
+val stats : t -> stats
+val last_error : t -> Ierr.t option
+val entry_count : t -> int
+val total_bytes : t -> int
+
+(** [hit_rate s] — hits over hits+misses, 0 when no lookups. *)
+val hit_rate : stats -> float

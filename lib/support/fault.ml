@@ -22,12 +22,14 @@ type point =
   | Interp_step
   | Expand_splice
   | Sink_write
+  | Cache_read
+  | Cache_write
 
 exception Injected of point
 
 let all_points =
   [ Profile_read; Profile_write; Pool_worker_start; Pool_worker_finish;
-    Interp_step; Expand_splice; Sink_write ]
+    Interp_step; Expand_splice; Sink_write; Cache_read; Cache_write ]
 
 let npoints = List.length all_points
 
@@ -39,6 +41,8 @@ let index = function
   | Interp_step -> 4
   | Expand_splice -> 5
   | Sink_write -> 6
+  | Cache_read -> 7
+  | Cache_write -> 8
 
 let point_name = function
   | Profile_read -> "profile-read"
@@ -48,6 +52,8 @@ let point_name = function
   | Interp_step -> "interp-step"
   | Expand_splice -> "expand-splice"
   | Sink_write -> "sink-write"
+  | Cache_read -> "cache-read"
+  | Cache_write -> "cache-write"
 
 let point_of_name s =
   List.find_opt (fun p -> point_name p = s) all_points

@@ -15,6 +15,8 @@ type point =
   | Interp_step        (** reference interpreter, once per instruction *)
   | Expand_splice      (** {!Impact_core.Expand.splice_call} entry *)
   | Sink_write         (** {!Impact_obs.Sink} event emission *)
+  | Cache_read         (** {!Cstore.find} entry read/verify *)
+  | Cache_write        (** {!Cstore.store} entry write *)
 
 exception Injected of point
 

@@ -18,6 +18,7 @@ type stage =
   | Expand
   | Pool
   | Artifact
+  | Cache
   | Driver
 
 type severity =
@@ -61,6 +62,7 @@ let stage_name = function
   | Expand -> "expand"
   | Pool -> "pool"
   | Artifact -> "artifact"
+  | Cache -> "cache"
   | Driver -> "driver"
 
 let severity_name = function
@@ -82,7 +84,7 @@ let exit_code t =
   match t.stage with
   | Parse | Sema | Lower -> 3
   | Profile_io | Profile_run -> 4
-  | Callgraph | Select | Expand | Pool | Artifact | Driver -> 5
+  | Callgraph | Select | Expand | Pool | Artifact | Cache | Driver -> 5
 
 let to_string t =
   match t.loc with

@@ -19,6 +19,7 @@ type stage =
   | Expand
   | Pool
   | Artifact
+  | Cache
   | Driver
 
 type severity =

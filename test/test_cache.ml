@@ -1,0 +1,335 @@
+(* The content-addressed stage cache, from the store's byte format up to
+   the incremental pipeline:
+
+   - store unit behaviour: roundtrip, persistence, key hygiene, LRU
+     eviction under a byte budget;
+   - on-disk corruption (bit flips, truncation, foreign files) is a
+     typed miss that repairs itself, never a failure — even under the
+     Strict pipeline policy;
+   - a warm pipeline rerun is byte-identical to the cold one and skips
+     every stage (the ISSUE's >= 90% criterion, observed through the
+     cache hit/miss counters);
+   - invalidation is precise: a whitespace-only source change recompiles
+     the front end but reuses every later stage (the lowered program's
+     checksum is unchanged); flipping one config field reuses the front
+     end and the profiles but recomputes classification and selection; a
+     semantic source change recomputes everything. *)
+
+module Cstore = Impact_support.Cstore
+module Ierr = Impact_support.Ierr
+module Cache = Impact_harness.Cache
+module Pipeline = Impact_harness.Pipeline
+module Report = Impact_harness.Report
+module Config = Impact_core.Config
+module Inliner = Impact_core.Inliner
+module Benchmark = Impact_bench_progs.Benchmark
+module Suite = Impact_bench_progs.Suite
+module Il_pp = Impact_il.Il_pp
+module Obs = Impact_obs.Obs
+module Sink = Impact_obs.Sink
+module Metrics = Impact_obs.Metrics
+
+let tmp_dir () =
+  let path = Filename.temp_file "impact_cache" "" in
+  Sys.remove path;
+  path
+
+let counter obs name = Metrics.counter_value obs.Obs.metrics name
+
+(* ------------------------------------------------------------------ *)
+(* Store unit behaviour                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  Alcotest.(check bool)
+    "length-prefixed parts cannot collide" true
+    (Cstore.digest_key [ "ab"; "c" ] <> Cstore.digest_key [ "a"; "bc" ]);
+  let dir = tmp_dir () in
+  let s = Cstore.create dir in
+  let key = Cstore.digest_key [ "k" ] in
+  (match Cstore.find s ~stage:"t" ~key with
+  | Cstore.Miss -> ()
+  | _ -> Alcotest.fail "expected a miss on the empty store");
+  let payload = "payload\x00with\xffarbitrary bytes" in
+  Cstore.store s ~stage:"t" ~key payload;
+  (match Cstore.find s ~stage:"t" ~key with
+  | Cstore.Hit p -> Alcotest.(check string) "payload survives" payload p
+  | _ -> Alcotest.fail "expected a hit");
+  (* A fresh handle over the same directory sees the entry. *)
+  let s2 = Cstore.create dir in
+  (match Cstore.find s2 ~stage:"t" ~key with
+  | Cstore.Hit p -> Alcotest.(check string) "persisted" payload p
+  | _ -> Alcotest.fail "entry did not persist across handles");
+  (* Same key under another stage tag is a different entry. *)
+  match Cstore.find s2 ~stage:"u" ~key with
+  | Cstore.Miss -> ()
+  | _ -> Alcotest.fail "stage tag leaked across entries"
+
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ice")
+  |> List.sort compare
+
+let clobber path f =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (f s);
+  close_out oc
+
+let test_corruption_is_a_miss () =
+  let dir = tmp_dir () in
+  let s = Cstore.create dir in
+  let key = Cstore.digest_key [ "k" ] in
+  Cstore.store s ~stage:"t" ~key "the payload";
+  let file =
+    match entry_files dir with [ f ] -> Filename.concat dir f | _ -> assert false
+  in
+  (* Bit-flip the last payload byte: digest mismatch. *)
+  clobber file (fun c ->
+      let b = Bytes.of_string c in
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      Bytes.to_string b);
+  (match Cstore.find s ~stage:"t" ~key with
+  | Cstore.Corrupt e ->
+    Alcotest.(check string) "typed stage" "cache" (Ierr.stage_name e.Ierr.stage)
+  | _ -> Alcotest.fail "bit flip not detected");
+  Alcotest.(check bool) "entry dropped" true (entry_files dir = []);
+  (* The next store repairs it. *)
+  Cstore.store s ~stage:"t" ~key "the payload";
+  (match Cstore.find s ~stage:"t" ~key with
+  | Cstore.Hit _ -> ()
+  | _ -> Alcotest.fail "repair failed");
+  (* Truncation: drop the tail. *)
+  clobber file (fun c -> String.sub c 0 (String.length c - 4));
+  (match Cstore.find s ~stage:"t" ~key with
+  | Cstore.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncation not detected");
+  (* A foreign file under the right name. *)
+  Cstore.store s ~stage:"t" ~key "the payload";
+  clobber file (fun _ -> "not a cache entry at all\n");
+  (match Cstore.find s ~stage:"t" ~key with
+  | Cstore.Corrupt _ -> ()
+  | _ -> Alcotest.fail "foreign file not detected");
+  let st = Cstore.stats s in
+  Alcotest.(check int) "three corruptions counted" 3 st.Cstore.corrupt
+
+let test_eviction () =
+  let dir = tmp_dir () in
+  (* Budget fits roughly two of the ~1100-byte entries. *)
+  let s = Cstore.create ~max_bytes:2500 dir in
+  let payload = String.make 1000 'x' in
+  let key i = Cstore.digest_key [ string_of_int i ] in
+  Cstore.store s ~stage:"t" ~key:(key 0) payload;
+  Cstore.store s ~stage:"t" ~key:(key 1) payload;
+  (* Touch entry 0 so entry 1 is the LRU victim. *)
+  (match Cstore.find s ~stage:"t" ~key:(key 0) with
+  | Cstore.Hit _ -> ()
+  | _ -> Alcotest.fail "entry 0 missing before eviction");
+  Cstore.store s ~stage:"t" ~key:(key 2) payload;
+  let st = Cstore.stats s in
+  Alcotest.(check bool) "evicted at least once" true (st.Cstore.evictions >= 1);
+  Alcotest.(check bool)
+    "under budget" true
+    (Cstore.total_bytes s <= 2500);
+  (match Cstore.find s ~stage:"t" ~key:(key 2) with
+  | Cstore.Hit _ -> ()
+  | _ -> Alcotest.fail "the entry just stored was evicted");
+  (match Cstore.find s ~stage:"t" ~key:(key 0) with
+  | Cstore.Hit _ -> ()
+  | _ -> Alcotest.fail "recently-used entry was evicted");
+  match Cstore.find s ~stage:"t" ~key:(key 1) with
+  | Cstore.Miss -> ()
+  | _ -> Alcotest.fail "LRU entry survived"
+
+(* ------------------------------------------------------------------ *)
+(* Warm pipeline reruns                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the pipeline reports, as comparable bytes. *)
+let fingerprint (r : Pipeline.result) =
+  Il_pp.dump r.Pipeline.inliner.Inliner.program
+  ^ "\n" ^ Sink.json_to_string (Report.to_json [ r ])
+
+let test_warm_run_identical () =
+  let dir = tmp_dir () in
+  let bench = Suite.find "cmp" in
+  let cold_obs = Obs.create (Sink.memory ()) in
+  let cold = Pipeline.run ~obs:cold_obs ~cache:(Cache.create dir) bench in
+  Alcotest.(check int) "cold run has no hits" 0 (counter cold_obs "cache.hit");
+  Alcotest.(check int) "cold run stores every stage" 6
+    (counter cold_obs "cache.store");
+  (* A fresh handle over the same directory: the warm run must rebuild
+     its view of the store from disk alone. *)
+  let obs = Obs.create (Sink.memory ()) in
+  let cache = Cache.create dir in
+  let warm = Pipeline.run ~obs ~cache bench in
+  Alcotest.(check string) "byte-identical result" (fingerprint cold)
+    (fingerprint warm);
+  Alcotest.(check int) "warm run misses nothing" 0 (counter obs "cache.miss");
+  Alcotest.(check int) "warm run hits every stage" 6 (counter obs "cache.hit");
+  (* The ISSUE's acceptance bar: >= 90% of stage work skipped. *)
+  Alcotest.(check bool) "hit rate >= 0.9" true
+    (Cstore.hit_rate (Cstore.stats (Cache.cstore cache)) >= 0.9);
+  (* The reused selection shows up in the decision log. *)
+  let cached_decisions =
+    Sink.events (Obs.sink obs)
+    |> List.filter (fun (e : Sink.event) ->
+           e.Sink.ev_kind = "decision" && e.Sink.ev_name = "inline.cached")
+  in
+  Alcotest.(check int) "inline.cached decision logged" 1
+    (List.length cached_decisions)
+
+let test_warm_suite_report () =
+  (* The suite driver threads one shared cache through every benchmark;
+     keep it to a two-benchmark slice so the test stays quick. *)
+  let dir = tmp_dir () in
+  let benches = [ Suite.find "cmp"; Suite.find "wc" ] in
+  let cache = Cache.create dir in
+  let cold = Pipeline.run_suite_report ~cache ~benches () in
+  Alcotest.(check int) "all completed" 2 (List.length cold.Pipeline.completed);
+  let obs = Obs.create (Sink.memory ()) in
+  let warm = Pipeline.run_suite_report ~obs ~cache ~benches () in
+  Alcotest.(check int) "warm misses nothing" 0 (counter obs "cache.miss");
+  Alcotest.(check int) "warm hits everything" 12 (counter obs "cache.hit");
+  List.iter2
+    (fun (a : Pipeline.result) b ->
+      Alcotest.(check string) "byte-identical per benchmark" (fingerprint a)
+        (fingerprint b))
+    cold.Pipeline.completed warm.Pipeline.completed
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation precision                                              *)
+(* ------------------------------------------------------------------ *)
+
+let inv_source =
+  {|extern int print_int(int n);
+int hot(int a, int b) { return a * 3 + b; }
+int cold_fn(int a) { return a - 1; }
+int main() {
+  int acc = 0; int k;
+  for (k = 0; k < 200; k = k + 1) acc = acc + hot(k, acc & 63);
+  acc = acc + cold_fn(acc);
+  print_int(acc);
+  return 0;
+}
+|}
+
+let inv_bench src =
+  {
+    Benchmark.name = "inv";
+    description = "invalidation probe";
+    source = src;
+    inputs = (fun () -> [ "" ]);
+  }
+
+let stage_counts obs =
+  List.map
+    (fun stage ->
+      ( stage,
+        counter obs ("cache.hit." ^ stage),
+        counter obs ("cache.miss." ^ stage) ))
+    [ "front"; "profile"; "classify"; "inline" ]
+
+let check_stages obs expected =
+  List.iter2
+    (fun (stage, ehit, emiss) (stage', hit, miss) ->
+      assert (stage = stage');
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%s hit/miss" stage)
+        (ehit, emiss) (hit, miss))
+    expected (stage_counts obs)
+
+let test_invalidation_precision () =
+  let dir = tmp_dir () in
+  let cache = Cache.create dir in
+  let _ = Pipeline.run ~cache (inv_bench inv_source) in
+  (* Whitespace-only source change: the front end recompiles (its key is
+     the source bytes) but produces the same program, so the profiling,
+     classification and selection entries all still match — the cache
+     cuts off the invalidation at the first unchanged checksum. *)
+  let obs = Obs.create (Sink.memory ()) in
+  let _ = Pipeline.run ~obs ~cache (inv_bench (inv_source ^ "\n")) in
+  check_stages obs
+    [
+      ("front", 0, 1); ("profile", 2, 0); ("classify", 2, 0); ("inline", 1, 0);
+    ];
+  (* Flipping one config field reuses the front end and both profiles
+     (the selection happens not to change, so the expanded program's
+     checksum doesn't either) but recomputes everything keyed by the
+     config fingerprint. *)
+  let obs = Obs.create (Sink.memory ()) in
+  let config = { Config.default with Config.weight_threshold = 11.0 } in
+  let _ = Pipeline.run ~obs ~cache ~config (inv_bench inv_source) in
+  check_stages obs
+    [
+      ("front", 1, 0); ("profile", 2, 0); ("classify", 0, 2); ("inline", 0, 1);
+    ];
+  (* A semantic source change — one byte, the hot multiplier 3 -> 4 —
+     invalidates every stage. *)
+  let obs = Obs.create (Sink.memory ()) in
+  let changed_src =
+    let b = Bytes.of_string inv_source in
+    let i = ref (-1) in
+    Bytes.iteri (fun j c -> if c = '3' && !i < 0 then i := j) b;
+    Bytes.set b !i '4';
+    Bytes.to_string b
+  in
+  let _ = Pipeline.run ~obs ~cache (inv_bench changed_src) in
+  check_stages obs
+    [
+      ("front", 0, 1); ("profile", 0, 2); ("classify", 0, 2); ("inline", 0, 1);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* On-disk corruption through the full pipeline                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_survives_corruption () =
+  let dir = tmp_dir () in
+  let bench = Suite.find "cmp" in
+  let cold = Pipeline.run ~cache:(Cache.create dir) bench in
+  (* Flip one payload byte in every cached entry. *)
+  List.iter
+    (fun f ->
+      clobber (Filename.concat dir f) (fun c ->
+          let b = Bytes.of_string c in
+          let i = Bytes.length b - 1 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+          Bytes.to_string b))
+    (entry_files dir);
+  (* Even under Strict, a fully corrupt cache is only a slow cache. *)
+  let obs = Obs.create (Sink.memory ()) in
+  let cache = Cache.create dir in
+  let warm = Pipeline.run ~obs ~policy:Pipeline.Strict ~cache bench in
+  Alcotest.(check string) "result unaffected" (fingerprint cold)
+    (fingerprint warm);
+  Alcotest.(check int) "every entry detected as corrupt" 6
+    (counter obs "cache.corrupt");
+  Alcotest.(check bool) "degradation-free" true
+    (warm.Pipeline.degradations = []);
+  (* And the run repaired the store: the next one is all hits. *)
+  let obs = Obs.create (Sink.memory ()) in
+  let again = Pipeline.run ~obs ~policy:Pipeline.Strict ~cache bench in
+  Alcotest.(check string) "repaired result identical" (fingerprint cold)
+    (fingerprint again);
+  Alcotest.(check int) "repaired store hits everything" 6
+    (counter obs "cache.hit")
+
+let tests =
+  [
+    Alcotest.test_case "store roundtrip and persistence" `Quick test_roundtrip;
+    Alcotest.test_case "corrupt entries are typed misses" `Quick
+      test_corruption_is_a_miss;
+    Alcotest.test_case "LRU eviction under a byte budget" `Quick test_eviction;
+    Alcotest.test_case "warm rerun is byte-identical, all hits" `Quick
+      test_warm_run_identical;
+    Alcotest.test_case "warm suite rerun skips all stage work" `Quick
+      test_warm_suite_report;
+    Alcotest.test_case "invalidation is stage-precise" `Quick
+      test_invalidation_precision;
+    Alcotest.test_case "pipeline survives a fully corrupt cache" `Quick
+      test_pipeline_survives_corruption;
+  ]

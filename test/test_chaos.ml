@@ -315,6 +315,64 @@ let prop_mutated_profiles_never_raise =
       in
       total mutated && total truncated)
 
+(* ------------------------------------------------------------------ *)
+(* Cache faults                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike every other fault point, cache faults must be invisible even
+   under [Strict]: the cache is transparent by contract — a failed read
+   is a recomputed stage, a failed write is a lost reuse, never an
+   error, a degradation mark, or a changed result. *)
+
+let cache_tmp_dir () =
+  let path = Filename.temp_file "impact_chaos_cache" "" in
+  Sys.remove path;
+  path
+
+let test_cache_read_fault_is_transparent () =
+  let dir = cache_tmp_dir () in
+  let cache = Impact_harness.Cache.create dir in
+  let baseline = Pipeline.run ~policy:Pipeline.Strict ~cache (bench ()) in
+  (* Warm store on disk; the armed fault kills the first entry read, so
+     that stage recomputes while the rest of the run keeps hitting. *)
+  Fault.with_point Fault.Cache_read ~after:0 (fun () ->
+      let cache = Impact_harness.Cache.create dir in
+      let r = Pipeline.run ~policy:Pipeline.Strict ~cache (bench ()) in
+      Alcotest.(check string) "result unchanged under a read fault"
+        (Impact_il.Il_pp.dump baseline.Pipeline.inliner.Inliner.program)
+        (Impact_il.Il_pp.dump r.Pipeline.inliner.Inliner.program);
+      Alcotest.(check bool) "no degradations" true (r.Pipeline.degradations = []);
+      let stats = Impact_support.Cstore.stats (Impact_harness.Cache.cstore cache) in
+      Alcotest.(check int) "the injected read counted as corrupt" 1
+        stats.Impact_support.Cstore.corrupt;
+      (* The injected failure left a typed, cache-staged error behind. *)
+      match Impact_support.Cstore.last_error (Impact_harness.Cache.cstore cache) with
+      | Some e ->
+        Alcotest.(check string) "typed cache stage" "cache"
+          (Ierr.stage_name e.Ierr.stage)
+      | None -> Alcotest.fail "no typed error recorded")
+
+let test_cache_write_fault_is_transparent () =
+  let dir = cache_tmp_dir () in
+  Fault.with_point Fault.Cache_write ~after:0 (fun () ->
+      let cache = Impact_harness.Cache.create dir in
+      let r = Pipeline.run ~policy:Pipeline.Strict ~cache (bench ()) in
+      Alcotest.(check bool) "pipeline completed" true
+        (r.Pipeline.outputs_match && r.Pipeline.degradations = []);
+      let stats = Impact_support.Cstore.stats (Impact_harness.Cache.cstore cache) in
+      Alcotest.(check int) "the injected write counted" 1
+        stats.Impact_support.Cstore.store_failures);
+  (* The failed write left no partial entry behind: a fresh run over the
+     same directory still has one stage to recompute, and succeeds. *)
+  let cache = Impact_harness.Cache.create dir in
+  let r = Pipeline.run ~policy:Pipeline.Strict ~cache (bench ()) in
+  let stats = Impact_support.Cstore.stats (Impact_harness.Cache.cstore cache) in
+  Alcotest.(check bool) "run fine over the partial store" true
+    r.Pipeline.outputs_match;
+  Alcotest.(check int) "exactly one stage missed" 1
+    stats.Impact_support.Cstore.misses;
+  Alcotest.(check int) "no corrupt entries" 0 stats.Impact_support.Cstore.corrupt
+
 let tests =
   [
     Alcotest.test_case "matrix: strict yields one typed error" `Quick
@@ -339,5 +397,9 @@ let tests =
       test_seeded_plans_deterministic;
     Alcotest.test_case "disabled faults are inert" `Quick
       test_disabled_faults_are_free;
+    Alcotest.test_case "cache read fault is transparent" `Quick
+      test_cache_read_fault_is_transparent;
+    Alcotest.test_case "cache write fault is transparent" `Quick
+      test_cache_write_fault_is_transparent;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_mutated_profiles_never_raise ]

@@ -13,10 +13,12 @@ let () =
       ("callgraph", Test_callgraph.tests);
       ("core", Test_core.tests);
       ("properties", Test_props.tests);
+      ("cgen", Test_cgen.tests);
       ("benchmarks", Test_benchmarks.tests);
       ("harness", Test_harness.tests);
       ("extensions", Test_extensions.tests);
       ("weights", Test_weights.tests);
       ("obs", Test_obs.tests);
+      ("cache", Test_cache.tests);
       ("chaos", Test_chaos.tests);
     ]
