@@ -80,7 +80,18 @@ let trace_arg =
     value
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
-        ~doc:"Write a JSONL event trace (spans, metrics, decision log) to $(docv)")
+        ~doc:"Write an event trace (spans, metrics, decision log) to $(docv)")
+
+let trace_format_arg =
+  let fmt = Arg.enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ] in
+  Arg.(
+    value & opt fmt `Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Format of the $(b,--trace) file: $(b,jsonl) (one event object per \
+           line, the default) or $(b,chrome) (Chrome trace-event JSON with \
+           one track per domain — load it in ui.perfetto.dev or \
+           chrome://tracing)")
 
 let metrics_out_arg =
   Arg.(
@@ -91,12 +102,19 @@ let metrics_out_arg =
 
 (* The trace stream goes to [trace ^ ".tmp"] and is renamed into place
    only after the run succeeded with a healthy sink, so a crash or a
-   mid-run write failure never leaves a partial artifact behind. *)
-let with_obs ?(policy = Pipeline.Strict) ~trace ~metrics_out f =
+   mid-run write failure never leaves a partial artifact behind.  The
+   chrome format needs the whole event list at once (span begin/end
+   pairing), so it buffers in a memory sink and converts at the end —
+   same atomicity, via Trace_export.write_chrome. *)
+let with_obs ?(policy = Pipeline.Strict) ?(trace_format = `Jsonl) ~trace
+    ~metrics_out f =
   match (trace, metrics_out) with
   | None, None -> f Obs.null
   | _ ->
-    let tmp = Option.map Atomic_io.tmp_path trace in
+    let jsonl_trace =
+      match trace_format with `Jsonl -> trace | `Chrome -> None
+    in
+    let tmp = Option.map Atomic_io.tmp_path jsonl_trace in
     let oc =
       guarded Ierr.Artifact (fun () -> Option.map open_out_bin tmp)
     in
@@ -119,8 +137,13 @@ let with_obs ?(policy = Pipeline.Strict) ~trace ~metrics_out f =
         Option.iter close_out_noerr oc;
         Option.iter
           (fun t -> guarded Ierr.Artifact (fun () ->
-               Sys.rename t (Option.get trace)))
-          tmp
+               Sys.rename t (Option.get jsonl_trace)))
+          tmp;
+        (match (trace, trace_format) with
+        | Some path, `Chrome ->
+          guarded Ierr.Artifact (fun () ->
+              Impact_obs.Trace_export.write_chrome path (Sink.events sink))
+        | _ -> ())
       | Some e -> (
         discard ();
         let err = Errors.classify Ierr.Artifact e in
@@ -254,11 +277,11 @@ let il_cmd =
 (* run *)
 
 let run_cmd =
-  let run src input optimize engine timeout trace metrics_out =
+  let run src input optimize engine timeout trace trace_format metrics_out =
     (* Execution failures (traps, exhausted budgets) are profile-stage
        errors: the program ran, the run failed — exit 4, not 5. *)
     guarded Ierr.Profile_run (fun () ->
-        with_obs ~trace ~metrics_out (fun obs ->
+        with_obs ~trace_format ~trace ~metrics_out (fun obs ->
             let prog =
               Obs.span obs "lower" (fun () -> Lower.lower_source (read_file src))
             in
@@ -279,7 +302,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a C file")
     Term.(
       const run $ source_arg $ input_arg $ optimize_arg $ engine_arg
-      $ timeout_arg $ trace_arg $ metrics_out_arg)
+      $ timeout_arg $ trace_arg $ trace_format_arg $ metrics_out_arg)
 
 (* profile *)
 
@@ -331,9 +354,10 @@ let profile_cmd =
 (* inline *)
 
 let inline_cmd =
-  let run src inputs profile_file engine jobs policy trace metrics_out =
+  let run src inputs profile_file engine jobs policy trace trace_format
+      metrics_out =
     guarded Ierr.Driver (fun () ->
-        with_obs ~policy ~trace ~metrics_out (fun obs ->
+        with_obs ~policy ~trace_format ~trace ~metrics_out (fun obs ->
         let prog =
           Obs.span obs "lower" (fun () -> Lower.lower_source (read_file src))
         in
@@ -395,7 +419,8 @@ let inline_cmd =
   Cmd.v
     (Cmd.info "inline" ~doc:"Profile-guided inline expansion of a C program")
     Term.(const run $ source_arg $ inputs_arg $ profile_file_arg $ engine_arg
-          $ jobs_arg $ policy_arg $ trace_arg $ metrics_out_arg)
+          $ jobs_arg $ policy_arg $ trace_arg $ trace_format_arg
+          $ metrics_out_arg)
 
 (* bench *)
 
@@ -424,7 +449,8 @@ let bench_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the benchmark's table rows (Report.to_json) to $(docv)")
   in
-  let run name engine jobs policy timeout cache_dir trace metrics_out json =
+  let run name engine jobs policy timeout cache_dir trace trace_format
+      metrics_out json =
     match Impact_bench_progs.Suite.find name with
     | exception Not_found ->
       Printf.eprintf "unknown benchmark '%s'\n" name;
@@ -433,7 +459,7 @@ let bench_cmd =
       guarded Ierr.Driver (fun () ->
           let cache = cache_of cache_dir in
           let r =
-            with_obs ~policy ~trace ~metrics_out (fun obs ->
+            with_obs ~policy ~trace_format ~trace ~metrics_out (fun obs ->
                 Pipeline.run ~obs ~policy ?cache ~engine ~jobs
                   ?budget:(budget_of_timeout timeout) bench)
           in
@@ -455,7 +481,7 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
     Term.(
       const run $ name_arg $ engine_arg $ jobs_arg $ policy_arg $ timeout_arg
-      $ cache_arg $ trace_arg $ metrics_out_arg $ json_arg)
+      $ cache_arg $ trace_arg $ trace_format_arg $ metrics_out_arg $ json_arg)
 
 (* Default command: the full observed pipeline over a user C file —
    `impactc --trace t.jsonl --metrics-out m.json -O file.c` compiles,
@@ -464,7 +490,7 @@ let bench_cmd =
 
 let default_term =
   let run src inputs optimize engine jobs policy timeout cache_dir trace
-      metrics_out =
+      trace_format metrics_out =
     match src with
     | None -> `Help (`Pager, None)
     | Some src ->
@@ -484,7 +510,7 @@ let default_term =
           in
           let cache = cache_of cache_dir in
           let r =
-            with_obs ~policy ~trace ~metrics_out (fun obs ->
+            with_obs ~policy ~trace_format ~trace ~metrics_out (fun obs ->
                 Pipeline.run ~obs ~policy ~pre_opt:optimize ?cache ~engine
                   ~jobs ?budget:(budget_of_timeout timeout) bench)
           in
@@ -509,7 +535,7 @@ let default_term =
     ret
       (const run $ opt_source_arg $ inputs_arg $ optimize_arg $ engine_arg
      $ jobs_arg $ policy_arg $ timeout_arg $ cache_arg $ trace_arg
-     $ metrics_out_arg))
+     $ trace_format_arg $ metrics_out_arg))
 
 let () =
   let doc = "profile-guided inline function expansion for C (PLDI 1989)" in

@@ -90,35 +90,149 @@ let measure ?(config = Config.default) ?(quota = 0.1) (b : Benchmark_def.t) =
 let measure_suite ?config ?quota () =
   List.map (fun b -> measure ?config ?quota b) Impact_bench_progs.Suite.all
 
-(* Domain scaling: one profiling sweep over every (program, input) pair
-   of the suite, fanned across [jobs] domains.  The unit of work is the
-   independent run, exactly what {!Impact_profile.Profiler.profile}
-   parallelises. *)
+(* Domain scaling: a flight-recorded profiling sweep of the whole suite
+   per job count.
 
-let suite_run_pairs () =
-  List.concat_map
+   Sharding is coarse on purpose: one pool task = one benchmark program
+   with {e all} its inputs, run end-to-end by whichever domain picks it
+   up, with a per-task decode cache so each program decodes once.  The
+   earlier flat (program, input) sharding handed ~70 tiny tasks to the
+   pool and measured mostly cross-domain minor-GC barrier stalls. *)
+
+module Flight = Impact_obs.Flight
+
+type scaling_level = {
+  sl_jobs : int;
+  sl_effective_jobs : int;
+  sl_wall_ms : float;
+  sl_flight : Flight.summary;
+}
+
+type scaling = {
+  sc_levels : scaling_level list;
+  sc_attempts : int;
+  sc_unclamped : scaling_level;
+  sc_verdict : string;
+  sc_recommended : int;
+  sc_recommended_runtime : int;
+}
+
+let scaling_tasks () =
+  List.map
     (fun (b : Benchmark_def.t) ->
       let prog = Lower.lower_source b.Benchmark_def.source in
       ignore (Impact_opt.Driver.pre_inline prog);
-      List.map (fun input -> (prog, input)) (b.Benchmark_def.inputs ()))
+      (prog, b.Benchmark_def.inputs ()))
     Impact_bench_progs.Suite.all
 
-let profile_sweep_ms ?engine ~jobs pairs =
+let sweep_level ?engine ~clamp ~jobs tasks =
+  let flight = Flight.create () in
   let t0 = Unix.gettimeofday () in
-  let outcomes =
-    Pool.map_list ~jobs
-      (fun (prog, input) ->
-        let o = Machine.run ?engine prog ~input in
-        (* keep only what a counter consumer would *)
-        o.Machine.counters.Impact_interp.Counters.ils)
-      pairs
+  let totals =
+    Pool.map_list ~jobs ~clamp ~probe:(Flight.probe flight)
+      (fun (prog, inputs) ->
+        let cache = Impact_interp.Threaded.cache () in
+        List.fold_left
+          (fun acc input ->
+            let o = Machine.run ?engine ~cache prog ~input in
+            acc + o.Machine.counters.Impact_interp.Counters.ils)
+          0 inputs)
+      tasks
   in
-  ignore (Sys.opaque_identity outcomes);
-  (Unix.gettimeofday () -. t0) *. 1000.
+  ignore (Sys.opaque_identity totals);
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  {
+    sl_jobs = jobs;
+    sl_effective_jobs =
+      (if clamp then min jobs (max 1 (Pool.default_jobs ())) else jobs);
+    sl_wall_ms = wall_ms;
+    sl_flight = Flight.summarize flight;
+  }
 
-let domain_scaling ?engine ?(job_counts = [ 1; 2; 4 ]) () =
-  let pairs = suite_run_pairs () in
-  List.map (fun jobs -> (jobs, profile_sweep_ms ?engine ~jobs pairs)) job_counts
+(* The smallest {e effective} domain count whose best wall clock is
+   within [epsilon] of the overall best.  Levels sharing an effective
+   count run the identical configuration (on a one-core box that is
+   every clamped level), so the comparison is between configurations —
+   their wall-clock differences are pure noise and must not drive the
+   recommendation.  5% sits above observed run-to-run noise and far
+   below any real scaling win. *)
+let recommended_of_levels ?(epsilon = 0.05) levels =
+  match levels with
+  | [] -> 1
+  | _ ->
+    let best_of = Hashtbl.create 4 in
+    List.iter
+      (fun l ->
+        let cur =
+          Option.value ~default:infinity
+            (Hashtbl.find_opt best_of l.sl_effective_jobs)
+        in
+        if l.sl_wall_ms < cur then
+          Hashtbl.replace best_of l.sl_effective_jobs l.sl_wall_ms)
+      levels;
+    let groups = Hashtbl.fold (fun k w acc -> (k, w) :: acc) best_of [] in
+    let best = List.fold_left (fun m (_, w) -> Float.min m w) infinity groups in
+    fst
+      (List.find
+         (fun (_, w) -> w <= best *. (1. +. epsilon))
+         (List.sort compare groups))
+
+let scaling_sweep ?engine ?(job_counts = [ 1; 2; 4 ]) ?(max_attempts = 3) () =
+  let tasks = scaling_tasks () in
+  let job_counts = match job_counts with [] -> [ 1 ] | js -> js in
+  let lo = List.fold_left min max_int job_counts in
+  let hi = List.fold_left max 1 job_counts in
+  (* Clamped levels on a small machine execute near-identical work, so a
+     single pass can land jobs=hi above jobs=lo on scheduler noise
+     alone; re-measure (bounded, and recorded in [sc_attempts]) rather
+     than publish an inversion that is not there. *)
+  (* One discarded warm-up pass, so the cold-start penalty (first
+     decode, first page faults) does not land on whichever level runs
+     first and skew the curve. *)
+  ignore (sweep_level ?engine ~clamp:true ~jobs:1 tasks);
+  (* Each attempt re-measures every level; a level's published wall
+     clock is its minimum across attempts (the least-noisy estimator —
+     noise only ever adds time).  Attempts alternate sweep direction so
+     monotone machine drift cannot systematically favour one end of the
+     curve. *)
+  let keep_min acc levels =
+    List.map
+      (fun (l : scaling_level) ->
+        match
+          List.find_opt (fun (a : scaling_level) -> a.sl_jobs = l.sl_jobs) acc
+        with
+        | Some a when a.sl_wall_ms <= l.sl_wall_ms -> a
+        | _ -> l)
+      levels
+  in
+  let rec attempt n acc =
+    let order = if n mod 2 = 1 then job_counts else List.rev job_counts in
+    let pass =
+      List.map (fun jobs -> sweep_level ?engine ~clamp:true ~jobs tasks) order
+    in
+    let acc =
+      keep_min acc
+        (List.sort (fun a b -> compare a.sl_jobs b.sl_jobs) pass)
+    in
+    let wall j = (List.find (fun l -> l.sl_jobs = j) acc).sl_wall_ms in
+    if wall hi <= wall lo || n >= max_attempts then (acc, n)
+    else attempt (n + 1) acc
+  in
+  let levels, attempts = attempt 1 [] in
+  (* Unclamped diagnostic: what [hi] literal domains actually cost on
+     this machine, with the flight recorder watching.  Its verdict
+     against the clamped jobs=lo baseline is the recorded explanation of
+     why the pool clamps. *)
+  let unclamped = sweep_level ?engine ~clamp:false ~jobs:hi tasks in
+  let baseline = (List.find (fun l -> l.sl_jobs = lo) levels).sl_flight in
+  {
+    sc_levels = levels;
+    sc_attempts = attempts;
+    sc_unclamped = unclamped;
+    sc_verdict = Flight.diagnose ~baseline unclamped.sl_flight;
+    sc_recommended = recommended_of_levels levels;
+    sc_recommended_runtime = Pool.default_jobs ();
+  }
 
 (* Cold-vs-warm stage-cache timing: one suite run populating a fresh
    content-addressed cache, then a second run over the same directory
@@ -163,6 +277,63 @@ let cache_cold_warm ?jobs () =
     warm_hits = warm.Cstore.hits;
     warm_misses = warm.Cstore.misses;
   }
+
+let scaling_to_json sc =
+  let level_json l =
+    Sink.Obj
+      ([
+         ("wall_ms", Sink.Float l.sl_wall_ms);
+         ("effective_jobs", Sink.Int l.sl_effective_jobs);
+       ]
+      @
+      match Flight.summary_to_json l.sl_flight with
+      | Sink.Obj fields -> fields
+      | other -> [ ("flight", other) ])
+  in
+  let wall j =
+    match List.find_opt (fun l -> l.sl_jobs = j) sc.sc_levels with
+    | Some l -> l.sl_wall_ms
+    | None -> 0.
+  in
+  let lo = List.fold_left (fun m l -> min m l.sl_jobs) max_int sc.sc_levels in
+  let hi = List.fold_left (fun m l -> max m l.sl_jobs) 1 sc.sc_levels in
+  let w_lo = wall lo and w_hi = wall hi in
+  Sink.Obj
+    [
+      (* Measured: cheapest job count within noise of the best wall
+         clock over the clamped sweep. *)
+      ("recommended_domains", Sink.Int sc.sc_recommended);
+      (* [Domain.recommended_domain_count], kept alongside so the
+         measured-vs-runtime delta stays visible. *)
+      ("recommended_domains_runtime", Sink.Int sc.sc_recommended_runtime);
+      ( "profile_sweep_jobs",
+        Sink.List (List.map (fun l -> Sink.Int l.sl_jobs) sc.sc_levels) );
+      ( "profile_jobs_wall_ms",
+        Sink.Obj
+          (List.map
+             (fun l -> (string_of_int l.sl_jobs, Sink.Float l.sl_wall_ms))
+             sc.sc_levels) );
+      ( "scaling",
+        Sink.Obj
+          [
+            ( "levels",
+              Sink.Obj
+                (List.map
+                   (fun l -> (string_of_int l.sl_jobs, level_json l))
+                   sc.sc_levels) );
+            ("attempts", Sink.Int sc.sc_attempts);
+            ( "speedup_hi_vs_lo",
+              Sink.Float (if w_hi > 0. then w_lo /. w_hi else 0.) );
+            ( "unclamped",
+              Sink.Obj
+                (("jobs", Sink.Int sc.sc_unclamped.sl_jobs)
+                ::
+                (match level_json sc.sc_unclamped with
+                | Sink.Obj fields -> fields
+                | other -> [ ("level", other) ])) );
+            ("verdict", Sink.String sc.sc_verdict);
+          ] );
+    ]
 
 let stage_total stage perfs =
   List.fold_left
@@ -210,19 +381,10 @@ let to_json ?suite_wall_ms ?suite_jobs ?scaling ?cache perfs =
       ]
     @ (match scaling with
       | None -> []
-      | Some rows ->
-        [
-          (* [Domain.recommended_domain_count], not a physical-core
-             count: what the runtime suggests fanning across. *)
-          ("recommended_domains", Sink.Int (Pool.default_jobs ()));
-          ( "profile_sweep_jobs",
-            Sink.List (List.map (fun (jobs, _) -> Sink.Int jobs) rows) );
-          ( "profile_jobs_wall_ms",
-            Sink.Obj
-              (List.map
-                 (fun (jobs, ms) -> (string_of_int jobs, Sink.Float ms))
-                 rows) );
-        ])
+      | Some sc -> (
+        match scaling_to_json sc with
+        | Sink.Obj fields -> fields
+        | other -> [ ("scaling", other) ]))
     @
     match cache with
     | None -> []

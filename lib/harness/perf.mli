@@ -45,17 +45,59 @@ val measure_suite :
     benchmarks, in nanoseconds. *)
 val stage_total : string -> bench_perf list -> float
 
-(** [domain_scaling ?engine ?job_counts ()] sweeps every (program,
-    input) run of the suite once per job count (default [[1; 2; 4]]),
-    fanning the runs across that many domains, and returns
-    [(jobs, wall_ms)] rows.  The work items are independent
-    interpretations — exactly what {!Impact_profile.Profiler.profile}
-    parallelises. *)
-val domain_scaling :
+(** One level of the domain-scaling sweep: the requested and effective
+    (post-clamp) job counts, the wall clock, and the flight-recorder
+    aggregate over every task of the level.  When the sweep took
+    several attempts, [sl_wall_ms] and [sl_flight] come from the
+    level's fastest attempt. *)
+type scaling_level = {
+  sl_jobs : int;
+  sl_effective_jobs : int;
+  sl_wall_ms : float;
+  sl_flight : Impact_obs.Flight.summary;
+}
+
+(** The full sweep: the clamped levels, how many measurement passes the
+    inversion-retry loop took ([sc_attempts], 1 when the first pass was
+    already monotone), an {e unclamped} diagnostic level run with the
+    literal highest job count, the {!Impact_obs.Flight.diagnose} verdict
+    of that diagnostic against the lowest clamped level, and two
+    recommendations: [sc_recommended] measured from the curve (smallest
+    effective domain count within 5% of the best wall clock — levels
+    sharing an effective count are the same configuration, so their
+    differences are noise) and
+    [sc_recommended_runtime] from [Domain.recommended_domain_count]. *)
+type scaling = {
+  sc_levels : scaling_level list;
+  sc_attempts : int;
+  sc_unclamped : scaling_level;
+  sc_verdict : string;
+  sc_recommended : int;
+  sc_recommended_runtime : int;
+}
+
+(** [scaling_sweep ?engine ?job_counts ?max_attempts ()] sweeps the
+    suite once per job count (default [[1; 2; 4]]) with the flight
+    recorder attached.  One pool task is one benchmark program with all
+    its inputs — coarse sharding, the same unit {!Pipeline.run_suite}
+    fans out — run under a per-task decode cache.  Because the clamped
+    levels execute near-identical work on a small machine, an inverted
+    curve (highest jobs slower than lowest) is re-measured up to
+    [max_attempts] times (default 3) before being published. *)
+val scaling_sweep :
   ?engine:Impact_interp.Machine.engine ->
   ?job_counts:int list ->
+  ?max_attempts:int ->
   unit ->
-  (int * float) list
+  scaling
+
+(** [scaling_to_json sc] is the sweep as a standalone JSON document —
+    the same fields {!to_json} splices into BENCH_perf.json:
+    [recommended_domains] (measured), [recommended_domains_runtime],
+    [profile_sweep_jobs], [profile_jobs_wall_ms], and the ["scaling"]
+    object (per-level wall clock + flight telemetry, retry count,
+    hi-vs-lo speedup, unclamped diagnostic, verdict). *)
+val scaling_to_json : scaling -> Impact_obs.Sink.json
 
 (** Cold-vs-warm timing of a whole suite run through the
     content-addressed stage cache ({!Cache}).  [warm_hits] and
@@ -81,14 +123,20 @@ val cache_cold_warm : ?jobs:int -> unit -> cache_timing
     suite-wide expansion-engine totals and their speedup ratio, the
     threaded-vs-reference profiling totals ([engine_speedup]), and, when
     given, the wall clock and actual job count of the end-to-end suite
-    run ([suite_wall_ms], [suite_jobs]), the scaling sweep —
-    [recommended_domains] ([Domain.recommended_domain_count]), the
-    job counts actually swept ([profile_sweep_jobs]) and their wall
-    clocks — and the cold-vs-warm stage-cache section ([cache]). *)
+    run ([suite_wall_ms], [suite_jobs]), the scaling sweep, and the
+    cold-vs-warm stage-cache section ([cache]).
+
+    The sweep emits the historical top-level keys — [recommended_domains]
+    (now the {e measured} recommendation), [profile_sweep_jobs],
+    [profile_jobs_wall_ms] — plus [recommended_domains_runtime] and a
+    ["scaling"] object: per-level wall clock, effective jobs and flight
+    telemetry (queue/run milliseconds, GC deltas), the retry count, the
+    hi-vs-lo speedup, the unclamped diagnostic level, and the verdict
+    string. *)
 val to_json :
   ?suite_wall_ms:float ->
   ?suite_jobs:int ->
-  ?scaling:(int * float) list ->
+  ?scaling:scaling ->
   ?cache:cache_timing ->
   bench_perf list ->
   Impact_obs.Sink.json

@@ -460,12 +460,15 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
         degradations = List.rev !degradations;
       })
 
-let run_suite ?obs ?policy ?config ?post_cleanup ?cache ?engine ?jobs () =
-  (* Parallelism fans out across benchmarks; each benchmark's own
-     profiling stays sequential (inner ?jobs unset) so domains are not
-     oversubscribed.  The pool preserves suite order.  One cache is
-     shared by all workers (the store is mutex-protected). *)
-  Impact_support.Pool.map_list ?jobs
+let run_suite ?obs ?policy ?config ?post_cleanup ?cache ?engine ?jobs ?clamp
+    ?probe () =
+  (* Parallelism fans out across benchmarks — coarse sharding: one
+     domain owns a benchmark pipeline end-to-end, and each benchmark's
+     own profiling stays sequential (inner ?jobs unset) so domains are
+     not oversubscribed.  The pool preserves suite order.  One cache is
+     shared by all workers (the store is mutex-protected); [?probe]
+     observes one task sample per completed benchmark. *)
+  Impact_support.Pool.map_list ?jobs ?clamp ?probe
     (fun b -> run ?obs ?policy ?config ?post_cleanup ?cache ?engine b)
     Impact_bench_progs.Suite.all
 
@@ -475,9 +478,9 @@ type suite_report = {
 }
 
 let run_suite_report ?obs ?(policy = Degrade) ?config ?post_cleanup ?cache
-    ?engine ?jobs ?(benches = Impact_bench_progs.Suite.all) () =
+    ?engine ?jobs ?clamp ?probe ?(benches = Impact_bench_progs.Suite.all) () =
   let outcomes =
-    Impact_support.Pool.map_list_results ?jobs
+    Impact_support.Pool.map_list_results ?jobs ?clamp ?probe
       (fun b -> run ?obs ~policy ?config ?post_cleanup ?cache ?engine b)
       benches
   in

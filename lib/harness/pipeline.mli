@@ -116,6 +116,8 @@ val run_suite :
   ?cache:Cache.t ->
   ?engine:Impact_interp.Machine.engine ->
   ?jobs:int ->
+  ?clamp:bool ->
+  ?probe:Impact_support.Pool.probe ->
   unit ->
   result list
 
@@ -140,6 +142,8 @@ val run_suite_report :
   ?cache:Cache.t ->
   ?engine:Impact_interp.Machine.engine ->
   ?jobs:int ->
+  ?clamp:bool ->
+  ?probe:Impact_support.Pool.probe ->
   ?benches:Impact_bench_progs.Benchmark.t list ->
   unit ->
   suite_report

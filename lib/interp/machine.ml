@@ -59,7 +59,13 @@ type activation = {
 let run_reference ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
     ?(stack_size = 1024 * 1024) ?icache ?(obs = Impact_obs.Obs.null)
     (prog : Il.program) ~input =
-  let st = Rt.create_state ?budget ~fuel ~heap_size ~stack_size prog ~input in
+  (* [reuse_mem]: the entry point creates exactly one state per call and
+     drops it before returning, so the per-domain scratch image is safe
+     here — see {!Rt.create_state}. *)
+  let st =
+    Rt.create_state ?budget ~reuse_mem:true ~fuel ~heap_size ~stack_size prog
+      ~input
+  in
   let nfuncs = Array.length prog.Il.funcs in
   let enter_activation ~sp (f : Il.func) args ret_reg =
     (* Deadline first: before the stack check and before any counter
@@ -203,11 +209,11 @@ let run_reference ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
 (* ------------------------------------------------------------------ *)
 
 let run ?budget ?fuel ?heap_size ?stack_size ?icache ?obs ?(engine = Threaded)
-    (prog : Il.program) ~input =
+    ?cache (prog : Il.program) ~input =
   match (engine, icache) with
   | Threaded, None
     when Threaded.supported prog && not (Impact_support.Fault.enabled ()) ->
-    Threaded.run ?budget ?fuel ?heap_size ?stack_size ?obs prog ~input
+    Threaded.run ?budget ?fuel ?heap_size ?stack_size ?obs ?cache prog ~input
   | _ ->
     (* The i-cache model needs real instruction addresses, so it always
        drives the reference engine; so do the rare programs the decoder

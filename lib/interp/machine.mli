@@ -93,6 +93,9 @@ val engine_to_string : engine -> string
       engine is used regardless, because it carries the per-instruction
       [Interp_step] injection point; the threaded hot path has no hooks
       and pays nothing when chaos is off.
+    @param cache a {!Threaded.cache} reusing decoded code across runs of
+      the same physical program (profiling drivers create one per
+      program); ignored when the run routes to the reference engine
     @raise Trap on runtime errors
     @raise Out_of_fuel if the budget is exhausted *)
 val run :
@@ -103,6 +106,7 @@ val run :
   ?icache:Impact_icache.Icache.t ->
   ?obs:Impact_obs.Obs.t ->
   ?engine:engine ->
+  ?cache:Threaded.cache ->
   Impact_il.Il.program ->
   input:string ->
   outcome

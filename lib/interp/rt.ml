@@ -58,6 +58,11 @@ let fid_of_addr addr nfuncs =
 type state = {
   prog : Il.program;
   mem : Bytes.t;
+  mem_len : int;
+    (* logical image size: [mem] may be a reused per-domain scratch
+       buffer larger than this run's layout, and every bounds check
+       must use the logical size or a reused run would accept
+       addresses its fresh twin traps on *)
   counters : Counters.t;
   global_addr : int array;
   string_addr : int array;
@@ -120,7 +125,7 @@ let[@inline never] range_trap addr n =
    the check.  Both engines funnel every access through here, which is
    what makes the unsafe fast paths below sound. *)
 let[@inline] check_range st addr n =
-  if addr < globals_base || addr > Bytes.length st.mem - n then range_trap addr n
+  if addr < globals_base || addr > st.mem_len - n then range_trap addr n
 
 let[@inline] load_word st addr =
   check_range st addr 8;
@@ -342,8 +347,37 @@ let switch_table st ~fid ~index table =
 (* Per-run state                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let create_state ?(budget = no_budget) ~fuel ~heap_size ~stack_size
-    (prog : Il.program) ~input =
+(* Per-domain scratch for the memory image.  A fresh [Bytes.make] of the
+   full image (~5 MiB at default heap/stack sizes) per run was the
+   single largest source of major-heap churn during profiling sweeps —
+   the PR 6 flight recorder measured the cross-domain minor-GC barriers
+   it triggered as the dominant anti-scaling term.  With [~reuse_mem]
+   the image lives in domain-local storage and is re-zeroed (only up to
+   the run's logical size) instead of re-allocated.  Sound only while a
+   domain runs at most one state at a time, which is why reuse is
+   opt-in: the two engine entry points enable it, everything else
+   defaults to fresh allocation. *)
+let scratch_mem : Bytes.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref Bytes.empty)
+
+let image_bytes ~reuse len =
+  if not reuse then Bytes.make len '\000'
+  else begin
+    let cell = Domain.DLS.get scratch_mem in
+    let b = !cell in
+    if Bytes.length b >= len then begin
+      Bytes.fill b 0 len '\000';
+      b
+    end
+    else begin
+      let b = Bytes.make len '\000' in
+      cell := b;
+      b
+    end
+  end
+
+let create_state ?(budget = no_budget) ?(reuse_mem = false) ~fuel ~heap_size
+    ~stack_size (prog : Il.program) ~input =
   (* Lay out globals and strings. *)
   let nglobals = Array.length prog.Il.globals in
   let global_addr = Array.make (max nglobals 1) 0 in
@@ -367,7 +401,8 @@ let create_state ?(budget = no_budget) ~fuel ~heap_size ~stack_size
   let st =
     {
       prog;
-      mem = Bytes.make stack_top '\000';
+      mem = image_bytes ~reuse:reuse_mem stack_top;
+      mem_len = stack_top;
       counters =
         Counters.create ~nfuncs:(Array.length prog.Il.funcs) ~nsites:prog.Il.next_site;
       global_addr;

@@ -62,6 +62,10 @@ val fid_of_addr : int -> int -> int option
 type state = {
   prog : Impact_il.Il.program;
   mem : Bytes.t;
+  mem_len : int;
+      (** logical image size; [mem] may be a larger reused scratch
+          buffer, and every bounds check uses this, not
+          [Bytes.length mem] *)
   counters : Counters.t;
   global_addr : int array;
   string_addr : int array;
@@ -86,9 +90,18 @@ type state = {
     globals, strings, heap and stack, and returns a fresh run state with
     the global images and interned strings written into memory.
     [?budget] (default {!no_budget}) arms the wall-clock deadline and
-    output watermark. *)
+    output watermark.
+
+    [?reuse_mem] (default [false]) draws the memory image from a
+    per-domain scratch buffer instead of a fresh allocation, re-zeroed
+    up to this run's logical size.  Only sound while the calling domain
+    runs at most one state at a time; the engine entry points
+    ({!Machine.run_reference}, [Threaded.run]) enable it, and bounds
+    checks use [mem_len] so a larger recycled buffer never loosens the
+    trap semantics. *)
 val create_state :
   ?budget:budget ->
+  ?reuse_mem:bool ->
   fuel:int ->
   heap_size:int ->
   stack_size:int ->

@@ -789,10 +789,48 @@ and ignore_op (_ : ctx) = ()
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Decode cache: one decoded-function array per (cache, domain).
+   Decoded closures capture only decode-time constants (resolved
+   addresses, label targets, the function's own code array and callee
+   records) — never the run state, which flows through the [ctx]
+   argument — so a decode survives the run that built it.  The mutable
+   parts it does carry (register-file pools) are touched only by the
+   running domain, which is why the table is keyed by domain id: two
+   workers profiling the same program decode once each and never share.
+
+   A cache is valid for one physical program; the stored program is
+   compared by identity on lookup, so handing the same cache a
+   different (or mutated-via-copy) program silently decodes fresh
+   rather than running stale code.  Callers must not mutate a program
+   in place between runs under one cache — the profiling driver, which
+   owns the only caches, runs a frozen program by construction. *)
+type cache = {
+  cmu : Mutex.t;
+  per_domain : (int, Il.program * dfunc option array) Hashtbl.t;
+}
+
+let cache () = { cmu = Mutex.create (); per_domain = Hashtbl.create 4 }
+
+let cached_dfuncs cache prog =
+  match cache with
+  | None -> Array.make (Array.length prog.Il.funcs) None
+  | Some cch ->
+    let dom = (Domain.self () :> int) in
+    Mutex.protect cch.cmu (fun () ->
+        match Hashtbl.find_opt cch.per_domain dom with
+        | Some (p, d) when p == prog -> d
+        | _ ->
+          let d = Array.make (Array.length prog.Il.funcs) None in
+          Hashtbl.replace cch.per_domain dom (prog, d);
+          d)
+
 let run ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
-    ?(stack_size = 1024 * 1024) ?(obs = Impact_obs.Obs.null)
+    ?(stack_size = 1024 * 1024) ?(obs = Impact_obs.Obs.null) ?cache
     (prog : Il.program) ~input =
-  let st = Rt.create_state ?budget ~fuel ~heap_size ~stack_size prog ~input in
+  let st =
+    Rt.create_state ?budget ~reuse_mem:true ~fuel ~heap_size ~stack_size prog
+      ~input
+  in
   let dummy =
     {
       ffid = -1;
@@ -810,7 +848,7 @@ let run ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
       cnt = st.Rt.counters;
       prog;
       nfuncs = Array.length prog.Il.funcs;
-      dfuncs = Array.make (Array.length prog.Il.funcs) None;
+      dfuncs = cached_dfuncs cache prog;
       fuel;
       regs = [||];
       fp = st.Rt.stack_top;

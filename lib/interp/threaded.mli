@@ -18,8 +18,24 @@
     on the reference engine. *)
 val supported : Impact_il.Il.program -> bool
 
-(** [run ?budget ?fuel ?heap_size ?stack_size ?obs prog ~input] —
-    semantics and defaults of {!Machine.run} (no i-cache support).
+(** A decode cache: reuses each function's decoded closure array across
+    runs of the {e same physical program}, sharded per domain (decoded
+    code carries domain-private register pools, so two domains never
+    share an entry).  Create one per program with {!cache} and pass it
+    to every {!run} over that program — profiling the suite re-decodes
+    nothing after the first run per domain.  Handing a cache a different
+    program decodes fresh (identity-checked), so misuse costs speed,
+    never soundness; mutating a program in place between runs under one
+    cache is the caller's contract to avoid. *)
+type cache
+
+val cache : unit -> cache
+
+(** [run ?budget ?fuel ?heap_size ?stack_size ?obs ?cache prog ~input]
+    — semantics and defaults of {!Machine.run} (no i-cache support).
+    The memory image is drawn from per-domain scratch
+    ({!Rt.create_state}'s [reuse_mem]); [?cache] additionally reuses
+    decoded code.
 
     @raise Rt.Trap on runtime errors
     @raise Rt.Out_of_fuel if the budget is exhausted
@@ -30,6 +46,7 @@ val run :
   ?heap_size:int ->
   ?stack_size:int ->
   ?obs:Impact_obs.Obs.t ->
+  ?cache:cache ->
   Impact_il.Il.program ->
   input:string ->
   Rt.outcome

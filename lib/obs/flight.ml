@@ -1,0 +1,157 @@
+(* Flight recorder: a bounded ring of {!Impact_support.Pool.task_sample}
+   records fed by a pool probe.  Memory is fixed at creation (the ring
+   never grows); once full, new samples overwrite the oldest, so a long
+   sweep keeps its most recent window — enough to reconstruct per-domain
+   utilisation, queue wait and GC pressure after the fact without
+   unbounded buffering.
+
+   One mutex per recorder: samples arrive from worker domains mid-sweep,
+   and a torn sample (index written, GC deltas not yet) must not be
+   observable.  Recording is a few word writes under the lock — noise
+   next to an interpreter run. *)
+
+module Pool = Impact_support.Pool
+
+type t = {
+  mu : Mutex.t;
+  ring : Pool.task_sample array;
+  mutable seen : int;  (* total samples ever recorded *)
+}
+
+let dummy_sample =
+  {
+    Pool.ts_index = -1;
+    ts_domain = -1;
+    ts_queue_ms = 0.;
+    ts_run_ms = 0.;
+    ts_minor_collections = 0;
+    ts_major_collections = 0;
+    ts_promoted_words = 0.;
+    ts_minor_words = 0.;
+  }
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  { mu = Mutex.create (); ring = Array.make capacity dummy_sample; seen = 0 }
+
+let capacity t = Array.length t.ring
+
+let record t (s : Pool.task_sample) =
+  Mutex.protect t.mu (fun () ->
+      t.ring.(t.seen mod Array.length t.ring) <- s;
+      t.seen <- t.seen + 1)
+
+let probe t : Pool.probe = record t
+
+let recorded t = Mutex.protect t.mu (fun () -> t.seen)
+
+(* Retained samples, oldest first. *)
+let samples t =
+  Mutex.protect t.mu (fun () ->
+      let cap = Array.length t.ring in
+      let n = min t.seen cap in
+      let first = if t.seen <= cap then 0 else t.seen mod cap in
+      List.init n (fun i -> t.ring.((first + i) mod cap)))
+
+type summary = {
+  f_tasks : int;
+  f_recorded : int;
+  f_domains : int;
+  f_queue_ms : float;
+  f_run_ms : float;
+  f_minor_collections : int;
+  f_major_collections : int;
+  f_promoted_words : float;
+  f_minor_words : float;
+}
+
+let summarize t =
+  let ss = samples t in
+  let domains = Hashtbl.create 8 in
+  let queue = ref 0. and run = ref 0. in
+  let minc = ref 0 and majc = ref 0 in
+  let promoted = ref 0. and minor = ref 0. in
+  List.iter
+    (fun (s : Pool.task_sample) ->
+      Hashtbl.replace domains s.Pool.ts_domain ();
+      queue := !queue +. s.Pool.ts_queue_ms;
+      run := !run +. s.Pool.ts_run_ms;
+      minc := !minc + s.Pool.ts_minor_collections;
+      majc := !majc + s.Pool.ts_major_collections;
+      promoted := !promoted +. s.Pool.ts_promoted_words;
+      minor := !minor +. s.Pool.ts_minor_words)
+    ss;
+  {
+    f_tasks = List.length ss;
+    f_recorded = recorded t;
+    f_domains = Hashtbl.length domains;
+    f_queue_ms = !queue;
+    f_run_ms = !run;
+    f_minor_collections = !minc;
+    f_major_collections = !majc;
+    f_promoted_words = !promoted;
+    f_minor_words = !minor;
+  }
+
+(* Compare a multi-domain sweep against its single-domain baseline over
+   the same tasks and name the dominant pathology.  The diagnosis keys
+   on what actually grows: the same work triggering more minor
+   collections and a longer aggregate run time under more domains is
+   the cross-domain minor-GC barrier signature (every collection stops
+   every domain); aggregate run time growing without GC growth points
+   at plain time-slicing; queue wait dominating points at submission or
+   sharding imbalance. *)
+let diagnose ~(baseline : summary) (s : summary) =
+  if s.f_tasks = 0 || baseline.f_tasks = 0 then
+    "no samples recorded; nothing to diagnose"
+  else begin
+    let pct part whole = if whole > 0. then 100. *. part /. whole else 0. in
+    let run_growth =
+      if baseline.f_run_ms > 0. then s.f_run_ms /. baseline.f_run_ms else 1.
+    in
+    let gc_growth =
+      if baseline.f_minor_collections > 0 then
+        float_of_int s.f_minor_collections
+        /. float_of_int baseline.f_minor_collections
+      else if s.f_minor_collections > 0 then infinity
+      else 1.
+    in
+    let queue_share = pct s.f_queue_ms (s.f_queue_ms +. s.f_run_ms) in
+    if run_growth > 1.2 && gc_growth > 1.2 then
+      Printf.sprintf
+        "minor-GC contention: %d domains ran the same tasks %.1fx slower in \
+         aggregate with %.1fx the minor collections (%d vs %d) — every minor \
+         collection is a stop-the-world barrier across all domains"
+        s.f_domains run_growth gc_growth s.f_minor_collections
+        baseline.f_minor_collections
+    else if run_growth > 1.2 then
+      Printf.sprintf
+        "core oversubscription: aggregate task run time grew %.1fx across %d \
+         domains without matching GC growth — domains are time-slicing cores"
+        run_growth s.f_domains
+    else if queue_share > 50. then
+      Printf.sprintf
+        "queueing dominates: %.0f%% of task wall time is queue wait across %d \
+         domains — sharding is too fine or submission too slow"
+        queue_share s.f_domains
+    else
+      Printf.sprintf
+        "scaling healthy: aggregate run time %.2fx baseline across %d \
+         domains, queue wait %.0f%%, minor collections %d vs %d"
+        run_growth s.f_domains queue_share s.f_minor_collections
+        baseline.f_minor_collections
+  end
+
+let summary_to_json s =
+  Sink.Obj
+    [
+      ("tasks", Sink.Int s.f_tasks);
+      ("recorded", Sink.Int s.f_recorded);
+      ("domains", Sink.Int s.f_domains);
+      ("queue_ms", Sink.Float s.f_queue_ms);
+      ("run_ms", Sink.Float s.f_run_ms);
+      ("minor_collections", Sink.Int s.f_minor_collections);
+      ("major_collections", Sink.Int s.f_major_collections);
+      ("promoted_words", Sink.Float s.f_promoted_words);
+      ("minor_words", Sink.Float s.f_minor_words);
+    ]

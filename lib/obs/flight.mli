@@ -1,0 +1,59 @@
+(** Flight recorder: a bounded in-memory ring of per-task pool samples.
+
+    Attach {!probe} to any {!Impact_support.Pool} map and the recorder
+    keeps the most recent [capacity] {!Impact_support.Pool.task_sample}
+    records — queue wait, run time, per-domain GC deltas — in fixed
+    memory.  {!summarize} aggregates the retained window and
+    {!diagnose} compares a sweep against its single-domain baseline to
+    name the dominant scaling pathology (minor-GC barrier contention,
+    core oversubscription, or queueing). *)
+
+type t
+
+(** [create ?capacity ()] is an empty recorder retaining the last
+    [capacity] samples (default 4096).
+    @raise Invalid_argument when [capacity <= 0]. *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** [record t s] stores one sample, overwriting the oldest when full.
+    Thread-safe. *)
+val record : t -> Impact_support.Pool.task_sample -> unit
+
+(** [probe t] is [record t] as a pool probe. *)
+val probe : t -> Impact_support.Pool.probe
+
+(** [recorded t] is the total number of samples ever recorded (may
+    exceed {!capacity}). *)
+val recorded : t -> int
+
+(** [samples t] is the retained window, oldest first. *)
+val samples : t -> Impact_support.Pool.task_sample list
+
+(** Aggregates over the retained window.  [f_tasks] is the window size,
+    [f_recorded] the lifetime total, [f_domains] the number of distinct
+    domains that ran tasks; times are summed milliseconds, GC fields
+    summed [Gc.quick_stat] deltas. *)
+type summary = {
+  f_tasks : int;
+  f_recorded : int;
+  f_domains : int;
+  f_queue_ms : float;
+  f_run_ms : float;
+  f_minor_collections : int;
+  f_major_collections : int;
+  f_promoted_words : float;
+  f_minor_words : float;
+}
+
+val summarize : t -> summary
+
+(** [diagnose ~baseline s] is a one-sentence verdict on sweep [s]
+    relative to the single-domain [baseline] over the same tasks:
+    minor-GC contention (aggregate run time and minor collections both
+    grew), core oversubscription (run time grew without GC growth),
+    queueing (queue wait dominates), or healthy. *)
+val diagnose : baseline:summary -> summary -> string
+
+val summary_to_json : summary -> Sink.json

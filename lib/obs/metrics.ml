@@ -1,10 +1,32 @@
-(* The tables are mutex-protected: parallel runs (see
-   {!Impact_support.Pool}) accumulate machine.* counters from several
-   domains at once.  The disabled path stays lock-free. *)
+(* Counters are sharded per domain: each domain owns a private counter
+   table (found through a domain-local-storage slot, registered with the
+   registry on first use) and bumps its own [int ref]s without taking
+   any lock on the hot path.  Readers — [snapshot], [counter_value],
+   [to_json] — merge every shard at query time.
+
+   Soundness: a shard has exactly one writer, the domain it belongs to.
+   Structural changes (inserting a new counter name, which may resize
+   the [Hashtbl]) and reader folds both take the shard's mutex, so a
+   reader never iterates a table mid-resize.  Bumping an {e existing}
+   ref is a plain word-sized write racing only plain reads — no tearing
+   under the OCaml memory model — and a [Domain.join] before reading
+   (every {!Impact_support.Pool} map joins its workers) makes merged
+   totals exact.  Mid-run reads may observe a slightly stale count,
+   which is fine for monitoring.
+
+   Gauges are last-write-wins across domains, so they keep the single
+   mutex-protected table.  The disabled path stays lock-free. *)
+
+type shard = {
+  smu : Mutex.t;
+  tbl : (string, int ref) Hashtbl.t;
+}
+
 type t = {
   sink : Sink.t;
-  mu : Mutex.t;
-  counters : (string, int ref) Hashtbl.t;
+  mu : Mutex.t;  (* guards [shards] and [gauges] *)
+  mutable shards : shard list;
+  slot : shard option ref Domain.DLS.key;
   gauges : (string, Sink.json) Hashtbl.t;
 }
 
@@ -12,7 +34,8 @@ let create sink =
   {
     sink;
     mu = Mutex.create ();
-    counters = Hashtbl.create 32;
+    shards = [];
+    slot = Domain.DLS.new_key (fun () -> ref None);
     gauges = Hashtbl.create 32;
   }
 
@@ -20,12 +43,26 @@ let null = create Sink.null
 
 let enabled t = Sink.enabled t.sink
 
+(* This domain's shard, created and registered on first use.  The DLS
+   slot is keyed per registry, so two registries on one domain keep
+   separate shards. *)
+let my_shard t =
+  let cell = Domain.DLS.get t.slot in
+  match !cell with
+  | Some s -> s
+  | None ->
+    let s = { smu = Mutex.create (); tbl = Hashtbl.create 16 } in
+    Mutex.protect t.mu (fun () -> t.shards <- s :: t.shards);
+    cell := Some s;
+    s
+
 let incr t ?(by = 1) name =
-  if enabled t then
-    Mutex.protect t.mu (fun () ->
-        match Hashtbl.find_opt t.counters name with
-        | Some r -> r := !r + by
-        | None -> Hashtbl.replace t.counters name (ref by))
+  if enabled t then begin
+    let s = my_shard t in
+    match Hashtbl.find_opt s.tbl name with
+    | Some r -> r := !r + by
+    | None -> Mutex.protect s.smu (fun () -> Hashtbl.replace s.tbl name (ref by))
+  end
 
 let gauge t name v =
   if enabled t then
@@ -35,26 +72,50 @@ let gauge_int t name n = gauge t name (Sink.Int n)
 
 let gauge_float t name x = gauge t name (Sink.Float x)
 
+(* Merge every shard's counters into one name -> total table. *)
+let merged_counters t =
+  let shards = Mutex.protect t.mu (fun () -> t.shards) in
+  let acc = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Mutex.protect s.smu (fun () ->
+          Hashtbl.iter
+            (fun name r ->
+              match Hashtbl.find_opt acc name with
+              | Some total -> total := !total + !r
+              | None -> Hashtbl.replace acc name (ref !r))
+            s.tbl))
+    shards;
+  acc
+
 let counter_value t name =
-  Mutex.protect t.mu (fun () ->
-      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+  let shards = Mutex.protect t.mu (fun () -> t.shards) in
+  List.fold_left
+    (fun total s ->
+      Mutex.protect s.smu (fun () ->
+          match Hashtbl.find_opt s.tbl name with
+          | Some r -> total + !r
+          | None -> total))
+    0 shards
 
 let sorted_bindings tbl value =
   Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot t =
-  Mutex.protect t.mu (fun () ->
-      sorted_bindings t.counters (fun r -> Sink.Int !r)
-      @ sorted_bindings t.gauges Fun.id)
+  let counters = merged_counters t in
+  sorted_bindings counters (fun r -> Sink.Int !r)
+  @ Mutex.protect t.mu (fun () -> sorted_bindings t.gauges Fun.id)
 
 let to_json t =
-  Mutex.protect t.mu (fun () ->
-      Sink.Obj
-        [
-          ("counters", Sink.Obj (sorted_bindings t.counters (fun r -> Sink.Int !r)));
-          ("gauges", Sink.Obj (sorted_bindings t.gauges Fun.id));
-        ])
+  let counters = merged_counters t in
+  Sink.Obj
+    [
+      ("counters", Sink.Obj (sorted_bindings counters (fun r -> Sink.Int !r)));
+      ( "gauges",
+        Sink.Obj (Mutex.protect t.mu (fun () -> sorted_bindings t.gauges Fun.id))
+      );
+    ]
 
 let flush ?trace t =
   if enabled t then begin
@@ -67,6 +128,7 @@ let flush ?trace t =
             ev_kind = "metric";
             ev_name = name;
             ev_span = span;
+            ev_dom = (Domain.self () :> int);
             ev_attrs = [ ("value", v) ];
           })
       (snapshot t)

@@ -5,7 +5,13 @@
     event through the registry's sink, and {!to_json} renders the same
     snapshot for a [--metrics-out] file.  On the {!Sink.null} sink every
     operation is a no-op, so default (unobserved) runs accumulate
-    nothing. *)
+    nothing.
+
+    Counters are sharded per domain and merged at read time: {!incr}
+    from a pool worker bumps a domain-private table with no lock on the
+    hot path, and {!snapshot}/{!counter_value} sum every shard.  Totals
+    read after the workers have joined (which every
+    {!Impact_support.Pool} map guarantees) are exact. *)
 
 type t
 

@@ -254,6 +254,7 @@ type event = {
   ev_kind : string;
   ev_name : string;
   ev_span : int;
+  ev_dom : int;
   ev_attrs : (string * json) list;
 }
 
@@ -264,6 +265,7 @@ let event_to_json ev =
       ("kind", String ev.ev_kind);
       ("name", String ev.ev_name);
       ("span", Int ev.ev_span);
+      ("dom", Int ev.ev_dom);
       ("attrs", Obj ev.ev_attrs);
     ]
 
@@ -271,12 +273,16 @@ let event_of_json j =
   let str key = match mem key j with String s -> s | _ -> fail "event lacks %s" key in
   let ts = match mem "ts" j with Float x -> x | Int n -> float_of_int n | _ -> fail "event lacks ts" in
   let span = match mem "span" j with Int n -> n | _ -> fail "event lacks span" in
+  (* [dom] arrived with PR 6; traces written before then simply lack it,
+     and re-parse with every event on domain 0. *)
+  let dom = match mem "dom" j with Int n -> n | _ -> 0 in
   let attrs = match mem "attrs" j with Obj fields -> fields | Null -> [] | _ -> fail "bad attrs" in
   {
     ev_ts = ts;
     ev_kind = str "kind";
     ev_name = str "name";
     ev_span = span;
+    ev_dom = dom;
     ev_attrs = attrs;
   }
 

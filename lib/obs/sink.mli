@@ -41,17 +41,22 @@ val mem : string -> json -> json
 
 (** One telemetry event.  [ev_span] is the id of the innermost enclosing
     span (0 when emitted outside any span); [ev_ts] is seconds since the
-    trace clock's origin. *)
+    trace clock's origin; [ev_dom] is the id of the OCaml domain that
+    emitted the event, which becomes the Perfetto track in the Chrome
+    export ({!Trace_export}). *)
 type event = {
   ev_ts : float;
   ev_kind : string;   (** ["span_begin"], ["span_end"], ["metric"], ["decision"], ["run"], ... *)
   ev_name : string;
   ev_span : int;
+  ev_dom : int;
   ev_attrs : (string * json) list;
 }
 
 (** [event_to_json ev] / [event_of_json j] convert an event to/from the
-    JSONL object shape [{"ts":…,"kind":…,"name":…,"span":…,"attrs":{…}}].
+    JSONL object shape
+    [{"ts":…,"kind":…,"name":…,"span":…,"dom":…,"attrs":{…}}].  A
+    parsed object without ["dom"] (a pre-PR 6 trace) yields domain 0.
     @raise Parse_error when [j] lacks a required field. *)
 val event_to_json : event -> json
 

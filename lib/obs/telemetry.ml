@@ -1,0 +1,79 @@
+(* Telemetry bundle: a registry of named latency histograms plus an
+   optional flight recorder, the quantitative counterpart to the
+   event-stream {!Obs} bundle.  Histograms are created on first
+   observation (all sharing the registry's bounds, so any two are
+   mergeable); the disabled value follows the repository's
+   pay-only-when-observed rule — every operation is a no-op. *)
+
+type live = {
+  mu : Mutex.t;  (* guards the name -> histogram table *)
+  bounds : Histogram.bounds;
+  hists : (string, Histogram.t) Hashtbl.t;
+  flight : Flight.t option;
+}
+
+type t = Disabled | T of live
+
+let null = Disabled
+
+let create ?(bounds = Histogram.latency_ms_bounds) ?flight_capacity () =
+  T
+    {
+      mu = Mutex.create ();
+      bounds;
+      hists = Hashtbl.create 16;
+      flight =
+        (match flight_capacity with
+        | None -> None
+        | Some capacity -> Some (Flight.create ~capacity ()));
+    }
+
+let enabled = function Disabled -> false | T _ -> true
+
+let histogram t name =
+  match t with
+  | Disabled -> Histogram.disabled
+  | T l ->
+    Mutex.protect l.mu (fun () ->
+        match Hashtbl.find_opt l.hists name with
+        | Some h -> h
+        | None ->
+          let h = Histogram.create ~bounds:l.bounds () in
+          Hashtbl.replace l.hists name h;
+          h)
+
+let observe t name v =
+  match t with Disabled -> () | T _ -> Histogram.observe (histogram t name) v
+
+let flight = function Disabled -> None | T l -> l.flight
+
+(* A pool probe that records the sample in the flight recorder (when
+   present) and feeds run time into the "pool.task_ms" histogram and
+   queue wait into "pool.queue_ms". *)
+let probe t : Impact_support.Pool.probe option =
+  match t with
+  | Disabled -> None
+  | T l ->
+    Some
+      (fun (s : Impact_support.Pool.task_sample) ->
+        (match l.flight with Some f -> Flight.record f s | None -> ());
+        observe t "pool.task_ms" s.Impact_support.Pool.ts_run_ms;
+        observe t "pool.queue_ms" s.Impact_support.Pool.ts_queue_ms)
+
+let to_json t =
+  match t with
+  | Disabled -> Sink.Obj []
+  | T l ->
+    let hists =
+      Mutex.protect l.mu (fun () ->
+          Hashtbl.fold (fun name h acc -> (name, h) :: acc) l.hists [])
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map (fun (name, h) ->
+             (name, Histogram.snapshot_to_json (Histogram.snapshot h)))
+    in
+    Sink.Obj
+      (("histograms", Sink.Obj hists)
+      ::
+      (match l.flight with
+      | None -> []
+      | Some f -> [ ("flight", Flight.summary_to_json (Flight.summarize f)) ]))

@@ -1,0 +1,38 @@
+(** Telemetry bundle: named latency {!Histogram}s plus an optional
+    {!Flight} recorder.
+
+    The quantitative counterpart to the event-stream {!Obs} bundle:
+    where [Obs] answers "what happened, in what order", a [Telemetry]
+    value answers "how long, how often, at which percentile".  On
+    {!null} every operation is a no-op. *)
+
+type t
+
+val null : t
+
+(** [create ?bounds ?flight_capacity ()] is an empty registry.  All its
+    histograms share [bounds] (default {!Histogram.latency_ms_bounds}),
+    so any two snapshots merge.  [flight_capacity], when given, attaches
+    a flight recorder retaining that many pool task samples. *)
+val create : ?bounds:Histogram.bounds -> ?flight_capacity:int -> unit -> t
+
+val enabled : t -> bool
+
+(** [histogram t name] is the named histogram, created empty on first
+    use; {!Histogram.disabled} on the null registry. *)
+val histogram : t -> string -> Histogram.t
+
+(** [observe t name v] records [v] into the named histogram. *)
+val observe : t -> string -> float -> unit
+
+val flight : t -> Flight.t option
+
+(** [probe t] is a pool probe feeding the flight recorder (when
+    attached) plus the ["pool.task_ms"]/["pool.queue_ms"] histograms;
+    [None] on the null registry, so an unobserved pool map pays
+    nothing. *)
+val probe : t -> Impact_support.Pool.probe option
+
+(** [to_json t] is [{"histograms":{name: {count,…,p50,p90,p99}},
+    "flight": {…}}] (flight only when attached; [{}] when null). *)
+val to_json : t -> Sink.json

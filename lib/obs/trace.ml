@@ -44,6 +44,7 @@ let instant t ~kind ?(attrs = []) name =
         ev_kind = kind;
         ev_name = name;
         ev_span = current_span t;
+        ev_dom = (Domain.self () :> int);
         ev_attrs = attrs;
       }
 
@@ -65,6 +66,7 @@ let with_span t ?(attrs = []) name f =
         ev_kind = "span_begin";
         ev_name = name;
         ev_span = id;
+        ev_dom = (Domain.self () :> int);
         ev_attrs = ("parent", Sink.Int parent) :: attrs;
       };
     Fun.protect
@@ -80,6 +82,7 @@ let with_span t ?(attrs = []) name f =
             ev_kind = "span_end";
             ev_name = name;
             ev_span = id;
+            ev_dom = (Domain.self () :> int);
             ev_attrs =
               [ ("parent", Sink.Int parent); ("dur_ms", Sink.Float ((t1 -. t0) *. 1000.)) ];
           })

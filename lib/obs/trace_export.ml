@@ -1,0 +1,147 @@
+(* Chrome/Perfetto trace-event export.
+
+   Converts a list of {!Sink.event}s (the JSONL trace vocabulary) into
+   one JSON document in the Chrome trace-event format, loadable directly
+   in ui.perfetto.dev or chrome://tracing:
+
+   - a span (matched "span_begin"/"span_end" pair, matched by span id)
+     becomes one complete event (ph "X") with microsecond [ts]/[dur];
+     a begin whose end never arrived (the trace stopped mid-span)
+     becomes a zero-duration "X" so the document stays schema-valid;
+   - a "metric" event with a numeric value becomes a counter sample
+     (ph "C"), which Perfetto plots as a track;
+   - every other kind becomes a thread-scoped instant (ph "i");
+   - each OCaml domain is one thread ([tid] = domain id) under a single
+     process ([pid] = 1), with "M"-phase metadata naming the tracks —
+     that is what makes pool workers appear as per-domain lanes.
+
+   The exporter is a pure function of the event list: drivers that want
+   a Chrome trace collect events in a memory sink and convert at the
+   end (see impactc's [--trace-format chrome]). *)
+
+let pid = 1
+
+let us ts = ts *. 1e6
+
+type phase = X of float (* dur_us *) | I | C
+
+let phase_string = function X _ -> "X" | I -> "i" | C -> "C"
+
+let entry ~ph ~name ~ts ~tid ~args =
+  Sink.Obj
+    ([
+       ("name", Sink.String name);
+       ("ph", Sink.String (phase_string ph));
+       ("ts", Sink.Float (us ts));
+     ]
+    @ (match ph with X dur -> [ ("dur", Sink.Float dur) ] | I | C -> [])
+    @ [ ("pid", Sink.Int pid); ("tid", Sink.Int tid) ]
+    @ (match ph with
+      | I -> [ ("s", Sink.String "t") ]  (* thread-scoped instant *)
+      | X _ | C -> [])
+    @ match args with [] -> [] | _ -> [ ("args", Sink.Obj args) ])
+
+let numeric = function
+  | Sink.Int _ | Sink.Float _ -> true
+  | Sink.Null | Sink.Bool _ | Sink.String _ | Sink.List _ | Sink.Obj _ -> false
+
+(* Span ends are matched to begins by span id ([ev_span] carries the
+   span's own id on both edges).  The complete event takes the begin's
+   timestamp, domain and attributes; the duration comes from the end's
+   timestamp (not its dur_ms attribute, so synthetic traces without it
+   still export). *)
+let chrome_of_events (events : Sink.event list) =
+  let begins : (int, Sink.event) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  let domains = Hashtbl.create 8 in
+  let note_domain d = Hashtbl.replace domains d () in
+  List.iter
+    (fun (ev : Sink.event) ->
+      note_domain ev.Sink.ev_dom;
+      match ev.Sink.ev_kind with
+      | "span_begin" -> Hashtbl.replace begins ev.Sink.ev_span ev
+      | "span_end" -> (
+        match Hashtbl.find_opt begins ev.Sink.ev_span with
+        | Some b ->
+          Hashtbl.remove begins ev.Sink.ev_span;
+          out :=
+            entry
+              ~ph:(X (us ev.Sink.ev_ts -. us b.Sink.ev_ts))
+              ~name:b.Sink.ev_name ~ts:b.Sink.ev_ts ~tid:b.Sink.ev_dom
+              ~args:b.Sink.ev_attrs
+            :: !out
+        | None ->
+          (* An end without a begin (trace truncated at the front):
+             keep it visible as an instant. *)
+          out :=
+            entry ~ph:I ~name:ev.Sink.ev_name ~ts:ev.Sink.ev_ts
+              ~tid:ev.Sink.ev_dom ~args:ev.Sink.ev_attrs
+            :: !out)
+      | "metric" -> (
+        match List.assoc_opt "value" ev.Sink.ev_attrs with
+        | Some v when numeric v ->
+          out :=
+            entry ~ph:C ~name:ev.Sink.ev_name ~ts:ev.Sink.ev_ts
+              ~tid:ev.Sink.ev_dom
+              ~args:[ ("value", v) ]
+            :: !out
+        | Some _ | None ->
+          out :=
+            entry ~ph:I ~name:ev.Sink.ev_name ~ts:ev.Sink.ev_ts
+              ~tid:ev.Sink.ev_dom ~args:ev.Sink.ev_attrs
+            :: !out)
+      | _ ->
+        out :=
+          entry ~ph:I ~name:ev.Sink.ev_name ~ts:ev.Sink.ev_ts
+            ~tid:ev.Sink.ev_dom ~args:ev.Sink.ev_attrs
+          :: !out)
+    events;
+  (* Spans still open when the trace ended: zero-duration completes. *)
+  Hashtbl.iter
+    (fun _ (b : Sink.event) ->
+      out :=
+        entry ~ph:(X 0.) ~name:b.Sink.ev_name ~ts:b.Sink.ev_ts
+          ~tid:b.Sink.ev_dom ~args:b.Sink.ev_attrs
+        :: !out)
+    begins;
+  let metadata =
+    Sink.Obj
+      [
+        ("name", Sink.String "process_name");
+        ("ph", Sink.String "M");
+        ("pid", Sink.Int pid);
+        ("args", Sink.Obj [ ("name", Sink.String "impactc") ]);
+      ]
+    :: (Hashtbl.fold (fun d () acc -> d :: acc) domains []
+       |> List.sort compare
+       |> List.map (fun d ->
+              Sink.Obj
+                [
+                  ("name", Sink.String "thread_name");
+                  ("ph", Sink.String "M");
+                  ("pid", Sink.Int pid);
+                  ("tid", Sink.Int d);
+                  ( "args",
+                    Sink.Obj
+                      [ ("name", Sink.String (Printf.sprintf "domain %d" d)) ]
+                  );
+                ]))
+  in
+  let ts_of e =
+    match Sink.mem "ts" e with
+    | Sink.Float x -> x
+    | Sink.Int n -> float_of_int n
+    | _ -> 0.
+  in
+  let sorted = List.stable_sort (fun a b -> compare (ts_of a) (ts_of b)) !out in
+  Sink.Obj
+    [
+      ("traceEvents", Sink.List (metadata @ sorted));
+      ("displayTimeUnit", Sink.String "ms");
+    ]
+
+let chrome_string_of_events events =
+  Sink.json_to_string (chrome_of_events events)
+
+let write_chrome path events =
+  Impact_support.Atomic_io.write_string path (chrome_string_of_events events ^ "\n")

@@ -1,0 +1,23 @@
+(** Chrome/Perfetto trace-event export.
+
+    [chrome_of_events evs] converts a trace (the event list a
+    {!Sink.memory} sink collected, or re-parsed JSONL lines) into one
+    Chrome trace-event JSON document that loads directly in
+    ui.perfetto.dev or chrome://tracing:
+
+    - matched span pairs become complete events (ph ["X"]) with
+      microsecond [ts]/[dur]; spans left open become zero-duration
+      completes;
+    - numeric ["metric"] events become counter tracks (ph ["C"]);
+    - everything else becomes thread-scoped instants (ph ["i"]);
+    - each OCaml domain is one named thread track ([tid] = domain id,
+      ph ["M"] metadata) under a single process — pool workers appear
+      as per-domain lanes. *)
+
+val chrome_of_events : Sink.event list -> Sink.json
+
+val chrome_string_of_events : Sink.event list -> string
+
+(** [write_chrome path evs] writes the document atomically
+    (temp + rename). *)
+val write_chrome : string -> Sink.event list -> unit

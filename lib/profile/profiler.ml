@@ -8,11 +8,16 @@ type result = {
   failures : (int * exn) list;
 }
 
-let profile ?budget ?fuel ?obs ?engine ?(jobs = 1) ?(keep_outputs = true)
-    ?(tolerant = false) ?on_retry (prog : Impact_il.Il.program) ~inputs =
+let profile ?budget ?fuel ?obs ?engine ?(jobs = 1) ?clamp ?probe
+    ?(keep_outputs = true) ?(tolerant = false) ?on_retry
+    (prog : Impact_il.Il.program) ~inputs =
   if inputs = [] then invalid_arg "Profiler.profile: no inputs";
+  (* One decode cache for the whole call: every input runs the same
+     frozen program, so each domain decodes each function at most once
+     across the sweep (see {!Impact_interp.Threaded.cache}). *)
+  let cache = Impact_interp.Threaded.cache () in
   let one input =
-    let o = Machine.run ?budget ?fuel ?obs ?engine prog ~input in
+    let o = Machine.run ?budget ?fuel ?obs ?engine ~cache prog ~input in
     (* [output_digest] keeps output comparison possible after the text
        itself is dropped. *)
     if keep_outputs then o else { o with Machine.output = "" }
@@ -20,12 +25,15 @@ let profile ?budget ?fuel ?obs ?engine ?(jobs = 1) ?(keep_outputs = true)
   (* The pool preserves input order, so the profile and the run list are
      identical whatever [jobs] is. *)
   let runs, failures =
-    if not tolerant then (Pool.map_list ~jobs one inputs, [])
+    if not tolerant then (Pool.map_list ~jobs ?clamp ?probe one inputs, [])
     else begin
       (* Degraded mode: every run yields a result; a failing run is
          retried once (deterministically, same domain) and then reported
          instead of raised, so one bad input cannot sink the profile. *)
-      let outcomes = Pool.map_list_results ~jobs ~retry:true ?on_retry one inputs in
+      let outcomes =
+        Pool.map_list_results ~jobs ?clamp ?probe ~retry:true ?on_retry one
+          inputs
+      in
       let runs, failures, _ =
         List.fold_left
           (fun (runs, failures, i) r ->

@@ -26,6 +26,12 @@ type result = {
     @param jobs when > 1, runs execute on that many OCaml domains
       ({!Impact_support.Pool}); results keep input order, so the profile
       is identical for any job count (default 1)
+    @param clamp forwarded to the pool: by default the domain count is
+      clamped to the machine's recommended count; [~clamp:false] runs
+      the literal [jobs] (diagnostics only)
+    @param probe forwarded to the pool: observes one
+      {!Impact_support.Pool.task_sample} per completed run — see
+      {!Impact_obs.Flight}
     @param keep_outputs when false, each run's [output] text is dropped
       (the MD5 [output_digest] survives), so profiling over many inputs
       does not hold every output buffer live (default true)
@@ -44,6 +50,8 @@ val profile :
   ?obs:Impact_obs.Obs.t ->
   ?engine:Impact_interp.Machine.engine ->
   ?jobs:int ->
+  ?clamp:bool ->
+  ?probe:Impact_support.Pool.probe ->
   ?keep_outputs:bool ->
   ?tolerant:bool ->
   ?on_retry:(int -> exn -> unit) ->

@@ -6,6 +6,23 @@
    input order no matter which domain ran which item — parallel and
    sequential maps are indistinguishable to the caller.
 
+   Oversubscription discipline: on a machine with fewer cores than the
+   requested [jobs], extra domains cannot run in parallel — they
+   time-slice one core while every minor collection stops the world
+   across all of them, which made jobs=4 profiling measurably *slower*
+   than jobs=1 (the PR 6 flight recorder quantified it).  Maps therefore
+   clamp the domain count to [Domain.recommended_domain_count] by
+   default; [~clamp:false] restores the literal count for tests and
+   diagnostics that want the oversubscribed behaviour on purpose.
+
+   Telemetry: [?probe] observes one {!task_sample} per completed item —
+   queue wait, run time and GC deltas ([Gc.quick_stat] before/after on
+   the running domain) — so a flight recorder (see [Impact_obs.Flight])
+   can reconstruct per-domain utilisation without the pool depending on
+   the observability layer.  The probe runs on the worker domain that
+   executed the item and must be thread-safe; without a probe the per-
+   item overhead is one physical-equality check.
+
    Failure discipline:
    - [map_array] is fail-fast: exceptions are captured per index, workers
      stop picking up new work once any item has failed, and after all
@@ -28,7 +45,52 @@
 
 type 'a cell = Empty | Value of 'a | Error of exn
 
+type task_sample = {
+  ts_index : int;
+  ts_domain : int;
+  ts_queue_ms : float;
+  ts_run_ms : float;
+  ts_minor_collections : int;
+  ts_major_collections : int;
+  ts_promoted_words : float;
+  ts_minor_words : float;
+}
+
+type probe = task_sample -> unit
+
 let default_jobs () = Domain.recommended_domain_count ()
+
+let effective_jobs ~clamp jobs =
+  if clamp then min jobs (max 1 (Domain.recommended_domain_count ())) else jobs
+
+(* Run [g ()] as item [i]'s body and hand the probe one sample on
+   success.  [t0] is the map's start instant, so queue wait is the gap
+   between submission and this domain picking the item up.  A failing
+   item yields no sample: its timing would measure the raise path, and
+   the error already surfaces through the map's failure discipline. *)
+let observed ~probe ~t0 i g =
+  match probe with
+  | None -> g ()
+  | Some p ->
+    let s0 = Unix.gettimeofday () in
+    let g0 = Gc.quick_stat () in
+    let v = g () in
+    let g1 = Gc.quick_stat () in
+    let s1 = Unix.gettimeofday () in
+    p
+      {
+        ts_index = i;
+        ts_domain = (Domain.self () :> int);
+        ts_queue_ms = (s0 -. t0) *. 1000.;
+        ts_run_ms = (s1 -. s0) *. 1000.;
+        ts_minor_collections =
+          g1.Gc.minor_collections - g0.Gc.minor_collections;
+        ts_major_collections =
+          g1.Gc.major_collections - g0.Gc.major_collections;
+        ts_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+        ts_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      };
+    v
 
 (* Spawn [jobs - 1] copies of [worker], run one on the calling domain,
    join them all, then re-raise any exception that escaped a worker
@@ -61,12 +123,14 @@ let parallel_run ~jobs ~quit worker =
   List.iter Domain.join !spawned;
   match Atomic.get escaped with Some e -> raise e | None -> ()
 
-let map_array ?(jobs = 1) (f : 'a -> 'b) (items : 'a array) : 'b array =
+let map_array ?(jobs = 1) ?(clamp = true) ?probe (f : 'a -> 'b)
+    (items : 'a array) : 'b array =
   let n = Array.length items in
-  let jobs = max 1 (min jobs n) in
+  let jobs = max 1 (min (effective_jobs ~clamp jobs) n) in
+  let t0 = match probe with None -> 0. | Some _ -> Unix.gettimeofday () in
   if jobs = 1 then begin
     Fault.hit Fault.Pool_worker_start;
-    let r = Array.map f items in
+    let r = Array.mapi (fun i x -> observed ~probe ~t0 i (fun () -> f x)) items in
     Fault.hit Fault.Pool_worker_finish;
     r
   end
@@ -80,7 +144,7 @@ let map_array ?(jobs = 1) (f : 'a -> 'b) (items : 'a array) : 'b array =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Atomic.get quit then continue := false
         else
-          match f items.(i) with
+          match observed ~probe ~t0 i (fun () -> f items.(i)) with
           | v -> results.(i) <- Value v
           | exception e ->
             results.(i) <- Error e;
@@ -100,10 +164,11 @@ let map_array ?(jobs = 1) (f : 'a -> 'b) (items : 'a array) : 'b array =
       results
   end
 
-let map_array_results ?(jobs = 1) ?(retry = false) ?on_retry (f : 'a -> 'b)
-    (items : 'a array) : ('b, exn) result array =
+let map_array_results ?(jobs = 1) ?(clamp = true) ?probe ?(retry = false)
+    ?on_retry (f : 'a -> 'b) (items : 'a array) : ('b, exn) result array =
   let n = Array.length items in
-  let jobs = max 1 (min jobs n) in
+  let jobs = max 1 (min (effective_jobs ~clamp jobs) n) in
+  let t0 = match probe with None -> 0. | Some _ -> Unix.gettimeofday () in
   let attempt i x =
     match f x with
     | v -> Ok v
@@ -114,6 +179,9 @@ let map_array_results ?(jobs = 1) ?(retry = false) ?on_retry (f : 'a -> 'b)
       end
       else Stdlib.Error e
   in
+  (* The sample spans the whole attempt, retry included: that is the
+     time the item actually occupied its domain. *)
+  let attempt i x = observed ~probe ~t0 i (fun () -> attempt i x) in
   if jobs = 1 then begin
     Fault.hit Fault.Pool_worker_start;
     let r = Array.mapi attempt items in
@@ -143,8 +211,10 @@ let map_array_results ?(jobs = 1) ?(retry = false) ?on_retry (f : 'a -> 'b)
       results
   end
 
-let map_list ?jobs f items =
-  Array.to_list (map_array ?jobs f (Array.of_list items))
+let map_list ?jobs ?clamp ?probe f items =
+  Array.to_list (map_array ?jobs ?clamp ?probe f (Array.of_list items))
 
-let map_list_results ?jobs ?retry ?on_retry f items =
-  Array.to_list (map_array_results ?jobs ?retry ?on_retry f (Array.of_list items))
+let map_list_results ?jobs ?clamp ?probe ?retry ?on_retry f items =
+  Array.to_list
+    (map_array_results ?jobs ?clamp ?probe ?retry ?on_retry f
+       (Array.of_list items))

@@ -7,6 +7,13 @@
     or a single item degrades to a plain sequential map with no domain
     spawned.
 
+    By default the domain count is additionally clamped to
+    [Domain.recommended_domain_count]: requesting more domains than the
+    machine has cores cannot add parallelism, only cross-domain minor-GC
+    stalls (measured at +93% wall time for jobs=4 on one core before
+    PR 6).  Pass [~clamp:false] to run the literal count anyway — tests
+    exercising the multi-domain machinery on small machines need that.
+
     Resilience guarantees (both variants):
     - a failure during worker {e submission} (a [Domain.spawn] that
       raises, or an injected {!Fault.Pool_worker_start} fault) joins
@@ -20,9 +27,35 @@
     mutable state across items (per-item state, or a mutex-protected
     sink, is fine — see {!Impact_obs.Sink}). *)
 
-val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** One completed task, as seen by a {!probe}: which item ran where,
+    how long it waited between map submission and pickup
+    ([ts_queue_ms]), how long it ran ([ts_run_ms]), and the
+    [Gc.quick_stat] deltas its domain accumulated while running it.
+    Words are in OCaml heap words, as reported by the GC. *)
+type task_sample = {
+  ts_index : int;  (** input index of the item *)
+  ts_domain : int;  (** id of the domain that ran it *)
+  ts_queue_ms : float;  (** map start → task start *)
+  ts_run_ms : float;  (** task start → task end *)
+  ts_minor_collections : int;
+  ts_major_collections : int;
+  ts_promoted_words : float;
+  ts_minor_words : float;
+}
 
-val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** A probe runs on the worker domain that completed the item, outside
+    any pool lock; it must be thread-safe.  In the fail-fast maps a
+    raising item produces no sample; the [_results] variants sample
+    every item — the attempt occupied its domain whether it ended in
+    [Ok] or [Error].  See [Impact_obs.Flight] for the ring-buffered
+    consumer. *)
+type probe = task_sample -> unit
+
+val map_array :
+  ?jobs:int -> ?clamp:bool -> ?probe:probe -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list :
+  ?jobs:int -> ?clamp:bool -> ?probe:probe -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [map_array_results] never fails fast: every item yields an
     [(_, exn) result] in input order.  With [~retry:true] a failing item
@@ -35,6 +68,8 @@ val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val map_array_results :
   ?jobs:int ->
+  ?clamp:bool ->
+  ?probe:probe ->
   ?retry:bool ->
   ?on_retry:(int -> exn -> unit) ->
   ('a -> 'b) ->
@@ -43,6 +78,8 @@ val map_array_results :
 
 val map_list_results :
   ?jobs:int ->
+  ?clamp:bool ->
+  ?probe:probe ->
   ?retry:bool ->
   ?on_retry:(int -> exn -> unit) ->
   ('a -> 'b) ->

@@ -19,6 +19,7 @@ let () =
       ("extensions", Test_extensions.tests);
       ("weights", Test_weights.tests);
       ("obs", Test_obs.tests);
+      ("telemetry", Test_telemetry.tests);
       ("cache", Test_cache.tests);
       ("chaos", Test_chaos.tests);
     ]

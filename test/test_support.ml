@@ -133,6 +133,59 @@ let test_pool_exception () =
                (Array.init 20 (fun i -> i)))))
     [ 1; 2; 4 ]
 
+(* The clamp caps the domain count at the machine's recommended count,
+   so on a small box the jobs>1 cases above may run sequentially.
+   [~clamp:false] forces real multi-domain execution — this is the case
+   that genuinely exercises spawn/join, ordering and fail-fast across
+   domains regardless of the hardware. *)
+let test_pool_unclamped () =
+  let items = Array.init 100 (fun i -> i) in
+  Alcotest.(check (array int)) "unclamped keeps order"
+    (Array.map (fun i -> i * i) items)
+    (Pool.map_array ~jobs:4 ~clamp:false (fun i -> i * i) items);
+  Alcotest.check_raises "unclamped lowest failing index wins" (Boom 3)
+    (fun () ->
+      ignore
+        (Pool.map_array ~jobs:4 ~clamp:false
+           (fun i -> if i >= 3 then raise (Boom i) else i)
+           (Array.init 20 (fun i -> i))))
+
+(* Every completed item reports exactly one sample to the probe, tagged
+   with the index it ran as.  In results mode an [Error] item completed
+   too (it occupied its domain), so it is sampled; in the fail-fast map
+   a raising item produces no sample. *)
+let test_pool_probe_samples () =
+  let mu = Mutex.create () in
+  let seen = ref [] in
+  let probe s = Mutex.protect mu (fun () -> seen := s :: !seen) in
+  let results =
+    Pool.map_array_results ~jobs:4 ~clamp:false ~probe
+      (fun i -> if i = 5 then raise (Boom i) else i)
+      (Array.init 10 (fun i -> i))
+  in
+  Alcotest.(check int) "all items have results" 10 (Array.length results);
+  let indices =
+    List.sort_uniq compare (List.map (fun s -> s.Pool.ts_index) !seen)
+  in
+  Alcotest.(check (list int)) "one sample per item, errors included"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] indices;
+  List.iter
+    (fun (s : Pool.task_sample) ->
+      Alcotest.(check bool) "sane sample" true
+        (s.Pool.ts_queue_ms >= 0. && s.Pool.ts_run_ms >= 0.
+        && s.Pool.ts_domain >= 0))
+    !seen;
+  (* Fail-fast: the raising item never completes, so no sample. *)
+  seen := [];
+  (try
+     ignore
+       (Pool.map_array ~jobs:1 ~probe
+          (fun i -> if i = 2 then raise (Boom i) else i)
+          (Array.init 4 (fun i -> i)))
+   with Boom 2 -> ());
+  Alcotest.(check bool) "no sample for the raising item" true
+    (List.for_all (fun s -> s.Pool.ts_index <> 2) !seen)
+
 module Fault = Impact_support.Fault
 
 (* Regression: a fault thrown while submitting workers used to leak the
@@ -245,6 +298,8 @@ let tests =
     Alcotest.test_case "stats aggregates" `Quick test_stats_mean_stddev;
     Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
     Alcotest.test_case "pool exception determinism" `Quick test_pool_exception;
+    Alcotest.test_case "pool unclamped multi-domain" `Quick test_pool_unclamped;
+    Alcotest.test_case "pool probe samples" `Quick test_pool_probe_samples;
     Alcotest.test_case "pool submission-fault drain" `Quick
       test_pool_submission_fault;
     Alcotest.test_case "pool worker-finish fault" `Quick
