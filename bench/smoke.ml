@@ -36,11 +36,23 @@ let () =
   (* 1. Run the pipeline with a JSONL sink. *)
   let trace_tmp = Impact_support.Atomic_io.tmp_path !trace_file in
   let oc = open_out trace_tmp in
-  let obs = Obs.create (Sink.jsonl oc) in
-  let r = Pipeline.run ~obs bench in
-  Obs.finish obs;
-  close_out oc;
-  Sys.rename trace_tmp !trace_file;
+  (* A pipeline failure must not leave the .tmp trace behind. *)
+  let r =
+    match
+      let obs = Obs.create (Sink.jsonl oc) in
+      let r = Pipeline.run ~obs bench in
+      Obs.finish obs;
+      r
+    with
+    | r ->
+      close_out oc;
+      Sys.rename trace_tmp !trace_file;
+      r
+    | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove trace_tmp with Sys_error _ -> ());
+      raise e
+  in
   (* 2. Re-parse every line: the trace must be valid JSONL. *)
   let ic = open_in !trace_file in
   let events = ref [] in

@@ -538,6 +538,7 @@ let default_term =
      $ trace_format_arg $ metrics_out_arg))
 
 let () =
+  Printexc.record_backtrace true;
   let doc = "profile-guided inline function expansion for C (PLDI 1989)" in
   let info = Cmd.info "impactc" ~version:"1.0.0" ~doc in
   let group =
@@ -553,10 +554,18 @@ let () =
   | Ok (`Ok ()) -> exit 0
   | Ok (`Help | `Version) -> exit 0
   | Error (`Parse | `Term) -> exit 2
-  | Error `Exn -> exit 5
+  | Error `Exn ->
+    (* Only reachable under cmdliner's own catch (we pass ~catch:false,
+       so this is belt-and-braces): never exit mute. *)
+    prerr_endline
+      "impactc: internal error: exception consumed by the command parser \
+       (see the report above)";
+    exit 5
   | exception Ierr.Error e ->
     Printf.eprintf "impactc: %s\n" (Ierr.to_string e);
     exit (Ierr.exit_code e)
   | exception e ->
-    Printf.eprintf "impactc: internal error: %s\n" (Printexc.to_string e);
+    let bt = Printexc.get_backtrace () in
+    Printf.eprintf "impactc: internal error: %s\n%s%!" (Printexc.to_string e)
+      bt;
     exit 5

@@ -28,6 +28,9 @@ let stage_policy : Ierr.stage -> Ierr.severity * Ierr.recovery = function
   (* A broken cache entry is never fatal to anything: the stage that
      missed simply recomputes. *)
   | Ierr.Cache -> (Ierr.Skippable, Ierr.Retry_once)
+  (* A failed request is one unit of service work: the daemon drops or
+     rejects it and keeps serving; the client may retry. *)
+  | Ierr.Serve -> (Ierr.Skippable, Ierr.Retry_once)
   | Ierr.Driver -> (Ierr.Fatal, Ierr.Abort)
 
 let classify stage exn : Ierr.t =

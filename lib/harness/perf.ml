@@ -246,11 +246,13 @@ type cache_timing = {
   warm_misses : int;
 }
 
-let rm_rf dir =
-  if Sys.file_exists dir && Sys.is_directory dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-    Sys.rmdir dir
-  end
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
 
 let cache_cold_warm ?jobs () =
   let dir =
@@ -259,24 +261,29 @@ let cache_cold_warm ?jobs () =
       (Printf.sprintf "impact-perf-cache.%d" (Unix.getpid ()))
   in
   rm_rf dir;
-  let timed_run () =
-    let cache = Cache.create dir in
-    let t0 = Unix.gettimeofday () in
-    let results = Pipeline.run_suite ?jobs ~cache () in
-    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
-    if not (List.for_all (fun r -> r.Pipeline.outputs_match) results) then
-      failwith "Perf.cache_cold_warm: cached suite run diverged";
-    (ms, Cstore.stats (Cache.cstore cache))
-  in
-  let cold_ms, _cold = timed_run () in
-  let warm_ms, warm = timed_run () in
-  rm_rf dir;
-  {
-    cache_cold_ms = cold_ms;
-    cache_warm_ms = warm_ms;
-    warm_hits = warm.Cstore.hits;
-    warm_misses = warm.Cstore.misses;
-  }
+  (* The temp store must not outlive the measurement: a run that raises
+     mid-benchmark (a diverged suite, a budget trip) would otherwise
+     leak an impact-perf-cache.<pid> directory per failed invocation. *)
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ())
+    (fun () ->
+      let timed_run () =
+        let cache = Cache.create dir in
+        let t0 = Unix.gettimeofday () in
+        let results = Pipeline.run_suite ?jobs ~cache () in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        if not (List.for_all (fun r -> r.Pipeline.outputs_match) results) then
+          failwith "Perf.cache_cold_warm: cached suite run diverged";
+        (ms, Cstore.stats (Cache.cstore cache))
+      in
+      let cold_ms, _cold = timed_run () in
+      let warm_ms, warm = timed_run () in
+      {
+        cache_cold_ms = cold_ms;
+        cache_warm_ms = warm_ms;
+        warm_hits = warm.Cstore.hits;
+        warm_misses = warm.Cstore.misses;
+      })
 
 let scaling_to_json sc =
   let level_json l =

@@ -114,7 +114,8 @@ type cache_timing = {
 (** [cache_cold_warm ?jobs ()] runs the suite twice against a fresh
     temporary cache directory — cold (populating) then warm (replaying)
     — and reports both wall clocks plus the warm run's hit/miss
-    counters.  The temporary directory is removed afterwards.  Raises
+    counters.  The temporary directory is removed afterwards — also when
+    a run raises (recursive cleanup under [Fun.protect]).  Raises
     [Failure] if either cached run's inlined outputs diverge. *)
 val cache_cold_warm : ?jobs:int -> unit -> cache_timing
 

@@ -460,6 +460,25 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
         degradations = List.rev !degradations;
       })
 
+(* The daemon-facing entry: one request's source text and input set,
+   with no suite state and no file system reads.  [run] itself is
+   reentrant — all its state is per-call, the optional [cache] handle is
+   internally synchronized, and the interpreter's per-domain scratch
+   reuse is domain-local — so concurrent [run_source] calls from
+   different worker domains sharing one cache are safe. *)
+let run_source ?obs ?policy ?config ?pre_opt ?post_cleanup ?cache ?engine ?jobs
+    ?budget ?fuel ?(name = "request") ~source ~inputs () =
+  let bench =
+    {
+      Benchmark.name;
+      description = "served source";
+      source;
+      inputs = (fun () -> inputs);
+    }
+  in
+  run ?obs ?policy ?config ?pre_opt ?post_cleanup ?cache ?engine ?jobs ?budget
+    ?fuel bench
+
 let run_suite ?obs ?policy ?config ?post_cleanup ?cache ?engine ?jobs ?clamp
     ?probe () =
   (* Parallelism fans out across benchmarks — coarse sharding: one

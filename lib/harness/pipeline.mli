@@ -103,6 +103,31 @@ val run :
   Impact_bench_progs.Benchmark.t ->
   result
 
+(** [run_source ~source ~inputs ()] is {!run} on an ad-hoc benchmark
+    built from raw C source text and an explicit input set — the
+    reentrant, daemon-safe entry point used by [impactd]: no suite
+    state, no file reads, all per-call state.  Concurrent calls from
+    different domains are safe, including when they share one [cache]
+    handle (the store is internally synchronized and its warm path does
+    file I/O outside the lock).  [name] (default ["request"]) labels
+    observability events and error messages. *)
+val run_source :
+  ?obs:Impact_obs.Obs.t ->
+  ?policy:policy ->
+  ?config:Impact_core.Config.t ->
+  ?pre_opt:bool ->
+  ?post_cleanup:bool ->
+  ?cache:Cache.t ->
+  ?engine:Impact_interp.Machine.engine ->
+  ?jobs:int ->
+  ?budget:Impact_interp.Rt.budget ->
+  ?fuel:int ->
+  ?name:string ->
+  source:string ->
+  inputs:string list ->
+  unit ->
+  result
+
 (** [run_suite ?obs ?policy ?config ?post_cleanup ?engine ?jobs ()] runs
     all twelve benchmarks, in suite order; [jobs > 1] fans the
     benchmarks across domains (each benchmark's own profiling stays

@@ -1,0 +1,69 @@
+(** The [impactd] daemon core: accept loop, per-connection handler
+    threads, worker-domain execution, admission control, and serving
+    telemetry.
+
+    Layering: one accept systhread, one cheap handler systhread per
+    connection (frame I/O only), and a fixed {!Impact_support.Pool.Service}
+    of worker domains that run the actual compile/profile/report work in
+    parallel.  Handler threads parked on reads or on submit tickets
+    release the OCaml runtime lock, so concurrent connections scale with
+    file descriptors while parallelism scales with worker domains.
+
+    Admission control: when [Service.pending >= max_pending], heavy
+    requests are refused immediately with a typed [Serve]/[Retry_once]
+    error.  Ping, stats and shutdown bypass admission so the control
+    plane stays responsive under saturation.
+
+    Telemetry: each request runs in a ["serve.request"] span on [obs],
+    lands its admission-to-response latency in per-kind {!Histogram}s,
+    and contributes one synthetic {!Impact_support.Pool.task_sample}
+    (queue/run split + GC deltas) to a {!Flight} recorder — all exposed
+    through the [stats] request and usable with Chrome trace export. *)
+
+type config = {
+  socket_path : string;
+  domains : int option;  (** worker domains; default: recommended count *)
+  max_pending : int;  (** admission cap on queued+running jobs *)
+  cache : Impact_harness.Cache.t option;
+      (** the shared cross-request artifact store ([--cache DIR]) *)
+  obs : Impact_obs.Obs.t;
+  allow_faults : bool;
+      (** honor per-request fault specs (tests and chaos drills only) *)
+}
+
+(** [default_config ~socket_path]: recommended domains, [max_pending]
+    64, no cache, null obs, faults refused. *)
+val default_config : socket_path:string -> config
+
+type t
+
+(** [start cfg] binds the Unix-domain socket (unlinking any stale
+    file), ignores [SIGPIPE] process-wide, spawns the worker domains
+    and the accept thread, and returns immediately.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+val start : config -> t
+
+val socket_path : t -> string
+
+(** [shutdown_requested t] becomes true once a client's [shutdown]
+    request has been acknowledged; the daemon keeps serving until
+    {!stop}. *)
+val shutdown_requested : t -> bool
+
+(** [request_shutdown t] makes {!wait} return (also safe from a signal
+    handler: it only sets an atomic flag). *)
+val request_shutdown : t -> unit
+
+(** [wait t] blocks (polling every [poll_s], default 0.1s) until a
+    shutdown is requested or {!stop} has run. *)
+val wait : ?poll_s:float -> t -> unit
+
+(** [stop t] shuts down gracefully: stop accepting, drain queued jobs
+    on the worker domains, unblock and join every handler thread, and
+    unlink the socket.  Idempotent. *)
+val stop : t -> unit
+
+(** [stats_json t] is the live serving snapshot (uptime, request
+    counters, per-kind latency histograms, flight summary, cache
+    stats) — the payload of the [stats] request. *)
+val stats_json : t -> Impact_obs.Sink.json

@@ -18,10 +18,14 @@
    Recency is tracked by a monotonic in-process tick per entry,
    persisted to an INDEX file on every store/evict; when the payload
    bytes in the store exceed [max_bytes], least-recently-used entries
-   are evicted (never the one just stored).  All operations take the
-   store mutex, so one store may be shared by parallel suite runs
-   ({!Pool} domains); sharing one *directory* between processes is not
-   coordinated beyond the atomicity of individual writes.
+   are evicted (never the one just stored).  Index and recency
+   bookkeeping take the store mutex; warm-path payload I/O and
+   verification run outside it (entries are immutable, writes are
+   atomic renames), so concurrent warm lookups proceed in parallel and
+   one store may be shared by parallel suite runs ({!Pool} domains) or
+   a serving daemon's worker domains.  Sharing one *directory* between
+   processes is not coordinated beyond the atomicity of individual
+   writes.
 
    The store never raises: a failed write (disk full, an injected
    {!Fault.Cache_write}) is counted and remembered in [last_error], and
@@ -238,29 +242,53 @@ let read_verified t ~stage ~key file =
   | _ ->
     raise (Ierr.Error (cache_error "%s: missing %S header" file magic)))
 
+(* The warm path deliberately does NOT hold the store mutex across the
+   payload read: entries are immutable once written and land by atomic
+   rename, so an unlocked read observes either a complete entry or (after
+   a concurrent eviction of the same file) a vanished one — never a torn
+   write.  Serializing the read + MD5 verification under the single
+   mutex made every concurrent warm lookup queue behind whichever one
+   was doing file I/O, which flattened multi-domain warm reruns to
+   sequential speed.  The lock now covers only index and recency
+   bookkeeping, on both sides of the I/O. *)
 let find t ~stage ~key =
-  Mutex.protect t.mu (fun () ->
-      let file = entry_file ~stage ~key in
-      match Hashtbl.find_opt t.entries file with
-      | None ->
-        t.stats.misses <- t.stats.misses + 1;
-        Miss
-      | Some e -> (
-        match read_verified t ~stage ~key file with
-        | payload ->
+  let file = entry_file ~stage ~key in
+  (* Locked phase 1: index lookup only. *)
+  let entry =
+    Mutex.protect t.mu (fun () ->
+        match Hashtbl.find_opt t.entries file with
+        | None ->
+          t.stats.misses <- t.stats.misses + 1;
+          None
+        | Some e -> Some e)
+  in
+  match entry with
+  | None -> Miss
+  | Some e -> (
+    (* Unlocked phase 2: payload read + digest verification. *)
+    match read_verified t ~stage ~key file with
+    | payload ->
+      (* Locked phase 3: recency + counters. *)
+      Mutex.protect t.mu (fun () ->
           t.tick <- t.tick + 1;
           e.e_tick <- t.tick;
-          t.stats.hits <- t.stats.hits + 1;
-          Hit payload
-        | exception exn ->
-          (* Corrupt, truncated, unreadable, or fault-injected: a typed
-             miss.  Drop the entry so the recomputed artifact can be
-             stored cleanly. *)
-          let err = typed_of_exn exn in
+          t.stats.hits <- t.stats.hits + 1);
+      Hit payload
+    | exception exn ->
+      (* Corrupt, truncated, unreadable, fault-injected — or evicted by
+         a racing store between phases: a typed miss.  Drop the entry so
+         the recomputed artifact can be stored cleanly, but only while
+         the index still maps the file to the very record phase 1 read;
+         a concurrent store may have replaced the entry since, and that
+         fresh entry must survive. *)
+      let err = typed_of_exn exn in
+      Mutex.protect t.mu (fun () ->
           t.stats.corrupt <- t.stats.corrupt + 1;
           t.last_error <- Some err;
-          remove_entry_locked t e;
-          Corrupt err))
+          match Hashtbl.find_opt t.entries file with
+          | Some cur when cur == e -> remove_entry_locked t e
+          | Some _ | None -> ());
+      Corrupt err)
 
 (* ------------------------------------------------------------------ *)
 (* Store and eviction                                                  *)

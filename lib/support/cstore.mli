@@ -23,8 +23,12 @@
     recency survives process restarts (the index is advisory — losing it
     degrades only the LRU ordering, never correctness).
 
-    Operations are mutex-protected, so one store may be shared by
-    parallel suite runs; no operation ever raises.  The
+    Index and recency bookkeeping are mutex-protected; warm-path payload
+    reads and digest verification run {e outside} the lock (entries are
+    immutable once written and land by atomic rename), so concurrent
+    warm lookups proceed in parallel instead of queueing on whichever
+    one is doing file I/O.  One store may be shared by parallel suite
+    runs or a daemon's worker domains; no operation ever raises.  The
     {!Fault.Cache_read}/{!Fault.Cache_write} injection points fire on
     every entry read/write. *)
 

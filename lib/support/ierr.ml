@@ -19,6 +19,7 @@ type stage =
   | Pool
   | Artifact
   | Cache
+  | Serve
   | Driver
 
 type severity =
@@ -63,12 +64,25 @@ let stage_name = function
   | Pool -> "pool"
   | Artifact -> "artifact"
   | Cache -> "cache"
+  | Serve -> "serve"
   | Driver -> "driver"
+
+let all_stages =
+  [ Parse; Sema; Lower; Profile_io; Profile_run; Callgraph; Select; Expand;
+    Pool; Artifact; Cache; Serve; Driver ]
+
+let stage_of_name s = List.find_opt (fun st -> stage_name st = s) all_stages
 
 let severity_name = function
   | Fatal -> "fatal"
   | Degradable -> "degradable"
   | Skippable -> "skippable"
+
+let severity_of_name = function
+  | "fatal" -> Some Fatal
+  | "degradable" -> Some Degradable
+  | "skippable" -> Some Skippable
+  | _ -> None
 
 let recovery_name = function
   | Abort -> "abort"
@@ -77,6 +91,14 @@ let recovery_name = function
   | Skip_benchmark -> "skip-benchmark"
   | Retry_once -> "retry-once"
 
+let recovery_of_name = function
+  | "abort" -> Some Abort
+  | "fallback-static" -> Some Fallback_static
+  | "skip-caller" -> Some Skip_caller
+  | "skip-benchmark" -> Some Skip_benchmark
+  | "retry-once" -> Some Retry_once
+  | _ -> None
+
 (* CLI error classes: usage errors exit 2 (handled by the driver before
    any [t] exists), front-end errors 3, profile errors 4, everything
    else is an internal error, 5. *)
@@ -84,7 +106,7 @@ let exit_code t =
   match t.stage with
   | Parse | Sema | Lower -> 3
   | Profile_io | Profile_run -> 4
-  | Callgraph | Select | Expand | Pool | Artifact | Cache | Driver -> 5
+  | Callgraph | Select | Expand | Pool | Artifact | Cache | Serve | Driver -> 5
 
 let to_string t =
   match t.loc with

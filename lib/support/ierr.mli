@@ -20,6 +20,7 @@ type stage =
   | Pool
   | Artifact
   | Cache
+  | Serve
   | Driver
 
 type severity =
@@ -60,6 +61,15 @@ val error :
 val stage_name : stage -> string
 val severity_name : severity -> string
 val recovery_name : recovery -> string
+
+(** Inverses of the [_name] renderings, for wire formats that carry a
+    {!t} across a process boundary (the [impactd] protocol): [None] on
+    an unknown name, so a newer peer's stage degrades explicitly rather
+    than crashing the decoder. *)
+
+val stage_of_name : string -> stage option
+val severity_of_name : string -> severity option
+val recovery_of_name : string -> recovery option
 
 val exit_code : t -> int
 (** CLI exit code for the error's class: front end (parse/sema/lower) 3,

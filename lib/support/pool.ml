@@ -211,6 +211,131 @@ let map_array_results ?(jobs = 1) ?(clamp = true) ?probe ?(retry = false)
       results
   end
 
+(* ------------------------------------------------------------------ *)
+(* Persistent executor service                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The maps above spawn domains per call — right for batch suites, wrong
+   for a daemon that must absorb a stream of independent requests
+   without paying a [Domain.spawn] per request.  [Service] keeps a fixed
+   set of worker domains alive behind a mutex/condition work queue;
+   {!submit} blocks the calling (sys)thread until its job has run on
+   some worker and returns the job's outcome as a result.  Blocking is
+   deliberate: the caller is a connection handler thread that has
+   nothing else to do, and the returned result keeps the daemon's
+   failure discipline exception-free.
+
+   Shutdown drains: jobs already accepted run to completion, new submits
+   are refused with {!Service.Stopped}, and [shutdown] returns only
+   after every worker domain has joined. *)
+
+module Service = struct
+  exception Stopped
+
+  type t = {
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable pending : int;  (* jobs queued or running *)
+    mutable workers : unit Domain.t list;
+    ndomains : int;
+  }
+
+  type 'a ticket = {
+    tk_mu : Mutex.t;
+    tk_done : Condition.t;
+    mutable tk_result : ('a, exn) result option;
+  }
+
+  let rec worker_loop t =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.mu
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mu
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mu;
+      job ();
+      worker_loop t
+    end
+
+  let create ?domains () =
+    let ndomains =
+      match domains with
+      | Some n -> max 1 n
+      | None -> max 1 (Domain.recommended_domain_count ())
+    in
+    let t =
+      {
+        mu = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        stopping = false;
+        pending = 0;
+        workers = [];
+        ndomains;
+      }
+    in
+    t.workers <-
+      List.init ndomains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  let domains t = t.ndomains
+
+  let pending t = Mutex.protect t.mu (fun () -> t.pending)
+
+  let submit t f =
+    let tk =
+      { tk_mu = Mutex.create (); tk_done = Condition.create (); tk_result = None }
+    in
+    let job () =
+      (* The job body never lets an exception escape into the worker
+         loop: the outcome — value or exception — travels back to the
+         submitter through the ticket. *)
+      let r = match f () with v -> Ok v | exception e -> Stdlib.Error e in
+      Mutex.protect t.mu (fun () -> t.pending <- t.pending - 1);
+      Mutex.protect tk.tk_mu (fun () ->
+          tk.tk_result <- Some r;
+          Condition.signal tk.tk_done)
+    in
+    let accepted =
+      Mutex.protect t.mu (fun () ->
+          if t.stopping then false
+          else begin
+            Queue.push job t.queue;
+            t.pending <- t.pending + 1;
+            Condition.signal t.nonempty;
+            true
+          end)
+    in
+    if not accepted then Stdlib.Error Stopped
+    else begin
+      Mutex.lock tk.tk_mu;
+      while tk.tk_result = None do
+        Condition.wait tk.tk_done tk.tk_mu
+      done;
+      let r = Option.get tk.tk_result in
+      Mutex.unlock tk.tk_mu;
+      r
+    end
+
+  let shutdown t =
+    let workers =
+      Mutex.protect t.mu (fun () ->
+          if t.stopping then []
+          else begin
+            t.stopping <- true;
+            Condition.broadcast t.nonempty;
+            let w = t.workers in
+            t.workers <- [];
+            w
+          end)
+    in
+    List.iter Domain.join workers
+end
+
 let map_list ?jobs ?clamp ?probe f items =
   Array.to_list (map_array ?jobs ?clamp ?probe f (Array.of_list items))
 

@@ -89,3 +89,42 @@ val map_list_results :
 (** [default_jobs ()] is the runtime's recommended domain count for this
     machine. *)
 val default_jobs : unit -> int
+
+(** A persistent executor: a fixed set of worker domains behind a work
+    queue, for callers (the [impactd] daemon) that absorb a stream of
+    independent jobs and must not pay a [Domain.spawn] per job.
+
+    {!Service.submit} blocks the calling thread until the job has run on
+    some worker, returning its outcome as a result — systhreads waiting
+    on the condition release the runtime lock, so a daemon may park
+    hundreds of connection-handler threads on submits while [domains]
+    workers execute in parallel.  Jobs must not share unguarded mutable
+    state (same contract as the maps above); a job may itself call the
+    pool maps. *)
+module Service : sig
+  (** Raised-by-value (returned as [Error Stopped]) when submitting to a
+      service that has begun shutting down. *)
+  exception Stopped
+
+  type t
+
+  (** [create ?domains ()] spawns the worker domains immediately
+      (default: [Domain.recommended_domain_count ()], min 1). *)
+  val create : ?domains:int -> unit -> t
+
+  (** [domains t] is the fixed worker count. *)
+  val domains : t -> int
+
+  (** [pending t] is the number of jobs queued or running — the
+      admission-control signal. *)
+  val pending : t -> int
+
+  (** [submit t f] runs [f] on some worker domain and blocks until it
+      finishes; an exception escaping [f] arrives as [Error].  After
+      {!shutdown} has begun: [Error Stopped], without running [f]. *)
+  val submit : t -> (unit -> 'a) -> ('a, exn) result
+
+  (** [shutdown t] refuses new jobs, lets accepted ones drain, and joins
+      every worker domain.  Idempotent. *)
+  val shutdown : t -> unit
+end

@@ -318,9 +318,70 @@ let test_pipeline_survives_corruption () =
   Alcotest.(check int) "repaired store hits everything" 6
     (counter obs "cache.hit")
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent warm hits (the PR 7 lock-scope fix)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_warm_hits () =
+  (* Hammer one store from several domains: every warm hit must return
+     the byte-identical payload (reads now happen outside the store
+     mutex, so this exercises genuinely concurrent file I/O), and the
+     stats must account for exactly every lookup. *)
+  let dir = tmp_dir () in
+  let store = Cstore.create dir in
+  let nkeys = 8 in
+  let payload i = Printf.sprintf "payload-%d-%s" i (String.make (1024 * i) 'p') in
+  for i = 0 to nkeys - 1 do
+    Cstore.store store ~stage:"hammer" ~key:(Printf.sprintf "k%d" i) (payload i)
+  done;
+  let ndomains = 4 and rounds = 50 in
+  let bad = Atomic.make 0 in
+  let worker d =
+    for r = 0 to rounds - 1 do
+      let i = (d + r) mod nkeys in
+      match Cstore.find store ~stage:"hammer" ~key:(Printf.sprintf "k%d" i) with
+      | Cstore.Hit p -> if p <> payload i then Atomic.incr bad
+      | Cstore.Miss | Cstore.Corrupt _ -> Atomic.incr bad
+    done
+  in
+  let domains = List.init ndomains (fun d -> Domain.spawn (fun () -> worker d)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every concurrent warm hit byte-identical" 0
+    (Atomic.get bad);
+  let s = Cstore.stats store in
+  Alcotest.(check int) "every lookup accounted as a hit"
+    (ndomains * rounds) s.Cstore.hits;
+  Alcotest.(check int) "no misses" 0 s.Cstore.misses;
+  Alcotest.(check int) "no corruption" 0 s.Cstore.corrupt;
+  (* Mixed readers and writers: concurrent stores to fresh keys must
+     not perturb concurrent warm hits on existing ones. *)
+  let bad2 = Atomic.make 0 in
+  let reader d =
+    for r = 0 to rounds - 1 do
+      let i = (d + r) mod nkeys in
+      match Cstore.find store ~stage:"hammer" ~key:(Printf.sprintf "k%d" i) with
+      | Cstore.Hit p -> if p <> payload i then Atomic.incr bad2
+      | Cstore.Miss | Cstore.Corrupt _ -> Atomic.incr bad2
+    done
+  in
+  let writer () =
+    for r = 0 to rounds - 1 do
+      Cstore.store store ~stage:"hammer" ~key:(Printf.sprintf "w%d" r)
+        (string_of_int r)
+    done
+  in
+  let ds =
+    Domain.spawn writer :: List.init (ndomains - 1) (fun d -> Domain.spawn (fun () -> reader d))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "hits stay byte-identical under concurrent stores" 0
+    (Atomic.get bad2)
+
 let tests =
   [
     Alcotest.test_case "store roundtrip and persistence" `Quick test_roundtrip;
+    Alcotest.test_case "concurrent warm hits are lock-free and consistent"
+      `Quick test_concurrent_warm_hits;
     Alcotest.test_case "corrupt entries are typed misses" `Quick
       test_corruption_is_a_miss;
     Alcotest.test_case "LRU eviction under a byte budget" `Quick test_eviction;

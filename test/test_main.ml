@@ -21,5 +21,6 @@ let () =
       ("obs", Test_obs.tests);
       ("telemetry", Test_telemetry.tests);
       ("cache", Test_cache.tests);
+      ("serve", Test_serve.tests);
       ("chaos", Test_chaos.tests);
     ]

@@ -1,0 +1,446 @@
+(* The impactd serving stack, from frame bytes up to cross-request
+   isolation:
+
+   - protocol units: frame roundtrip, error payload roundtrip, request
+     validation (version, kind, parameter types);
+   - a live daemon end to end: ping, compile, profile, report, stats,
+     graceful shutdown — all over a real Unix-domain socket;
+   - the protocol fuzz matrix: truncated frames, oversized length
+     prefixes, invalid JSON, malformed requests, mid-request
+     disconnects, garbage floods — every case must yield a typed error
+     response or a clean close, and the daemon must keep serving fresh
+     connections afterwards;
+   - admission control: a full daemon refuses heavy work with a typed
+     retryable error while ping/stats stay responsive;
+   - state isolation: a faulted request (chaos daemon) must not perturb
+     the bytes of the clean request that follows it. *)
+
+module Protocol = Impact_serve.Protocol
+module Server = Impact_serve.Server
+module Client = Impact_serve.Client
+module Sink = Impact_obs.Sink
+module Ierr = Impact_support.Ierr
+module Fault = Impact_support.Fault
+module Pipeline = Impact_harness.Pipeline
+module Cache = Impact_harness.Cache
+
+let tick_src =
+  {|
+extern int getchar();
+int tick(int x) { return x + 1; }
+int main() { int c, s = 0; while ((c = getchar()) != -1) s = tick(s); return s & 0; }
+|}
+
+let tmp_dir () =
+  let path = Filename.temp_file "impact_serve" "" in
+  Sys.remove path;
+  path
+
+(* Sockets live in their own short tmp dir: ADDR_UNIX paths are limited
+   to ~100 bytes, and test runners nest deep build directories. *)
+let tmp_socket () =
+  let dir = Filename.get_temp_dir_name () in
+  Filename.concat dir (Printf.sprintf "impactd-test-%d-%d.sock" (Unix.getpid ()) (Random.int 100000))
+
+let with_server ?(domains = 1) ?(max_pending = 64) ?cache_dir ?(allow_faults = false) f =
+  let cache = Option.map (fun d -> Cache.create d) cache_dir in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:(tmp_socket ())) with
+      Server.domains = Some domains;
+      max_pending;
+      cache;
+      allow_faults;
+    }
+  in
+  let t = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f t)
+
+let with_client t f =
+  let c = Client.connect (Server.socket_path t) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let ok_or_fail = function
+  | Ok j -> j
+  | Error e -> Alcotest.failf "request failed: %s" (Ierr.to_string e)
+
+let expect_serve_error label = function
+  | Ok _ -> Alcotest.failf "%s: expected a typed error, got ok" label
+  | Error e ->
+    Alcotest.(check string)
+      (label ^ ": serve stage") "serve"
+      (Ierr.stage_name e.Ierr.stage)
+
+let int_field j k =
+  match Sink.mem k j with
+  | Sink.Int n -> n
+  | _ -> Alcotest.failf "missing int field %S in %s" k (Sink.json_to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol units (no daemon)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close a; Unix.close b)
+    (fun () ->
+      let doc = Sink.Obj [ ("x", Sink.Int 42); ("s", Sink.String "héllo\n\"") ] in
+      Protocol.write_frame a doc;
+      Protocol.write_frame a (Sink.List [ Sink.Bool true ]);
+      (match Protocol.read_frame b with
+      | Ok j -> Alcotest.(check string) "doc roundtrips"
+          (Sink.json_to_string doc) (Sink.json_to_string j)
+      | Error e -> Alcotest.failf "read failed: %s" (Protocol.frame_error_to_string e));
+      (match Protocol.read_frame b with
+      | Ok (Sink.List [ Sink.Bool true ]) -> ()
+      | _ -> Alcotest.fail "second frame lost: framing broken");
+      (* Clean EOF between frames is Closed, not an error. *)
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Protocol.read_frame b with
+      | Error Protocol.Closed -> ()
+      | _ -> Alcotest.fail "EOF at a frame boundary must be Closed")
+
+let test_ierr_roundtrip () =
+  let e =
+    Ierr.make ~severity:Ierr.Degradable ~recovery:Ierr.Fallback_static
+      ~loc:"x.c:3" Ierr.Profile_run "run 2 hung"
+  in
+  let e' = Protocol.ierr_of_json (Protocol.ierr_to_json e) in
+  Alcotest.(check string) "roundtrip" (Ierr.to_string e) (Ierr.to_string e');
+  (* Unknown names degrade, never crash the decoder. *)
+  let weird =
+    Sink.Obj [ ("stage", Sink.String "quantum"); ("msg", Sink.String "m") ]
+  in
+  let d = Protocol.ierr_of_json weird in
+  Alcotest.(check string) "unknown stage degrades to serve" "serve"
+    (Ierr.stage_name d.Ierr.stage)
+
+let test_request_validation () =
+  let parse fields = Protocol.parse_request (Sink.Obj fields) in
+  (match parse [ ("kind", Sink.String "ping") ] with
+  | Error e ->
+    Alcotest.(check string) "version required" "serve" (Ierr.stage_name e.Ierr.stage)
+  | Ok _ -> Alcotest.fail "unversioned request accepted");
+  (match parse [ ("v", Sink.Int 99); ("kind", Sink.String "ping") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future version accepted");
+  (match parse [ ("v", Sink.Int 1); ("kind", Sink.String "compile") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "compile without source accepted");
+  (match
+     parse
+       [ ("v", Sink.Int 1); ("kind", Sink.String "compile");
+         ("source", Sink.String "int main(){return 0;}");
+         ("inputs", Sink.List [ Sink.Int 3 ]) ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-string inputs accepted");
+  (match
+     parse
+       [ ("v", Sink.Int 1); ("kind", Sink.String "report");
+         ("benchmark", Sink.String "cmp"); ("policy", Sink.String "degrade") ]
+   with
+  | Ok { Protocol.rq_kind = Protocol.Report ("cmp", job); _ } ->
+    Alcotest.(check bool) "policy parsed" true (job.Protocol.j_policy = Pipeline.Degrade)
+  | _ -> Alcotest.fail "valid report request rejected");
+  (* Client-side encoding parses back to the same request. *)
+  let rq =
+    { Protocol.rq_id = 7;
+      rq_kind =
+        Protocol.Compile
+          { Protocol.default_job with
+            Protocol.j_source = tick_src;
+            j_inputs = [ "ab"; "c" ];
+            j_timeout_s = Some 2.5;
+            j_fault = Some { Protocol.f_point = Fault.Cache_read; f_after = 1; f_sticky = true } } }
+  in
+  match Protocol.parse_request (Protocol.request_to_json rq) with
+  | Ok rq' ->
+    Alcotest.(check bool) "encode/parse roundtrip" true (rq = rq')
+  | Error e -> Alcotest.failf "own encoding rejected: %s" (Ierr.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Live daemon: the happy paths                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ping_stats_shutdown () =
+  with_server (fun t ->
+      with_client t (fun c ->
+          (match ok_or_fail (Client.request c Protocol.Ping) with
+          | j ->
+            Alcotest.(check bool) "pong" true (Sink.mem "pong" j = Sink.Bool true));
+          let stats = ok_or_fail (Client.request c Protocol.Stats) in
+          let reqs = Sink.mem "requests" stats in
+          (* The stats request itself is admitted before its snapshot. *)
+          Alcotest.(check int) "ping and stats counted" 2 (int_field reqs "total");
+          Alcotest.(check int) "nothing malformed" 0 (int_field reqs "malformed");
+          Alcotest.(check bool) "not yet shutting down" false
+            (Server.shutdown_requested t);
+          ignore (ok_or_fail (Client.request c Protocol.Shutdown));
+          (* The ack is sent before the flag flips; poll briefly. *)
+          let deadline = Unix.gettimeofday () +. 5. in
+          while (not (Server.shutdown_requested t)) && Unix.gettimeofday () < deadline do
+            Thread.yield ()
+          done;
+          Alcotest.(check bool) "shutdown requested" true
+            (Server.shutdown_requested t)))
+
+let test_compile_and_cache () =
+  let dir = tmp_dir () in
+  with_server ~cache_dir:dir (fun t ->
+      let job =
+        { Protocol.default_job with
+          Protocol.j_source = tick_src; j_inputs = [ "abcd"; "xy" ] }
+      in
+      with_client t (fun c ->
+          let r = ok_or_fail (Client.request c (Protocol.Compile job)) in
+          Alcotest.(check bool) "code_before positive" true (int_field r "code_before" > 0);
+          Alcotest.(check bool) "outputs match" true
+            (Sink.mem "outputs_match" r = Sink.Bool true);
+          Alcotest.(check int) "both inputs ran" 2 (int_field r "nruns");
+          (* Same source again: the shared store must serve warm hits,
+             and the result must be byte-identical. *)
+          let r2 = ok_or_fail (Client.request c (Protocol.Compile job)) in
+          Alcotest.(check string) "warm result byte-identical"
+            (Sink.json_to_string r) (Sink.json_to_string r2);
+          let stats = ok_or_fail (Client.request c Protocol.Stats) in
+          let cache = Sink.mem "cache" stats in
+          Alcotest.(check bool) "warm rerun hit the shared store" true
+            (int_field cache "hits" > 0)))
+
+let test_profile_and_report () =
+  with_server (fun t ->
+      with_client t (fun c ->
+          let job =
+            { Protocol.default_job with
+              Protocol.j_source = tick_src; j_inputs = [ "abc" ] }
+          in
+          let p = ok_or_fail (Client.request c (Protocol.Profile job)) in
+          (match Sink.mem "avg_calls" p with
+          | Sink.Float f -> Alcotest.(check bool) "tick was called" true (f > 0.)
+          | _ -> Alcotest.fail "profile lacks avg_calls");
+          let r =
+            ok_or_fail
+              (Client.request c (Protocol.Report ("cmp", Protocol.default_job)))
+          in
+          (match Sink.mem "benchmarks" r with
+          | Sink.List [ _ ] -> ()
+          | _ -> Alcotest.fail "report lacks its benchmark row");
+          expect_serve_error "unknown benchmark"
+            (Client.request c (Protocol.Report ("no-such-bench", Protocol.default_job)))))
+
+let test_compile_error_is_typed () =
+  with_server (fun t ->
+      with_client t (fun c ->
+          match
+            Client.request c
+              (Protocol.Compile
+                 { Protocol.default_job with Protocol.j_source = "int main( {" })
+          with
+          | Ok _ -> Alcotest.fail "garbage source compiled"
+          | Error e ->
+            Alcotest.(check string) "front-end stage survives the wire" "parse"
+              (Ierr.stage_name e.Ierr.stage);
+            (* The connection is still usable afterwards. *)
+            ignore (ok_or_fail (Client.request c Protocol.Ping))))
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz matrix                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let raw_frame body =
+  let n = String.length body in
+  let b = Buffer.create (n + 4) in
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let daemon_alive t =
+  with_client t (fun c ->
+      match Client.request c Protocol.Ping with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let test_fuzz_frames () =
+  with_server (fun t ->
+      (* 1. Truncated frame: claim 100 bytes, send 10, vanish. *)
+      with_client t (fun c ->
+          Client.send_raw c "\x00\x00\x00\x64partial...");
+      (* 2. Oversized length prefix: typed error, then the server closes. *)
+      with_client t (fun c ->
+          Client.send_raw c "\x7f\xff\xff\xff";
+          (match Client.read_response c with
+          | Ok (Error e) ->
+            Alcotest.(check string) "oversized is typed" "serve"
+              (Ierr.stage_name e.Ierr.stage)
+          | _ -> Alcotest.fail "no typed error for oversized prefix");
+          match Client.read_response c with
+          | Error (Protocol.Closed | Protocol.Truncated) -> ()
+          | _ -> Alcotest.fail "connection must close after oversized prefix");
+      (* 3. Zero-length frame is unframeable too. *)
+      with_client t (fun c ->
+          Client.send_raw c "\x00\x00\x00\x00";
+          match Client.read_response c with
+          | Ok (Error _) -> ()
+          | _ -> Alcotest.fail "no typed error for zero-length frame");
+      (* 4. Invalid JSON in a well-formed frame: typed error, and the
+         SAME connection keeps working (framing intact). *)
+      with_client t (fun c ->
+          Client.send_raw c (raw_frame "{not json![\n");
+          (match Client.read_response c with
+          | Ok (Error e) ->
+            Alcotest.(check string) "bad json is typed" "serve"
+              (Ierr.stage_name e.Ierr.stage)
+          | _ -> Alcotest.fail "no typed error for bad JSON");
+          ignore (ok_or_fail (Client.request c Protocol.Ping)));
+      (* 5. Valid JSON, invalid request: typed error, connection lives. *)
+      with_client t (fun c ->
+          Client.send_raw c (raw_frame "{\"v\":1,\"id\":9,\"kind\":\"explode\"}\n");
+          (match Client.read_response c with
+          | Ok (Error _) -> ()
+          | _ -> Alcotest.fail "no typed error for unknown kind");
+          ignore (ok_or_fail (Client.request c Protocol.Ping)));
+      (* 6. Mid-request disconnect: half a header, then close. *)
+      with_client t (fun c -> Client.send_raw c "\x00\x00");
+      (* 7. Garbage flood on many short-lived connections. *)
+      for i = 0 to 9 do
+        with_client t (fun c ->
+            Client.send_raw c (String.make (i * 7) '\xff'))
+      done;
+      (* After all of that the daemon still serves fresh connections. *)
+      Alcotest.(check bool) "daemon survived the fuzz matrix" true (daemon_alive t);
+      let stats = with_client t (fun c -> ok_or_fail (Client.request c Protocol.Stats)) in
+      Alcotest.(check bool) "malformed traffic was counted" true
+        (int_field (Sink.mem "requests" stats) "malformed" > 0))
+
+let test_interleaved_clients () =
+  with_server ~domains:2 (fun t ->
+      let nclients = 8 and per_client = 5 in
+      let errors = Atomic.make 0 in
+      let job =
+        { Protocol.default_job with
+          Protocol.j_source = tick_src; j_inputs = [ "abc" ] }
+      in
+      let worker i =
+        with_client t (fun c ->
+            for k = 0 to per_client - 1 do
+              let kind =
+                match (i + k) mod 3 with
+                | 0 -> Protocol.Ping
+                | 1 -> Protocol.Profile job
+                | _ -> Protocol.Stats
+              in
+              match Client.request c kind with
+              | Ok _ -> ()
+              | Error _ -> Atomic.incr errors
+            done)
+      in
+      let threads = List.init nclients (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "every interleaved request succeeded" 0
+        (Atomic.get errors);
+      let stats = with_client t (fun c -> ok_or_fail (Client.request c Protocol.Stats)) in
+      Alcotest.(check bool) "all requests counted" true
+        (int_field (Sink.mem "requests" stats) "total" >= nclients * per_client))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control and isolation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_control () =
+  (* max_pending = 0: every heavy request is refused before execution,
+     with the typed retryable error; the control plane still answers. *)
+  with_server ~max_pending:0 (fun t ->
+      with_client t (fun c ->
+          (match
+             Client.request c
+               (Protocol.Compile
+                  { Protocol.default_job with Protocol.j_source = tick_src })
+           with
+          | Error e ->
+            Alcotest.(check string) "typed overload stage" "serve"
+              (Ierr.stage_name e.Ierr.stage);
+            Alcotest.(check string) "retryable" "retry-once"
+              (Ierr.recovery_name e.Ierr.recovery)
+          | Ok _ -> Alcotest.fail "overloaded daemon accepted work");
+          ignore (ok_or_fail (Client.request c Protocol.Ping));
+          let stats = ok_or_fail (Client.request c Protocol.Stats) in
+          Alcotest.(check int) "rejection counted" 1
+            (int_field (Sink.mem "requests" stats) "rejected")))
+
+let test_fault_requires_optin () =
+  with_server (fun t ->
+      with_client t (fun c ->
+          expect_serve_error "fault spec without --allow-fault-injection"
+            (Client.request c
+               (Protocol.Compile
+                  { Protocol.default_job with
+                    Protocol.j_source = tick_src;
+                    j_fault =
+                      Some { Protocol.f_point = Fault.Cache_read; f_after = 0; f_sticky = false } }))))
+
+let test_faulted_request_does_not_leak () =
+  (* Request A (a distinct source, so nothing of it is cached) arms a
+     sticky interpreter fault and fails; request B must then produce
+     byte-identical results to its own pre-fault baseline: no armed
+     point, no hit counter, no cache poison may leak across requests. *)
+  let dir = tmp_dir () in
+  (* Semantically different from tick_src, so every stage of A runs
+     cold and the expansion fault actually fires. *)
+  let src_a =
+    {|
+extern int getchar();
+int tock(int x) { return x + 2; }
+int main() { int c, s = 0; while ((c = getchar()) != -1) s = tock(s); return s & 1; }
+|}
+  in
+  with_server ~allow_faults:true ~cache_dir:dir (fun t ->
+      let job =
+        { Protocol.default_job with
+          Protocol.j_source = tick_src; j_inputs = [ "hello" ] }
+      in
+      with_client t (fun c ->
+          let baseline = ok_or_fail (Client.request c (Protocol.Compile job)) in
+          (match
+             Client.request c
+               (Protocol.Compile
+                  { job with
+                    Protocol.j_source = src_a;
+                    Protocol.j_fault =
+                      Some { Protocol.f_point = Fault.Interp_step; f_after = 0; f_sticky = true } })
+           with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "sticky interpreter fault did not fail the request");
+          Alcotest.(check bool) "fault disarmed after the request" false
+            (Fault.enabled ());
+          let after = ok_or_fail (Client.request c (Protocol.Compile job)) in
+          Alcotest.(check string) "request B unperturbed by A's faults"
+            (Sink.json_to_string baseline)
+            (Sink.json_to_string after)))
+
+let tests =
+  [
+    Alcotest.test_case "frame roundtrip and EOF taxonomy" `Quick test_frame_roundtrip;
+    Alcotest.test_case "typed errors survive the wire" `Quick test_ierr_roundtrip;
+    Alcotest.test_case "request validation" `Quick test_request_validation;
+    Alcotest.test_case "ping, stats, graceful shutdown" `Quick test_ping_stats_shutdown;
+    Alcotest.test_case "compile requests share the warm cache" `Quick
+      test_compile_and_cache;
+    Alcotest.test_case "profile and report requests" `Quick test_profile_and_report;
+    Alcotest.test_case "compile errors keep their stage" `Quick
+      test_compile_error_is_typed;
+    Alcotest.test_case "protocol fuzz matrix never kills the daemon" `Quick
+      test_fuzz_frames;
+    Alcotest.test_case "interleaved concurrent clients" `Quick
+      test_interleaved_clients;
+    Alcotest.test_case "admission control sheds load with typed errors" `Quick
+      test_admission_control;
+    Alcotest.test_case "fault injection requires daemon opt-in" `Quick
+      test_fault_requires_optin;
+    Alcotest.test_case "faulted request A does not perturb request B" `Quick
+      test_faulted_request_does_not_leak;
+  ]
