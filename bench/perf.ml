@@ -53,6 +53,49 @@ let scaling_floor () =
     | Some f when f >= 0. -> f
     | Some _ | None -> fail "bad IMPACT_SCALING_FLOOR '%s'" v)
 
+(* Noise slack (percent) on the min-vs-full profiling guard.  Min-mode
+   instruments a subset of sites, so it can only do less counting work
+   than full — the guarantee is "never slower", and the slack only
+   absorbs scheduler noise on benchmarks too small to show the win. *)
+let profile_tolerance_pct () =
+  match Sys.getenv_opt "IMPACT_PROFILE_TOLERANCE" with
+  | None | Some "" -> 10.
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some t when t >= 0. -> t
+    | Some _ | None -> fail "bad IMPACT_PROFILE_TOLERANCE '%s'" v)
+
+let guard_profiling (costs : Perf.profiling_cost list) =
+  let tol = profile_tolerance_pct () in
+  let module Coverage = Impact_profile.Coverage in
+  List.iter
+    (fun (pc : Perf.profiling_cost) ->
+      let full = Perf.profiling_wall pc Coverage.Full in
+      let min_w = Perf.profiling_wall pc Coverage.Min in
+      if full > 0. && min_w > full *. (1. +. (tol /. 100.)) then
+        fail
+          "min-coverage profiling slower than full on %s: %.2f ms vs %.2f ms \
+           (>%g%% tolerance; set IMPACT_PROFILE_TOLERANCE to override)"
+          pc.Perf.pc_bench min_w full tol)
+    costs;
+  let total mode =
+    List.fold_left (fun a pc -> a +. Perf.profiling_wall pc mode) 0. costs
+  in
+  let sites which =
+    List.fold_left (fun a (pc : Perf.profiling_cost) -> a + which pc) 0 costs
+  in
+  let counted = sites (fun pc -> pc.Perf.pc_counted_sites) in
+  let all_sites = sites (fun pc -> pc.Perf.pc_total_sites) in
+  Printf.printf
+    "  profiling modes: full %.0f ms, min %.0f ms, sampled %.0f ms over the \
+     suite; min instruments %d of %d sites (%.0f%%)\n"
+    (total Coverage.Full) (total Coverage.Min) (total Coverage.Sampled) counted
+    all_sites
+    (100. *. float_of_int counted /. float_of_int (max all_sites 1));
+  Printf.printf "  profiling guard ok: min <= full on every benchmark \
+                 (tolerance %g%%)\n"
+    tol
+
 let level_wall (sc : Perf.scaling) jobs =
   match List.find_opt (fun l -> l.Perf.sl_jobs = jobs) sc.Perf.sc_levels with
   | Some l -> l.Perf.sl_wall_ms
@@ -129,9 +172,12 @@ let () =
   if not (List.for_all (fun r -> r.Pipeline.outputs_match) results) then
     fail "inlined outputs diverge from the un-inlined run";
   let perfs = Perf.measure_suite ~quota:!quota () in
+  let profiling = Perf.profiling_costs () in
   let scaling = Perf.scaling_sweep () in
   let cache = Perf.cache_cold_warm ~jobs:suite_jobs () in
-  let json = Perf.to_json ~suite_wall_ms ~suite_jobs ~scaling ~cache perfs in
+  let json =
+    Perf.to_json ~suite_wall_ms ~suite_jobs ~scaling ~cache ~profiling perfs
+  in
   Impact_support.Atomic_io.write_string !out_file (Sink.json_to_string json ^ "\n");
   let indexed = Perf.stage_total "expand" perfs in
   let rescan = Perf.stage_total "expand_rescan" perfs in
@@ -165,6 +211,7 @@ let () =
     cache.Perf.warm_hits cache.Perf.warm_misses;
   if cache.Perf.warm_misses > 0 then
     warn "warm cache rerun still missed %d stage(s)" cache.Perf.warm_misses;
+  guard_profiling profiling;
   guard_scaling scaling;
   if engine_speedup < 2. && engine_speedup > 0. then
     warn "threaded engine only %.2fx faster than reference (target: 2x)"

@@ -45,6 +45,42 @@ val measure_suite :
     benchmarks, in nanoseconds. *)
 val stage_total : string -> bench_perf list -> float
 
+(** Profiling-mode cost on one benchmark: the best (minimum) wall clock
+    of a full [Profiler.profile] sweep per instrumentation mode, over a
+    few interleaved rounds — noise only ever adds time — plus the
+    [Min] plan's site counts.  Walls include plan construction: exactly
+    what a pipeline run pays. *)
+type profiling_cost = {
+  pc_bench : string;
+  pc_total_sites : int;  (** call sites in alive code *)
+  pc_counted_sites : int;  (** sites the [Min] plan instruments *)
+  pc_wall_ms : (string * float) list;
+      (** mode name ([{!Impact_profile.Coverage.mode_name}]) -> wall ms *)
+}
+
+(** [profiling_cost ?repeats b] measures every mode on benchmark [b]
+    ([repeats] interleaved rounds, default 7, after one discarded
+    warm-up sweep, plus bounded refinement duels — alternating-order
+    [Full]/[Min] pairs run only while the [Min] floor estimate still
+    trails [Full]'s.  Every duel times both modes alike and only
+    lowers each floor, so extra rounds sharpen the comparison without
+    biasing a side). *)
+val profiling_cost :
+  ?repeats:int -> Impact_bench_progs.Benchmark.t -> profiling_cost
+
+(** [profiling_costs ?repeats ()] measures the full suite. *)
+val profiling_costs : ?repeats:int -> unit -> profiling_cost list
+
+(** [profiling_wall pc mode] — the recorded wall for [mode], 0. if
+    missing. *)
+val profiling_wall : profiling_cost -> Impact_profile.Coverage.mode -> float
+
+(** [profiling_to_json costs] is the ["profiling"] BENCH_perf.json
+    section: per benchmark, [<mode>_wall_ms] for each mode plus
+    [total_sites], [counted_sites_min] and
+    [instrumented_fraction_min]. *)
+val profiling_to_json : profiling_cost list -> Impact_obs.Sink.json
+
 (** One level of the domain-scaling sweep: the requested and effective
     (post-clamp) job counts, the wall clock, and the flight-recorder
     aggregate over every task of the level.  When the sweep took
@@ -124,8 +160,9 @@ val cache_cold_warm : ?jobs:int -> unit -> cache_timing
     suite-wide expansion-engine totals and their speedup ratio, the
     threaded-vs-reference profiling totals ([engine_speedup]), and, when
     given, the wall clock and actual job count of the end-to-end suite
-    run ([suite_wall_ms], [suite_jobs]), the scaling sweep, and the
-    cold-vs-warm stage-cache section ([cache]).
+    run ([suite_wall_ms], [suite_jobs]), the scaling sweep, the
+    cold-vs-warm stage-cache section ([cache]), and the per-mode
+    profiling-cost section ([profiling]).
 
     The sweep emits the historical top-level keys — [recommended_domains]
     (now the {e measured} recommendation), [profile_sweep_jobs],
@@ -139,5 +176,6 @@ val to_json :
   ?suite_jobs:int ->
   ?scaling:scaling ->
   ?cache:cache_timing ->
+  ?profiling:profiling_cost list ->
   bench_perf list ->
   Impact_obs.Sink.json

@@ -75,7 +75,7 @@ let scatter_runs n runs (failures : (int * exn) list) =
 
 let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
     ?(pre_opt = true) ?(post_cleanup = false) ?cache ?engine ?jobs ?budget
-    ?fuel (bench : Benchmark.t) =
+    ?fuel ?(profile_mode = Impact_profile.Coverage.Full) (bench : Benchmark.t) =
   let degradations = ref [] in
   let note d_stage d_detail d_action =
     degradations := { d_stage; d_detail; d_action } :: !degradations;
@@ -151,12 +151,19 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
       in
       let nfuncs = Array.length prog.Il.funcs in
       let nsites = prog.Il.next_site in
-      (* A profile entry is keyed by the engine, the program's checksum
-         and the raw input bytes; the payload carries the averaged
-         profile plus each run's (digest, exit code) pair, so a warm
-         rerun can still verify outputs without executing anything. *)
+      (* A profile entry is keyed by the engine, the instrumentation
+         mode, the program's checksum and the raw input bytes; the
+         payload carries the averaged profile plus each run's (digest,
+         exit code) pair, so a warm rerun can still verify outputs
+         without executing anything.  The mode is part of the key even
+         though [Min] profiles are bit-identical to [Full] ones: a
+         [Sampled] profile is approximate, and conflating it with an
+         exact entry would silently serve stale weights. *)
       let profile_key_of sum =
-        Cache.key (("profile-" ^ engine_name) :: sum :: inputs)
+        Cache.key
+          (("profile-" ^ engine_name)
+          :: ("mode-" ^ Impact_profile.Coverage.mode_name profile_mode)
+          :: sum :: inputs)
       in
       let prog_sum = Impact_profile.Profile_io.program_checksum prog in
       (* Only counters and digests are consumed downstream, so neither
@@ -178,15 +185,15 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
                 Errors.guard Ierr.Profile_run (fun () ->
                     Obs.span obs "profile" (fun () ->
                         Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
-                          ~keep_outputs:false prog ~inputs))
+                          ~keep_outputs:false ~mode:profile_mode prog ~inputs))
               in
               (profile, List.map outcome_pair runs, [])
             | Degrade -> (
               try
-                let { Profiler.profile; runs; failures } =
+                let { Profiler.profile; runs; failures; _ } =
                   Obs.span obs "profile" (fun () ->
                       Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
-                        ~keep_outputs:false ~tolerant:true
+                        ~keep_outputs:false ~tolerant:true ~mode:profile_mode
                         ~on_retry:(fun i e ->
                           note Ierr.Profile_run
                             (Printf.sprintf "run on input %d failed (%s)" i
@@ -360,7 +367,8 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
                 Errors.guard Ierr.Profile_run (fun () ->
                     Obs.span obs "re_profile" (fun () ->
                         Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
-                          ~keep_outputs:false post_prog ~inputs))
+                          ~keep_outputs:false ~mode:profile_mode post_prog
+                          ~inputs))
               in
               let post_pairs = List.map outcome_pair post_runs in
               if profile_cacheable then
@@ -374,10 +382,11 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
                   Profiler.profile = post_profile;
                   runs = post_runs;
                   failures = post_failures;
+                  _;
                 } =
                   Obs.span obs "re_profile" (fun () ->
                       Profiler.profile ?budget ?fuel ~obs ?engine ?jobs
-                        ~keep_outputs:false ~tolerant:true
+                        ~keep_outputs:false ~tolerant:true ~mode:profile_mode
                         ~on_retry:(fun i e ->
                           note Ierr.Profile_run
                             (Printf.sprintf
@@ -467,7 +476,7 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
    reuse is domain-local — so concurrent [run_source] calls from
    different worker domains sharing one cache are safe. *)
 let run_source ?obs ?policy ?config ?pre_opt ?post_cleanup ?cache ?engine ?jobs
-    ?budget ?fuel ?(name = "request") ~source ~inputs () =
+    ?budget ?fuel ?profile_mode ?(name = "request") ~source ~inputs () =
   let bench =
     {
       Benchmark.name;
@@ -477,10 +486,10 @@ let run_source ?obs ?policy ?config ?pre_opt ?post_cleanup ?cache ?engine ?jobs
     }
   in
   run ?obs ?policy ?config ?pre_opt ?post_cleanup ?cache ?engine ?jobs ?budget
-    ?fuel bench
+    ?fuel ?profile_mode bench
 
 let run_suite ?obs ?policy ?config ?post_cleanup ?cache ?engine ?jobs ?clamp
-    ?probe () =
+    ?probe ?profile_mode () =
   (* Parallelism fans out across benchmarks — coarse sharding: one
      domain owns a benchmark pipeline end-to-end, and each benchmark's
      own profiling stays sequential (inner ?jobs unset) so domains are
@@ -488,7 +497,7 @@ let run_suite ?obs ?policy ?config ?post_cleanup ?cache ?engine ?jobs ?clamp
      shared by all workers (the store is mutex-protected); [?probe]
      observes one task sample per completed benchmark. *)
   Impact_support.Pool.map_list ?jobs ?clamp ?probe
-    (fun b -> run ?obs ?policy ?config ?post_cleanup ?cache ?engine b)
+    (fun b -> run ?obs ?policy ?config ?post_cleanup ?cache ?engine ?profile_mode b)
     Impact_bench_progs.Suite.all
 
 type suite_report = {
@@ -497,10 +506,12 @@ type suite_report = {
 }
 
 let run_suite_report ?obs ?(policy = Degrade) ?config ?post_cleanup ?cache
-    ?engine ?jobs ?clamp ?probe ?(benches = Impact_bench_progs.Suite.all) () =
+    ?engine ?jobs ?clamp ?probe ?profile_mode
+    ?(benches = Impact_bench_progs.Suite.all) () =
   let outcomes =
     Impact_support.Pool.map_list_results ?jobs ?clamp ?probe
-      (fun b -> run ?obs ~policy ?config ?post_cleanup ?cache ?engine b)
+      (fun b ->
+        run ?obs ~policy ?config ?post_cleanup ?cache ?engine ?profile_mode b)
       benches
   in
   let completed, failed =

@@ -70,11 +70,16 @@ type result = {
     [engine] selects the interpreter core and [jobs] the number of
     domains for the two profiling passes; both leave the result
     unchanged.  [budget] and [fuel] bound every profiling run
-    ({!Impact_interp.Rt.budget}).
+    ({!Impact_interp.Rt.budget}).  [profile_mode] (default
+    {!Impact_profile.Coverage.Full}) selects the instrumentation mode
+    for both profiling passes: [Min] counts only the co-forest call
+    sites and reconstructs the rest exactly (bit-identical result,
+    cheaper runs); [Sampled] is approximate (see
+    {!Impact_profile.Profiler.profile}).
 
     [cache] makes the run incremental: each expensive stage — front end
     (keyed by source text), the two profiling passes (keyed by program
-    checksum, input bytes, and engine), classification and
+    checksum, input bytes, engine, and profile mode), classification and
     selection+expansion (keyed by program/profile checksums and the
     {!Impact_core.Config.fingerprint}) — first consults the stage cache
     and, on a verified hit, is skipped entirely with a byte-identical
@@ -100,6 +105,7 @@ val run :
   ?jobs:int ->
   ?budget:Impact_interp.Rt.budget ->
   ?fuel:int ->
+  ?profile_mode:Impact_profile.Coverage.mode ->
   Impact_bench_progs.Benchmark.t ->
   result
 
@@ -122,6 +128,7 @@ val run_source :
   ?jobs:int ->
   ?budget:Impact_interp.Rt.budget ->
   ?fuel:int ->
+  ?profile_mode:Impact_profile.Coverage.mode ->
   ?name:string ->
   source:string ->
   inputs:string list ->
@@ -143,6 +150,7 @@ val run_suite :
   ?jobs:int ->
   ?clamp:bool ->
   ?probe:Impact_support.Pool.probe ->
+  ?profile_mode:Impact_profile.Coverage.mode ->
   unit ->
   result list
 
@@ -169,6 +177,7 @@ val run_suite_report :
   ?jobs:int ->
   ?clamp:bool ->
   ?probe:Impact_support.Pool.probe ->
+  ?profile_mode:Impact_profile.Coverage.mode ->
   ?benches:Impact_bench_progs.Benchmark.t list ->
   unit ->
   suite_report

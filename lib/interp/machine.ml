@@ -57,7 +57,7 @@ type activation = {
 }
 
 let run_reference ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
-    ?(stack_size = 1024 * 1024) ?icache ?(obs = Impact_obs.Obs.null)
+    ?(stack_size = 1024 * 1024) ?icache ?plan ?(obs = Impact_obs.Obs.null)
     (prog : Il.program) ~input =
   (* [reuse_mem]: the entry point creates exactly one state per call and
      drops it before returning, so the per-domain scratch image is safe
@@ -67,6 +67,43 @@ let run_reference ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
       ~input
   in
   let nfuncs = Array.length prog.Il.funcs in
+  (* Instrumentation-plan-aware call counting.  Without a plan this is
+     exactly the historical full counting; with one, elided sites skip
+     the scalar and/or per-site bumps (Exact) or gate the per-site bump
+     on the fuel phase (Sampled).  The fuel value read by the sampled
+     gate is post-decrement — the same value the threaded engine's
+     closures see — so both engines sample identical events. *)
+  let count_site ~ext site =
+    let cnt = st.Rt.counters in
+    match plan with
+    | None ->
+      cnt.Counters.calls <- cnt.Counters.calls + 1;
+      if ext then cnt.Counters.ext_calls <- cnt.Counters.ext_calls + 1;
+      cnt.Counters.site_counts.(site) <- cnt.Counters.site_counts.(site) + 1
+    | Some pl -> (
+      match pl.Iplan.kind with
+      | Iplan.Exact ->
+        if pl.Iplan.site_scalar.(site) then begin
+          cnt.Counters.calls <- cnt.Counters.calls + 1;
+          if ext then cnt.Counters.ext_calls <- cnt.Counters.ext_calls + 1
+        end;
+        if pl.Iplan.site_counted.(site) then
+          cnt.Counters.site_counts.(site) <- cnt.Counters.site_counts.(site) + 1
+      | Iplan.Sampled period ->
+        cnt.Counters.calls <- cnt.Counters.calls + 1;
+        if ext then cnt.Counters.ext_calls <- cnt.Counters.ext_calls + 1;
+        if st.Rt.fuel mod period = 0 then
+          cnt.Counters.site_counts.(site) <- cnt.Counters.site_counts.(site) + 1)
+  in
+  (* An indirect call that reaches a function whose incoming arc the
+     plan elided (only possible through a fabricated integer address)
+     breaks flow inference; flag it so the driver re-profiles fully. *)
+  let check_ind_target fid =
+    match plan with
+    | None -> ()
+    | Some pl ->
+      if not pl.Iplan.ind_ok.(fid) then Atomic.set pl.Iplan.poisoned true
+  in
   let enter_activation ~sp (f : Il.func) args ret_reg =
     (* Deadline first: before the stack check and before any counter
        moves, matching {!Threaded.activate} exactly. *)
@@ -150,19 +187,13 @@ let run_reference ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
          let target = if i >= 0 then targets.(i) else default in
          a.pc <- a.labels.(target)
        | Il.Call (site, callee, args, ret) ->
-         st.Rt.counters.Counters.calls <- st.Rt.counters.Counters.calls + 1;
-         st.Rt.counters.Counters.site_counts.(site) <-
-           st.Rt.counters.Counters.site_counts.(site) + 1;
+         count_site ~ext:false site;
          let f = prog.Il.funcs.(callee) in
          let argv = List.map value args in
          stack := a :: !stack;
          act := enter_activation ~sp:a.fp f argv ret
        | Il.Call_ext (site, name, args, ret) ->
-         st.Rt.counters.Counters.calls <- st.Rt.counters.Counters.calls + 1;
-         st.Rt.counters.Counters.ext_calls <-
-           st.Rt.counters.Counters.ext_calls + 1;
-         st.Rt.counters.Counters.site_counts.(site) <-
-           st.Rt.counters.Counters.site_counts.(site) + 1;
+         count_site ~ext:true site;
          let result = Rt.call_external st name (List.map value args) in
          (* An external behaves like a call/return pair. *)
          st.Rt.counters.Counters.returns <- st.Rt.counters.Counters.returns + 1;
@@ -170,12 +201,11 @@ let run_reference ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
          | Some r -> a.regs.(r) <- result
          | None -> ())
        | Il.Call_ind (site, target, args, ret) ->
-         st.Rt.counters.Counters.calls <- st.Rt.counters.Counters.calls + 1;
-         st.Rt.counters.Counters.site_counts.(site) <-
-           st.Rt.counters.Counters.site_counts.(site) + 1;
+         count_site ~ext:false site;
          let tv = value target in
          (match Rt.fid_of_addr tv nfuncs with
          | Some fid when prog.Il.funcs.(fid).Il.alive ->
+           check_ind_target fid;
            let f = prog.Il.funcs.(fid) in
            let argv = List.map value args in
            stack := a :: !stack;
@@ -209,16 +239,20 @@ let run_reference ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
 (* ------------------------------------------------------------------ *)
 
 let run ?budget ?fuel ?heap_size ?stack_size ?icache ?obs ?(engine = Threaded)
-    ?cache (prog : Il.program) ~input =
+    ?cache ?plan (prog : Il.program) ~input =
   match (engine, icache) with
   | Threaded, None
     when Threaded.supported prog && not (Impact_support.Fault.enabled ()) ->
-    Threaded.run ?budget ?fuel ?heap_size ?stack_size ?obs ?cache prog ~input
+    Threaded.run ?budget ?fuel ?heap_size ?stack_size ?obs ?cache ?plan prog
+      ~input
   | _ ->
     (* The i-cache model needs real instruction addresses, so it always
        drives the reference engine; so do the rare programs the decoder
        rejects (immediates beyond 62 bits, out-of-range static refs).
        Armed fault injection also routes here: the reference engine
        carries the per-instruction [Interp_step] point, so the threaded
-       hot path stays hook-free and pays nothing when chaos is off. *)
-    run_reference ?budget ?fuel ?heap_size ?stack_size ?icache ?obs prog ~input
+       hot path stays hook-free and pays nothing when chaos is off.
+       Both routes honor the instrumentation [plan], so a chaos run
+       under minimum-coverage profiling still degrades correctly. *)
+    run_reference ?budget ?fuel ?heap_size ?stack_size ?icache ?plan ?obs prog
+      ~input

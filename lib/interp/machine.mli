@@ -96,6 +96,10 @@ val engine_to_string : engine -> string
     @param cache a {!Threaded.cache} reusing decoded code across runs of
       the same physical program (profiling drivers create one per
       program); ignored when the run routes to the reference engine
+    @param plan an instrumentation plan ({!Iplan.t}): sites the plan
+      elides skip their counter bumps (minimum-coverage profiling
+      reconstructs them by flow inference afterwards).  Both engines
+      honor it; without one, every call site is counted as always.
     @raise Trap on runtime errors
     @raise Out_of_fuel if the budget is exhausted *)
 val run :
@@ -107,6 +111,7 @@ val run :
   ?obs:Impact_obs.Obs.t ->
   ?engine:engine ->
   ?cache:Threaded.cache ->
+  ?plan:Iplan.t ->
   Impact_il.Il.program ->
   input:string ->
   outcome
@@ -119,6 +124,7 @@ val run_reference :
   ?heap_size:int ->
   ?stack_size:int ->
   ?icache:Impact_icache.Icache.t ->
+  ?plan:Iplan.t ->
   ?obs:Impact_obs.Obs.t ->
   Impact_il.Il.program ->
   input:string ->

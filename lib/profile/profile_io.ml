@@ -1,13 +1,22 @@
 (* Profile serialisation.
 
-   Current format (v2) adds a program checksum to the header so a stale
-   profile — collected against a different build of the program — is
-   detected at load time instead of silently steering the inliner:
+   Current format (v3) adds the profile mode to the v2 header, so a
+   profile collected under one instrumentation mode (notably the
+   approximate "sampled") is never silently reused to answer a request
+   for another:
+
+     impact-profile v3 <md5-of-program-dump | -> <full|min|sampled>
+
+   A v3 header is emitted only when the writer states a mode; otherwise
+   the v2 header is kept:
 
      impact-profile v2 <md5-of-program-dump | ->
 
-   v1 files ("impact-profile 1") are still read; they carry no checksum,
-   so staleness cannot be detected for them.
+   — which also keeps {!profile_checksum} (and every cache artifact
+   keyed by it) byte-stable across this change.  v2 files carry no mode
+   (they predate modes, so they read as "full"); v1 files
+   ("impact-profile 1") are still read and carry neither checksum nor
+   mode, so staleness cannot be detected for them.
 
    Every failure mode (unreadable file, malformed line, negative or
    overflowing count, unknown section, checksum mismatch) surfaces as a
@@ -20,6 +29,7 @@ module Ierr = Impact_support.Ierr
 module Fault = Impact_support.Fault
 
 let magic_v2 = "impact-profile v2"
+let magic_v3 = "impact-profile v3"
 
 (* Hard ceilings on the array sizes a profile file can request, so a
    hostile or corrupt "counts" line cannot drive [Array.make] into
@@ -33,11 +43,22 @@ let fail fmt =
 
 let program_checksum prog = Digest.to_hex (Digest.string (Impact_il.Il_pp.dump prog))
 
-let to_string ?checksum (p : Profile.t) =
+let to_string ?checksum ?mode (p : Profile.t) =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf magic_v2;
-  Buffer.add_char buf ' ';
-  Buffer.add_string buf (match checksum with Some c -> c | None -> "-");
+  (match mode with
+  | None ->
+    (* No mode stated: keep the v2 header byte-for-byte, so
+       [profile_checksum] — and every cached artifact keyed by it —
+       is unchanged by the mode extension. *)
+    Buffer.add_string buf magic_v2;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (match checksum with Some c -> c | None -> "-")
+  | Some m ->
+    Buffer.add_string buf magic_v3;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (match checksum with Some c -> c | None -> "-");
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (Coverage.mode_name m));
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Printf.sprintf "runs %d\n" p.Profile.nruns);
   Buffer.add_string buf
@@ -85,7 +106,7 @@ let weight_of_string line w =
   | Some _ -> fail "negative or non-finite weight in %S" line
   | None -> fail "bad weight %S in %S" w line
 
-let parse ?expect_checksum s =
+let parse ?expect_checksum ?expect_mode s =
   let lines =
     String.split_on_char '\n' s
     |> List.map strip_cr
@@ -96,13 +117,29 @@ let parse ?expect_checksum s =
     | header :: rest -> (split_fields header, rest)
     | [] -> fail "empty profile"
   in
-  (match header with
-  | [ "impact-profile"; "v2"; checksum ] -> (
+  let check_checksum checksum =
     match expect_checksum with
     | Some expected when checksum <> "-" && checksum <> expected ->
       fail "stale profile: checksum %s does not match program %s" checksum
         expected
-    | _ -> ())
+    | _ -> ()
+  in
+  (match header with
+  | [ "impact-profile"; "v3"; checksum; mode ] -> (
+    check_checksum checksum;
+    match Coverage.mode_of_string mode with
+    | None -> fail "bad profile mode %S in header" mode
+    | Some recorded -> (
+      match expect_mode with
+      | Some wanted when recorded <> wanted ->
+        fail "stale profile: mode %s does not match requested %s"
+          (Coverage.mode_name recorded) (Coverage.mode_name wanted)
+      | _ -> ()))
+  | [ "impact-profile"; "v2"; checksum ] ->
+    (* v2 back-compat: no mode recorded (the format predates modes), so
+       — like an unrecorded "-" checksum — mode staleness is
+       undetectable and the file passes any [expect_mode]. *)
+    check_checksum checksum
   | [ "impact-profile"; "1" ] ->
     (* v1 back-compat: no checksum recorded, staleness undetectable. *)
     ()
@@ -178,10 +215,10 @@ let parse ?expect_checksum s =
     avg_max_stack = f;
   }
 
-let of_string ?expect_checksum s =
+let of_string ?expect_checksum ?expect_mode s =
   match
     Fault.hit Fault.Profile_read;
-    parse ?expect_checksum s
+    parse ?expect_checksum ?expect_mode s
   with
   | p -> Ok p
   | exception Ierr.Error e -> Error e
@@ -192,18 +229,18 @@ let of_string ?expect_checksum s =
       (Ierr.of_exn ~severity:Ierr.Degradable ~recovery:Ierr.Fallback_static
          Ierr.Profile_io e)
 
-let of_string_exn ?expect_checksum s =
-  match of_string ?expect_checksum s with
+let of_string_exn ?expect_checksum ?expect_mode s =
+  match of_string ?expect_checksum ?expect_mode s with
   | Ok p -> p
   | Error e -> raise (Ierr.Error e)
 
 (* Write-to-temp then rename (via Atomic_io), so a crash mid-write never
    leaves a truncated profile at [path]: the reader sees either the old
    file or the complete new one. *)
-let save ?checksum path p =
+let save ?checksum ?mode path p =
   match
     Fault.hit Fault.Profile_write;
-    Impact_support.Atomic_io.write_string path (to_string ?checksum p)
+    Impact_support.Atomic_io.write_string path (to_string ?checksum ?mode p)
   with
   | () -> ()
   | exception (Ierr.Error _ as e) -> raise e
@@ -213,7 +250,7 @@ let save ?checksum path p =
          (Ierr.of_exn ~severity:Ierr.Degradable ~recovery:Ierr.Abort
             Ierr.Profile_io e))
 
-let load ?expect_checksum path =
+let load ?expect_checksum ?expect_mode path =
   match
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -221,13 +258,13 @@ let load ?expect_checksum path =
     close_in ic;
     s
   with
-  | s -> of_string ?expect_checksum s
+  | s -> of_string ?expect_checksum ?expect_mode s
   | exception e ->
     Error
       (Ierr.of_exn ~severity:Ierr.Degradable ~recovery:Ierr.Fallback_static
          Ierr.Profile_io e)
 
-let load_exn ?expect_checksum path =
-  match load ?expect_checksum path with
+let load_exn ?expect_checksum ?expect_mode path =
+  match load ?expect_checksum ?expect_mode path with
   | Ok p -> p
   | Error e -> raise (Ierr.Error e)

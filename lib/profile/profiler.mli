@@ -4,20 +4,40 @@
     interpreter that measures final results also produces the node/arc
     weights that drive inline expansion. *)
 
+(** What the run's instrumentation actually covered.  Under [Min] the
+    elided counts were reconstructed exactly ({!Inference}); under
+    [Sampled] the site weights are approximate and [sample_coverage]
+    reports how much of the dynamic call volume the scaled samples
+    explain.  [effective] differs from [requested] only when a [Min]
+    plan was poisoned by a fabricated indirect-call target and the
+    sweep was transparently redone fully instrumented. *)
+type coverage = {
+  requested : Coverage.mode;
+  effective : Coverage.mode;
+  total_sites : int;  (** call sites in alive code *)
+  counted_sites : int;  (** sites the engines actually counted *)
+  sample_coverage : float option;  (** [Sampled] only, in [0, 1] *)
+}
+
 (** The outcome of profiling: the averaged profile plus each run's raw
     result, so callers can also check outputs or aggregate differently.
     [failures] is empty except in tolerant mode, where it records the
-    input indices whose runs failed even after one retry. *)
+    input indices whose runs failed even after one retry.
+
+    Under a non-[Full] mode the per-run [runs] counters are the raw
+    (partially uncounted, or sampled) measurements; only the averaged
+    [profile] has been through inference. *)
 type result = {
   profile : Profile.t;
   runs : Impact_interp.Machine.outcome list;
   failures : (int * exn) list;
+  coverage : coverage;
 }
 
 (** [profile ?budget ?fuel ?obs ?engine ?jobs ?keep_outputs ?tolerant
-    prog ~inputs] runs [prog] once per input and averages.  [obs] is
-    handed to every {!Impact_interp.Machine.run} so run-level counters
-    flow through the (mutex-protected) sink.
+    ?mode prog ~inputs] runs [prog] once per input and averages.  [obs]
+    is handed to every {!Impact_interp.Machine.run} so run-level
+    counters flow through the (mutex-protected) sink.
 
     @param budget per-run wall-clock deadline / output watermark,
       forwarded to every run ({!Impact_interp.Rt.budget}); with fuel it
@@ -41,6 +61,13 @@ type result = {
       and recorded in [failures] instead of raised — the profile is
       built from the surviving runs.  Default false: fail fast with the
       lowest failing input's exception, [failures] always empty.
+    @param mode instrumentation mode (default {!Coverage.Full}).  [Min]
+      builds one minimum-coverage plan per call — shared read-only
+      across the pool domains — counts only the co-forest arcs, and
+      reconstructs the rest exactly; the resulting profile is
+      bit-identical to [Full].  [Sampled] gates site counting on a fuel
+      phase and scales back up: approximate, with the coverage figure
+      in [result.coverage].
     @raise Invalid_argument if [inputs] is empty.
     @raise Impact_interp.Machine.Trap if a run traps (non-tolerant), or
       if every run fails (tolerant: the first input's error). *)
@@ -55,6 +82,7 @@ val profile :
   ?keep_outputs:bool ->
   ?tolerant:bool ->
   ?on_retry:(int -> exn -> unit) ->
+  ?mode:Coverage.mode ->
   Impact_il.Il.program ->
   inputs:string list ->
   result

@@ -164,6 +164,7 @@ type job = {
   j_inputs : string list;
   j_policy : Pipeline.policy;
   j_engine : Machine.engine;
+  j_profile_mode : Impact_profile.Coverage.mode;
   j_timeout_s : float option;
   j_max_output : int option;
   j_fault : fault_spec option;
@@ -193,6 +194,9 @@ let default_job =
     j_inputs = [ "" ];
     j_policy = Pipeline.Strict;
     j_engine = Machine.Threaded;
+    (* Full is the historical behaviour, so requests from clients that
+       predate the field keep their exact semantics. *)
+    j_profile_mode = Impact_profile.Coverage.Full;
     j_timeout_s = None;
     j_max_output = None;
     j_fault = None;
@@ -246,6 +250,15 @@ let parse_job j =
       | None -> Error (serve_error "unknown engine %S" s))
     | _ -> Error (serve_error "engine must be a string")
   in
+  let* profile_mode =
+    match Sink.mem "profile_mode" j with
+    | Sink.Null -> Ok Impact_profile.Coverage.Full
+    | Sink.String s -> (
+      match Impact_profile.Coverage.mode_of_string s with
+      | Some m -> Ok m
+      | None -> Error (serve_error "unknown profile_mode %S" s))
+    | _ -> Error (serve_error "profile_mode must be a string")
+  in
   let* timeout_s =
     match Sink.mem "timeout_s" j with
     | Sink.Null -> Ok None
@@ -266,6 +279,7 @@ let parse_job j =
       j_inputs = inputs;
       j_policy = policy;
       j_engine = engine;
+      j_profile_mode = profile_mode;
       j_timeout_s = timeout_s;
       j_max_output = max_output;
       j_fault = fault;
@@ -320,6 +334,8 @@ let job_fields job =
           | Pipeline.Strict -> "strict"
           | Pipeline.Degrade -> "degrade") );
       ("engine", Sink.String (Machine.engine_to_string job.j_engine));
+      ( "profile_mode",
+        Sink.String (Impact_profile.Coverage.mode_name job.j_profile_mode) );
     ]
   @ (match job.j_timeout_s with
     | None -> []

@@ -63,6 +63,10 @@ type job = {
   j_inputs : string list;  (** default [[""]] *)
   j_policy : Impact_harness.Pipeline.policy;  (** default [Strict] *)
   j_engine : Impact_interp.Machine.engine;  (** default [Threaded] *)
+  j_profile_mode : Impact_profile.Coverage.mode;
+      (** wire field [profile_mode], one of ["full"]/["min"]/["sampled"];
+          absent (requests from clients predating the field) defaults to
+          [Full] — the historical behaviour *)
   j_timeout_s : float option;  (** per-run wall-clock budget *)
   j_max_output : int option;  (** per-run output watermark, bytes *)
   j_fault : fault_spec option;
@@ -80,8 +84,8 @@ type request = { rq_id : int; rq_kind : kind }
 
 val kind_name : kind -> string
 
-(** All defaults: empty source, [[""]] inputs, [Strict], [Threaded], no
-    budgets, no fault. *)
+(** All defaults: empty source, [[""]] inputs, [Strict], [Threaded],
+    [Full] profiling, no budgets, no fault. *)
 val default_job : job
 
 (** [parse_request j] validates the version field and every parameter;

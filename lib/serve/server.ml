@@ -93,9 +93,11 @@ type t = {
   seq : int Atomic.t;  (* request ordinals, for flight samples *)
   ctr : counters;
   hist_all : Histogram.t;
-  hist_compile : Histogram.t;
-  hist_profile : Histogram.t;
-  hist_report : Histogram.t;
+  (* Latency per (kind × profile mode), labelled "compile:min",
+     "profile:full", … — created on first use so the stats payload only
+     carries labels that actually served traffic. *)
+  hist_mu : Mutex.t;
+  hist_kinds : (string, Histogram.t) Hashtbl.t;
   flight : Flight.t;
 }
 
@@ -150,17 +152,29 @@ let compile_result_json (r : Pipeline.result) =
       ("degradations", degradations_json r);
     ]
 
-let profile_json (p : Profile.t) ~nruns =
+let profile_json (p : Profile.t) ~(coverage : Profiler.coverage) ~nruns =
   Sink.Obj
-    [
-      ("avg_ils", Sink.Float p.Profile.avg_ils);
-      ("avg_cts", Sink.Float p.Profile.avg_cts);
-      ("avg_calls", Sink.Float p.Profile.avg_calls);
-      ("avg_returns", Sink.Float p.Profile.avg_returns);
-      ("avg_ext_calls", Sink.Float p.Profile.avg_ext_calls);
-      ("avg_max_stack", Sink.Float p.Profile.avg_max_stack);
-      ("nruns", Sink.Int nruns);
-    ]
+    ([
+       ("avg_ils", Sink.Float p.Profile.avg_ils);
+       ("avg_cts", Sink.Float p.Profile.avg_cts);
+       ("avg_calls", Sink.Float p.Profile.avg_calls);
+       ("avg_returns", Sink.Float p.Profile.avg_returns);
+       ("avg_ext_calls", Sink.Float p.Profile.avg_ext_calls);
+       ("avg_max_stack", Sink.Float p.Profile.avg_max_stack);
+       ("nruns", Sink.Int nruns);
+       ( "profile_mode",
+         Sink.String
+           (Impact_profile.Coverage.mode_name coverage.Profiler.effective) );
+       ("total_sites", Sink.Int coverage.Profiler.total_sites);
+       ("counted_sites", Sink.Int coverage.Profiler.counted_sites);
+     ]
+    @
+    match coverage.Profiler.sample_coverage with
+    | None -> []
+    | Some c ->
+      (* Approximate by construction: flagged so no client mistakes a
+         sampled profile for exact counts. *)
+      [ ("approximate", Sink.Bool true); ("sample_coverage", Sink.Float c) ])
 
 (* The job body proper.  Anything escaping is classified into the typed
    taxonomy; [Ierr.Error] payloads keep their original stage. *)
@@ -210,7 +224,8 @@ let execute_work t ~req_label (kind : Protocol.kind) :
             let r =
               Pipeline.run_source ~obs:t.cfg.obs ~policy:job.Protocol.j_policy
                 ?cache:t.cfg.cache ~engine:job.Protocol.j_engine
-                ?budget:(budget_of_job job) ~name:req_label
+                ?budget:(budget_of_job job)
+                ~profile_mode:job.Protocol.j_profile_mode ~name:req_label
                 ~source:job.Protocol.j_source ~inputs:job.Protocol.j_inputs ()
             in
             compile_result_json r))
@@ -222,14 +237,16 @@ let execute_work t ~req_label (kind : Protocol.kind) :
                   Lower.lower_source job.Protocol.j_source)
             in
             ignore (Impact_opt.Driver.pre_inline prog);
-            let { Profiler.profile; _ } =
+            let { Profiler.profile; coverage; _ } =
               Errors.guard Ierr.Profile_run (fun () ->
                   Profiler.profile ~obs:t.cfg.obs
                     ~engine:job.Protocol.j_engine
-                    ?budget:(budget_of_job job) ~keep_outputs:false prog
+                    ?budget:(budget_of_job job) ~keep_outputs:false
+                    ~mode:job.Protocol.j_profile_mode prog
                     ~inputs:job.Protocol.j_inputs)
             in
-            profile_json profile ~nruns:(List.length job.Protocol.j_inputs)))
+            profile_json profile ~coverage
+              ~nruns:(List.length job.Protocol.j_inputs)))
   | Protocol.Report (bench_name, job) ->
     run_guarded (fun () ->
         with_fault job (fun () ->
@@ -246,7 +263,8 @@ let execute_work t ~req_label (kind : Protocol.kind) :
             let r =
               Pipeline.run ~obs:t.cfg.obs ~policy:job.Protocol.j_policy
                 ?cache:t.cfg.cache ~engine:job.Protocol.j_engine
-                ?budget:(budget_of_job job) bench
+                ?budget:(budget_of_job job)
+                ~profile_mode:job.Protocol.j_profile_mode bench
             in
             Report.to_json [ r ]))
 
@@ -274,12 +292,11 @@ let stats_json t =
            ] );
        ( "latency_ms",
          Sink.Obj
-           [
-             ("all", hist t.hist_all);
-             ("compile", hist t.hist_compile);
-             ("profile", hist t.hist_profile);
-             ("report", hist t.hist_report);
-           ] );
+           (("all", hist t.hist_all)
+           :: (Mutex.protect t.hist_mu (fun () ->
+                   Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hist_kinds [])
+              |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+              |> List.map (fun (k, h) -> (k, hist h)))) );
        ("flight", Flight.summary_to_json (Flight.summarize t.flight));
      ]
     @
@@ -302,11 +319,28 @@ let stats_json t =
             ] );
       ])
 
-let hist_for t = function
-  | Protocol.Compile _ -> Some t.hist_compile
-  | Protocol.Profile _ -> Some t.hist_profile
-  | Protocol.Report _ -> Some t.hist_report
+let hist_label (kind : Protocol.kind) =
+  let labelled job =
+    Printf.sprintf "%s:%s" (Protocol.kind_name kind)
+      (Impact_profile.Coverage.mode_name job.Protocol.j_profile_mode)
+  in
+  match kind with
+  | Protocol.Compile job | Protocol.Profile job | Protocol.Report (_, job) ->
+    Some (labelled job)
   | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> None
+
+let hist_for t kind =
+  match hist_label kind with
+  | None -> None
+  | Some label ->
+    Some
+      (Mutex.protect t.hist_mu (fun () ->
+           match Hashtbl.find_opt t.hist_kinds label with
+           | Some h -> h
+           | None ->
+             let h = Histogram.create () in
+             Hashtbl.replace t.hist_kinds label h;
+             h))
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection handler                                              *)
@@ -505,9 +539,8 @@ let start cfg =
           c_connections = Atomic.make 0;
         };
       hist_all = Histogram.create ();
-      hist_compile = Histogram.create ();
-      hist_profile = Histogram.create ();
-      hist_report = Histogram.create ();
+      hist_mu = Mutex.create ();
+      hist_kinds = Hashtbl.create 8;
       flight = Flight.create ();
     }
   in

@@ -20,6 +20,7 @@ let () =
       ("weights", Test_weights.tests);
       ("obs", Test_obs.tests);
       ("telemetry", Test_telemetry.tests);
+      ("profile_modes", Test_profile_modes.tests);
       ("cache", Test_cache.tests);
       ("serve", Test_serve.tests);
       ("chaos", Test_chaos.tests);
