@@ -175,8 +175,10 @@ let () =
   let profiling = Perf.profiling_costs () in
   let scaling = Perf.scaling_sweep () in
   let cache = Perf.cache_cold_warm ~jobs:suite_jobs () in
+  let devirt = Perf.devirt_ablation () in
   let json =
-    Perf.to_json ~suite_wall_ms ~suite_jobs ~scaling ~cache ~profiling perfs
+    Perf.to_json ~suite_wall_ms ~suite_jobs ~scaling ~cache ~profiling ~devirt
+      perfs
   in
   Impact_support.Atomic_io.write_string !out_file (Sink.json_to_string json ^ "\n");
   let indexed = Perf.stage_total "expand" perfs in
@@ -211,6 +213,19 @@ let () =
     cache.Perf.warm_hits cache.Perf.warm_misses;
   if cache.Perf.warm_misses > 0 then
     warn "warm cache rerun still missed %d stage(s)" cache.Perf.warm_misses;
+  List.iter
+    (fun (row : Perf.devirt_row) ->
+      Printf.printf
+        "  devirt ablation: %s pointer residual %.1f%% -> %.1f%% (%d site(s) \
+         speculated)\n"
+        row.Perf.da_bench row.Perf.da_ptr_pct_off row.Perf.da_ptr_pct_on
+        row.Perf.da_speculated)
+    devirt;
+  List.iter
+    (fun (row : Perf.devirt_row) ->
+      if not row.Perf.da_outputs_match then
+        fail "devirted outputs diverge on %s" row.Perf.da_bench)
+    devirt;
   guard_profiling profiling;
   guard_scaling scaling;
   if engine_speedup < 2. && engine_speedup > 0. then

@@ -18,6 +18,7 @@ module Profiler = Impact_profile.Profiler
 module Profile = Impact_profile.Profile
 module Profile_io = Impact_profile.Profile_io
 module Inliner = Impact_core.Inliner
+module Config = Impact_core.Config
 module Classify = Impact_core.Classify
 module Select = Impact_core.Select
 module Benchmark = Impact_bench_progs.Benchmark
@@ -220,6 +221,38 @@ let profile_mode_arg =
            $(b,sampled) counts sites on a periodic fuel phase and scales up — \
            cheapest, but approximate and marked as such")
 
+(* Speculative devirtualization: --devirt rewrites indirect call sites
+   whose value profile shows one dominant target into a guarded direct
+   call, so the speculated callee becomes inlinable. *)
+
+let devirt_arg =
+  Arg.(
+    value & flag
+    & info [ "devirt" ]
+        ~doc:
+          "Speculatively devirtualize indirect call sites whose recorded \
+           target histogram is dominated by a single function: the site is \
+           rewritten into $(b,if (fp == &f) f(...) else (*fp)(...)), and the \
+           direct call then takes part in inline expansion.  Requires a \
+           dynamic profile; a profile without value data (an old saved \
+           profile, or static weights) simply speculates nothing.")
+
+let devirt_threshold_arg =
+  Arg.(
+    value
+    & opt float Config.default.Config.devirt_threshold
+    & info [ "devirt-threshold" ] ~docv:"SHARE"
+        ~doc:
+          "Minimum share of a site's recorded indirect calls the dominant \
+           target must hold before $(b,--devirt) speculates on it \
+           (default $(b,0.8))")
+
+let config_term =
+  Term.(
+    const (fun devirt devirt_threshold ->
+        { Config.default with Config.devirt; devirt_threshold })
+    $ devirt_arg $ devirt_threshold_arg)
+
 (* Incremental driving: --cache DIR makes every expensive pipeline stage
    consult a content-addressed store first, so reruns over unchanged
    sources/configs skip the work entirely. *)
@@ -401,8 +434,8 @@ let profile_cmd =
 (* inline *)
 
 let inline_cmd =
-  let run src inputs profile_file engine jobs policy mode trace trace_format
-      metrics_out =
+  let run src inputs profile_file engine jobs policy mode config trace
+      trace_format metrics_out =
     guarded Ierr.Driver (fun () ->
         with_obs ~policy ~trace_format ~trace ~metrics_out (fun obs ->
         let prog =
@@ -451,7 +484,20 @@ let inline_cmd =
                     ~nfuncs:(Array.length prog.Il.funcs)
                     ~nsites:prog.Il.next_site)))
         in
-        let report = Obs.span obs "inline" (fun () -> Inliner.run ~obs prog profile) in
+        let report =
+          Obs.span obs "inline" (fun () -> Inliner.run ~obs ~config prog profile)
+        in
+        List.iter
+          (fun (d : Impact_opt.Devirt.decision) ->
+            Printf.printf
+              "  devirtualized site %d in %s: speculating %s (%.0f%% of %.1f \
+               calls)\n"
+              d.Impact_opt.Devirt.d_site
+              prog.Il.funcs.(d.Impact_opt.Devirt.d_caller).Il.name
+              prog.Il.funcs.(d.Impact_opt.Devirt.d_target).Il.name
+              (100. *. d.Impact_opt.Devirt.d_share)
+              d.Impact_opt.Devirt.d_weight)
+          report.Inliner.devirt;
         Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
           report.Inliner.size_before report.Inliner.size_after
           (100.
@@ -471,7 +517,7 @@ let inline_cmd =
   Cmd.v
     (Cmd.info "inline" ~doc:"Profile-guided inline expansion of a C program")
     Term.(const run $ source_arg $ inputs_arg $ profile_file_arg $ engine_arg
-          $ jobs_arg $ policy_arg $ profile_mode_arg $ trace_arg
+          $ jobs_arg $ policy_arg $ profile_mode_arg $ config_term $ trace_arg
           $ trace_format_arg $ metrics_out_arg)
 
 (* bench *)
@@ -501,8 +547,8 @@ let bench_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the benchmark's table rows (Report.to_json) to $(docv)")
   in
-  let run name engine jobs policy timeout cache_dir mode trace trace_format
-      metrics_out json =
+  let run name engine jobs policy timeout cache_dir mode config trace
+      trace_format metrics_out json =
     match Impact_bench_progs.Suite.find name with
     | exception Not_found ->
       Printf.eprintf "unknown benchmark '%s'\n" name;
@@ -512,7 +558,7 @@ let bench_cmd =
           let cache = cache_of cache_dir in
           let r =
             with_obs ~policy ~trace_format ~trace ~metrics_out (fun obs ->
-                Pipeline.run ~obs ~policy ?cache ~engine ~jobs
+                Pipeline.run ~obs ~policy ~config ?cache ~engine ~jobs
                   ?budget:(budget_of_timeout timeout) ~profile_mode:mode bench)
           in
           report_degradations r;
@@ -533,8 +579,8 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
     Term.(
       const run $ name_arg $ engine_arg $ jobs_arg $ policy_arg $ timeout_arg
-      $ cache_arg $ profile_mode_arg $ trace_arg $ trace_format_arg
-      $ metrics_out_arg $ json_arg)
+      $ cache_arg $ profile_mode_arg $ config_term $ trace_arg
+      $ trace_format_arg $ metrics_out_arg $ json_arg)
 
 (* Default command: the full observed pipeline over a user C file —
    `impactc --trace t.jsonl --metrics-out m.json -O file.c` compiles,
@@ -542,8 +588,8 @@ let bench_cmd =
    span. *)
 
 let default_term =
-  let run src inputs optimize engine jobs policy timeout cache_dir mode trace
-      trace_format metrics_out =
+  let run src inputs optimize engine jobs policy timeout cache_dir mode config
+      trace trace_format metrics_out =
     match src with
     | None -> `Help (`Pager, None)
     | Some src ->
@@ -564,12 +610,15 @@ let default_term =
           let cache = cache_of cache_dir in
           let r =
             with_obs ~policy ~trace_format ~trace ~metrics_out (fun obs ->
-                Pipeline.run ~obs ~policy ~pre_opt:optimize ?cache ~engine
-                  ~jobs ?budget:(budget_of_timeout timeout) ~profile_mode:mode
-                  bench)
+                Pipeline.run ~obs ~policy ~config ~pre_opt:optimize ?cache
+                  ~engine ~jobs ?budget:(budget_of_timeout timeout)
+                  ~profile_mode:mode bench)
           in
           report_degradations r;
           report_cache cache;
+          (match r.Pipeline.inliner.Inliner.devirt with
+          | [] -> ()
+          | ds -> Printf.printf "devirtualized %d indirect site(s)\n" (List.length ds));
           Printf.printf "%s\n" (Profile.to_string r.Pipeline.profile);
           Printf.printf "code size: %d -> %d instructions (%+.1f%%)\n"
             r.Pipeline.inliner.Inliner.size_before
@@ -589,7 +638,7 @@ let default_term =
     ret
       (const run $ opt_source_arg $ inputs_arg $ optimize_arg $ engine_arg
      $ jobs_arg $ policy_arg $ timeout_arg $ cache_arg $ profile_mode_arg
-     $ trace_arg $ trace_format_arg $ metrics_out_arg))
+     $ config_term $ trace_arg $ trace_format_arg $ metrics_out_arg))
 
 let () =
   Printexc.record_backtrace true;

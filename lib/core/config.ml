@@ -18,6 +18,8 @@ type t = {
   heuristic : heuristic;
   linearization : linearization;
   refine_pointer_targets : bool;
+  devirt : bool;
+  devirt_threshold : float;
 }
 
 let default =
@@ -30,6 +32,10 @@ let default =
     heuristic = Profile_guided;
     linearization = Lin_weight_sorted;
     refine_pointer_targets = false;
+    devirt = false;
+    (* Speculate only when >= 80% of a site's measured traffic lands on
+       one target: below that, the guard's misses erode the win. *)
+    devirt_threshold = 0.8;
   }
 
 let heuristic_name = function
@@ -49,7 +55,8 @@ let linearization_name = function
    stages that depend on it. *)
 let fingerprint t =
   Printf.sprintf
-    "wt=%.17g;stack=%d;fsize=%d;ratio=%.17g;seed=%d;heur=%s;lin=%s;refine=%b"
+    "wt=%.17g;stack=%d;fsize=%d;ratio=%.17g;seed=%d;heur=%s;lin=%s;refine=%b;devirt=%b;dvt=%.17g"
     t.weight_threshold t.stack_bound t.func_size_limit
     t.program_size_limit_ratio t.linearize_seed (heuristic_name t.heuristic)
-    (linearization_name t.linearization) t.refine_pointer_targets
+    (linearization_name t.linearization) t.refine_pointer_targets t.devirt
+    t.devirt_threshold

@@ -36,6 +36,12 @@ type t = {
   refine_pointer_targets : bool;
       (** use the §2.5 inter-procedural callee-set analysis for [###]
           instead of the worst case; default false, the paper's choice *)
+  devirt : bool;
+      (** speculate value-profiled indirect sites into guarded direct
+          calls before building the call graph; default false *)
+  devirt_threshold : float;
+      (** minimum fraction of a site's measured traffic the dominant
+          target must carry before it is speculated; default 0.8 *)
 }
 
 (** The defaults used for the paper reproduction: threshold 10 (the

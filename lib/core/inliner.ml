@@ -9,6 +9,7 @@ type report = {
   linear : Linearize.t;
   selection : Select.t;
   expansion : Expand.report;
+  devirt : Impact_opt.Devirt.decision list;
   size_before : int;
   size_after : int;
   dead_removed : int;
@@ -19,6 +20,39 @@ let run ?(obs = Impact_obs.Obs.null) ?(config = Config.default)
   let module Obs = Impact_obs.Obs in
   let prog = Il.copy_program prog in
   let size_before = Il.program_code_size prog in
+  (* Speculation happens before the graph is built, so each guarded
+     direct site appears as an ordinary user arc — carrying the weight
+     the value profile measured for its target — and the speculated
+     callee can be selected and expanded like any other. *)
+  let devirt, profile =
+    if not config.Config.devirt then ([], profile)
+    else
+      Obs.span obs "devirt" (fun () ->
+          let decisions, profile =
+            Impact_opt.Devirt.run
+              ~threshold:config.Config.devirt_threshold profile prog
+          in
+          if Obs.enabled obs then begin
+            List.iter
+              (fun (d : Impact_opt.Devirt.decision) ->
+                Obs.instant obs ~kind:"devirt"
+                  ~attrs:
+                    [
+                      ("site", Impact_obs.Sink.Int d.Impact_opt.Devirt.d_site);
+                      ("caller", Impact_obs.Sink.Int d.Impact_opt.Devirt.d_caller);
+                      ("target", Impact_obs.Sink.Int d.Impact_opt.Devirt.d_target);
+                      ( "new_site",
+                        Impact_obs.Sink.Int d.Impact_opt.Devirt.d_new_site );
+                      ("share", Impact_obs.Sink.Float d.Impact_opt.Devirt.d_share);
+                      ( "weight",
+                        Impact_obs.Sink.Float d.Impact_opt.Devirt.d_weight );
+                    ]
+                  "devirt.speculate")
+              decisions;
+            Obs.gauge_int obs "devirt.sites" (List.length decisions)
+          end;
+          (decisions, profile))
+  in
   let graph =
     Obs.span obs "callgraph" (fun () ->
         Callgraph.build
@@ -64,6 +98,7 @@ let run ?(obs = Impact_obs.Obs.null) ?(config = Config.default)
     linear;
     selection;
     expansion;
+    devirt;
     size_before;
     size_after;
     dead_removed;

@@ -14,16 +14,23 @@ type report = {
   linear : Linearize.t;
   selection : Select.t;
   expansion : Expand.report;
+  devirt : Impact_opt.Devirt.decision list;
+      (** speculations committed before the graph was built (empty
+          unless [config.devirt]) *)
   size_before : int;  (** IL instructions before expansion *)
   size_after : int;   (** IL instructions after expansion *)
   dead_removed : int; (** functions removed as unreachable afterwards *)
 }
 
 (** [run ?obs ?config prog profile] performs profile-guided inline
-    expansion of [prog] with the given (averaged) profile.  With an
-    enabled [obs] context each internal stage (callgraph, classify,
-    linearize, select, expand, dce) runs in its own span, and the
-    selector's decision log plus size gauges flow through the sink. *)
+    expansion of [prog] with the given (averaged) profile.  With
+    [config.devirt], value-profiled indirect sites are first rewritten
+    into guarded direct calls ({!Impact_opt.Devirt}) so speculated
+    callees can inline.  With an enabled [obs] context each internal
+    stage (devirt, callgraph, classify, linearize, select, expand, dce)
+    runs in its own span, and the selector's decision log, per-site
+    devirt speculation instants and size gauges flow through the
+    sink. *)
 val run :
   ?obs:Impact_obs.Obs.t ->
   ?config:Config.t ->

@@ -14,7 +14,9 @@ module Obs = Impact_obs.Obs
 
 type t = { store : Cstore.t }
 
-let format_salt = "impact-stage-cache fmt1 " ^ Sys.ocaml_version
+(* fmt2: Profile.t grew the value-profile component (vsites), changing
+   its Marshal shape — fmt1 entries must never match. *)
+let format_salt = "impact-stage-cache fmt2 " ^ Sys.ocaml_version
 
 let create ?max_bytes dir = { store = Cstore.create ?max_bytes dir }
 

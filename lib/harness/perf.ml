@@ -455,6 +455,72 @@ let cache_cold_warm ?jobs () =
         warm_misses = warm.Cstore.misses;
       })
 
+(* Devirt ablation: the same benchmark through the full pipeline with
+   speculation off and on, comparing the post-inline dynamic pointer
+   residual — the ### share of Table 3/4 that plain inlining cannot
+   touch.  Only benchmarks that actually carry a pointer residual are
+   measured; the off-run's outputs_match is already checked by the
+   pipeline, and the on-run's must hold too (speculation is
+   semantics-preserving by construction). *)
+
+type devirt_row = {
+  da_bench : string;
+  da_speculated : int;  (** sites the devirt pass rewrote *)
+  da_ptr_calls_off : float;  (** post-inline dynamic pointer calls, plain *)
+  da_ptr_calls_on : float;  (** same with devirt enabled *)
+  da_ptr_pct_off : float;  (** as % of all post-inline dynamic calls *)
+  da_ptr_pct_on : float;
+  da_outputs_match : bool;  (** devirted program verified against inputs *)
+}
+
+let devirt_ablation ?(threshold = Config.default.Config.devirt_threshold) () =
+  let module Classify = Impact_core.Classify in
+  let module Stats = Impact_support.Stats in
+  let ptr_mix (r : Pipeline.result) =
+    let t, _, p, _, _ = Classify.dynamic_summary r.Pipeline.post_classified in
+    (p, Stats.percent p t)
+  in
+  List.filter_map
+    (fun b ->
+      let off = Pipeline.run b in
+      let p_off, pct_off = ptr_mix off in
+      if p_off <= 0. then None
+      else begin
+        let config =
+          { Config.default with Config.devirt = true; devirt_threshold = threshold }
+        in
+        let on = Pipeline.run ~config b in
+        let p_on, pct_on = ptr_mix on in
+        Some
+          {
+            da_bench = b.Benchmark_def.name;
+            da_speculated =
+              List.length on.Pipeline.inliner.Impact_core.Inliner.devirt;
+            da_ptr_calls_off = p_off;
+            da_ptr_calls_on = p_on;
+            da_ptr_pct_off = pct_off;
+            da_ptr_pct_on = pct_on;
+            da_outputs_match = on.Pipeline.outputs_match;
+          }
+      end)
+    Impact_bench_progs.Suite.all
+
+let devirt_to_json rows =
+  Sink.Obj
+    (List.map
+       (fun r ->
+         ( r.da_bench,
+           Sink.Obj
+             [
+               ("speculated_sites", Sink.Int r.da_speculated);
+               ("pointer_calls_off", Sink.Float r.da_ptr_calls_off);
+               ("pointer_calls_on", Sink.Float r.da_ptr_calls_on);
+               ("pointer_pct_off", Sink.Float r.da_ptr_pct_off);
+               ("pointer_pct_on", Sink.Float r.da_ptr_pct_on);
+               ("outputs_match", Sink.Bool r.da_outputs_match);
+             ] ))
+       rows)
+
 let scaling_to_json sc =
   let level_json l =
     Sink.Obj
@@ -520,7 +586,7 @@ let stage_total stage perfs =
         acc p.timings)
     0. perfs
 
-let to_json ?suite_wall_ms ?suite_jobs ?scaling ?cache ?profiling perfs =
+let to_json ?suite_wall_ms ?suite_jobs ?scaling ?cache ?profiling ?devirt perfs =
   let bench_json p =
     ( p.bench,
       Sink.Obj
@@ -565,6 +631,9 @@ let to_json ?suite_wall_ms ?suite_jobs ?scaling ?cache ?profiling perfs =
     @ (match profiling with
       | None -> []
       | Some costs -> [ ("profiling", profiling_to_json costs) ])
+    @ (match devirt with
+      | None -> []
+      | Some rows -> [ ("devirt_ablation", devirt_to_json rows) ])
     @
     match cache with
     | None -> []

@@ -155,14 +155,35 @@ type cache_timing = {
     [Failure] if either cached run's inlined outputs diverge. *)
 val cache_cold_warm : ?jobs:int -> unit -> cache_timing
 
+(** Devirt ablation: one benchmark through the full pipeline with
+    speculation off and on, comparing the post-inline dynamic pointer
+    (###) residual that plain inlining cannot touch. *)
+type devirt_row = {
+  da_bench : string;
+  da_speculated : int;  (** sites the devirt pass rewrote *)
+  da_ptr_calls_off : float;  (** post-inline dynamic pointer calls, plain *)
+  da_ptr_calls_on : float;  (** same with devirt enabled *)
+  da_ptr_pct_off : float;  (** as % of all post-inline dynamic calls *)
+  da_ptr_pct_on : float;
+  da_outputs_match : bool;  (** devirted program verified against inputs *)
+}
+
+(** [devirt_ablation ?threshold ()] measures every suite benchmark that
+    carries a post-inline pointer residual; benchmarks without indirect
+    calls are skipped. *)
+val devirt_ablation : ?threshold:float -> unit -> devirt_row list
+
+val devirt_to_json : devirt_row list -> Impact_obs.Sink.json
+
 (** [to_json ?suite_wall_ms ?suite_jobs ?scaling ?cache perfs] is the
     BENCH_perf.json document: per-benchmark per-stage timings, the
     suite-wide expansion-engine totals and their speedup ratio, the
     threaded-vs-reference profiling totals ([engine_speedup]), and, when
     given, the wall clock and actual job count of the end-to-end suite
     run ([suite_wall_ms], [suite_jobs]), the scaling sweep, the
-    cold-vs-warm stage-cache section ([cache]), and the per-mode
-    profiling-cost section ([profiling]).
+    cold-vs-warm stage-cache section ([cache]), the per-mode
+    profiling-cost section ([profiling]), and the devirt ablation
+    ([devirt_ablation]).
 
     The sweep emits the historical top-level keys — [recommended_domains]
     (now the {e measured} recommendation), [profile_sweep_jobs],
@@ -177,5 +198,6 @@ val to_json :
   ?scaling:scaling ->
   ?cache:cache_timing ->
   ?profiling:profiling_cost list ->
+  ?devirt:devirt_row list ->
   bench_perf list ->
   Impact_obs.Sink.json

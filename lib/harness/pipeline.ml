@@ -307,10 +307,26 @@ let run ?(obs = Obs.null) ?(policy = Strict) ?(config = Config.default)
           r
         | None ->
           let since = clean_mark () in
-          let r =
+          let run_inliner config =
             Errors.guard Ierr.Select (fun () ->
                 Obs.span obs "inline" (fun () ->
                     Inliner.run ~obs ~config ~on_expand_error prog profile))
+          in
+          let r =
+            match policy with
+            | Strict -> run_inliner config
+            | Degrade when not config.Config.devirt -> run_inliner config
+            | Degrade -> (
+              (* Devirtualization is optional speculation: a failure
+                 inside the speculating inliner degrades to the plain
+                 one rather than killing the run. *)
+              try run_inliner config
+              with Ierr.Error e ->
+                note e.Ierr.stage
+                  (Printf.sprintf "inlining with devirt failed (%s)"
+                     e.Ierr.msg)
+                  "retried with devirtualization disabled";
+                run_inliner { config with Config.devirt = false })
           in
           if post_cleanup then
             Errors.guard Ierr.Lower (fun () ->

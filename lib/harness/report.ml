@@ -171,8 +171,37 @@ let to_json results =
         [ ("paper_code_increase_pct", J.Float inc); ("paper_call_decrease_pct", J.Float dec) ]
       | None -> []
     in
+    (* Present only when the run actually speculated something, so
+       reports from devirt-disabled configs — including the existing
+       golden snapshots — keep their exact bytes. *)
+    let devirt =
+      match r.Pipeline.inliner.Impact_core.Inliner.devirt with
+      | [] -> []
+      | ds ->
+        [
+          ( "devirt",
+            J.Obj
+              [
+                ("speculated_sites", J.Int (List.length ds));
+                ( "sites",
+                  J.List
+                    (List.map
+                       (fun (d : Impact_opt.Devirt.decision) ->
+                         J.Obj
+                           [
+                             ("site", J.Int d.Impact_opt.Devirt.d_site);
+                             ("caller", J.Int d.Impact_opt.Devirt.d_caller);
+                             ("target", J.Int d.Impact_opt.Devirt.d_target);
+                             ("new_site", J.Int d.Impact_opt.Devirt.d_new_site);
+                             ("share", J.Float d.Impact_opt.Devirt.d_share);
+                             ("weight", J.Float d.Impact_opt.Devirt.d_weight);
+                           ])
+                       ds) );
+              ] );
+        ]
+    in
     J.Obj
-      [
+      ([
         ("benchmark", J.String (name_of r));
         ( "table1",
           J.Obj
@@ -225,6 +254,7 @@ let to_json results =
             ] );
         ("outputs_match", J.Bool r.Pipeline.outputs_match);
       ]
+      @ devirt)
   in
   let incs = List.map Pipeline.code_increase results in
   let decs = List.map Pipeline.call_decrease results in

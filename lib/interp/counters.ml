@@ -6,6 +6,7 @@ type t = {
   mutable ext_calls : int;
   func_counts : int array;
   site_counts : int array;
+  ind_counts : int array array;
 }
 
 let create ~nfuncs ~nsites =
@@ -17,7 +18,23 @@ let create ~nfuncs ~nsites =
     ext_calls = 0;
     func_counts = Array.make (max nfuncs 1) 0;
     site_counts = Array.make (max nsites 1) 0;
+    ind_counts = Array.make (max nsites 1) [||];
   }
+
+(* Rows are allocated on the first resolved target of a site, so
+   programs without indirect calls pay one word per site, not
+   nsites * nfuncs. *)
+let record_ind t ~nfuncs ~site ~fid =
+  let row = t.ind_counts.(site) in
+  let row =
+    if Array.length row = 0 then begin
+      let r = Array.make (max nfuncs 1) 0 in
+      t.ind_counts.(site) <- r;
+      r
+    end
+    else row
+  in
+  row.(fid) <- row.(fid) + 1
 
 let add_into acc t =
   acc.ils <- acc.ils + t.ils;
@@ -26,7 +43,22 @@ let add_into acc t =
   acc.returns <- acc.returns + t.returns;
   acc.ext_calls <- acc.ext_calls + t.ext_calls;
   Array.iteri (fun i n -> acc.func_counts.(i) <- acc.func_counts.(i) + n) t.func_counts;
-  Array.iteri (fun i n -> acc.site_counts.(i) <- acc.site_counts.(i) + n) t.site_counts
+  Array.iteri (fun i n -> acc.site_counts.(i) <- acc.site_counts.(i) + n) t.site_counts;
+  Array.iteri
+    (fun s row ->
+      if Array.length row > 0 then begin
+        let arow = acc.ind_counts.(s) in
+        let arow =
+          if Array.length arow = 0 then begin
+            let r = Array.make (Array.length row) 0 in
+            acc.ind_counts.(s) <- r;
+            r
+          end
+          else arow
+        in
+        Array.iteri (fun f n -> arow.(f) <- arow.(f) + n) row
+      end)
+    t.ind_counts
 
 let summary t =
   Printf.sprintf "ILs=%d CTs=%d calls=%d returns=%d ext=%d" t.ils t.cts t.calls

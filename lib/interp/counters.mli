@@ -19,10 +19,20 @@ type t = {
   mutable ext_calls : int;  (** subset of [calls] that hit externals *)
   func_counts : int array;  (** entry count per fid *)
   site_counts : int array;  (** invocation count per site id *)
+  ind_counts : int array array;
+      (** per indirect site, the resolved-target histogram: row [site]
+          maps each fid to the number of calls that landed on it.  An
+          empty row ([[||]]) means the site never executed; rows are
+          allocated lazily on first hit. *)
 }
 
 (** [create ~nfuncs ~nsites] is a zeroed counter set. *)
 val create : nfuncs:int -> nsites:int -> t
+
+(** [record_ind t ~nfuncs ~site ~fid] bumps the indirect-site target
+    histogram for [site] landing on [fid], allocating the row on first
+    use. *)
+val record_ind : t -> nfuncs:int -> site:int -> fid:int -> unit
 
 (** [add_into acc t] accumulates [t] into [acc] (for multi-run totals). *)
 val add_into : t -> t -> unit

@@ -206,6 +206,7 @@ let run_reference ?budget ?(fuel = 1_000_000_000) ?(heap_size = 4 * 1024 * 1024)
          (match Rt.fid_of_addr tv nfuncs with
          | Some fid when prog.Il.funcs.(fid).Il.alive ->
            check_ind_target fid;
+           Counters.record_ind st.Rt.counters ~nfuncs ~site ~fid;
            let f = prog.Il.funcs.(fid) in
            let argv = List.map value args in
            stack := a :: !stack;

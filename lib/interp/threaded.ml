@@ -329,6 +329,13 @@ let[@inline] count_ext_sampled c site period =
   count_ext_scalar c;
   if c.fuel mod period = 0 then count_site_only c site
 
+(* Indirect-site target histograms are never elided or sampled: the
+   counts cannot be re-attributed to a callee afterwards, so the value
+   profile must stay exact under every coverage mode (both the devirt
+   pass and the full|min differential rely on that). *)
+let[@inline] count_ind_target c site fid =
+  Counters.record_ind c.cnt ~nfuncs:c.nfuncs ~site ~fid
+
 (* An external behaves like a call/return pair. *)
 let[@inline] ext_return c retc r =
   let cnt = c.cnt in
@@ -975,6 +982,7 @@ and decode_instr c ltab (code : op array) next (instr : Il.instr) : op option =
           let tv = get c.regs et in
           match Rt.fid_of_addr tv c.nfuncs with
           | Some fid when c.prog.Il.funcs.(fid).Il.alive ->
+            count_ind_target c site fid;
             enter c (get_dfunc c fid) argsenc retc next;
             (Array.unsafe_get c.code 0) c
           | Some fid ->
@@ -1000,6 +1008,7 @@ and decode_instr c ltab (code : op array) next (instr : Il.instr) : op option =
             let tv = get c.regs et in
             match Rt.fid_of_addr tv c.nfuncs with
             | Some fid when c.prog.Il.funcs.(fid).Il.alive ->
+              count_ind_target c site fid;
               enter c (get_dfunc_ind c pl fid) argsenc retc next;
               (Array.unsafe_get c.code 0) c
             | Some fid ->
@@ -1015,6 +1024,7 @@ and decode_instr c ltab (code : op array) next (instr : Il.instr) : op option =
             let tv = get c.regs et in
             match Rt.fid_of_addr tv c.nfuncs with
             | Some fid when c.prog.Il.funcs.(fid).Il.alive ->
+              count_ind_target c site fid;
               enter c (get_dfunc_ind c pl fid) argsenc retc next;
               (Array.unsafe_get c.code 0) c
             | Some fid ->

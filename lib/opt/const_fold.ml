@@ -27,6 +27,14 @@ let eval_unop op a =
 
 let fold_func (f : Il.func) =
   let known : (Il.reg, int) Hashtbl.t = Hashtbl.create 32 in
+  (* Registers holding a function address ([Lea_func]).  The runtime
+     address of a function is a fabrication the folder cannot see, but
+     it IS injective per fid — so an equality between two registers
+     known to hold function addresses folds to a constant.  That is
+     exactly the shape of a devirt guard whose pointer became a direct
+     [Lea_func] after copy propagation: the guard folds, and
+     [Jump_opt] then sweeps the dead arm. *)
+  let known_func : (Il.reg, Il.fid) Hashtbl.t = Hashtbl.create 8 in
   let rewrites = ref 0 in
   let subst op =
     match op with
@@ -38,8 +46,19 @@ let fold_func (f : Il.func) =
       | None -> op)
     | Il.Imm _ -> op
   in
-  let define r v = Hashtbl.replace known r v in
-  let kill r = Hashtbl.remove known r in
+  let func_of op =
+    match op with
+    | Il.Reg r -> Hashtbl.find_opt known_func r
+    | Il.Imm _ -> None
+  in
+  let define r v =
+    Hashtbl.replace known r v;
+    Hashtbl.remove known_func r
+  in
+  let kill r =
+    Hashtbl.remove known r;
+    Hashtbl.remove known_func r
+  in
   let body =
     Array.map
       (fun instr ->
@@ -47,6 +66,7 @@ let fold_func (f : Il.func) =
         | Il.Label _ ->
           (* Join point: control may arrive with different values. *)
           Hashtbl.reset known;
+          Hashtbl.reset known_func;
           instr
         | Il.Mov (r, op) -> (
           let op = subst op in
@@ -71,6 +91,16 @@ let fold_func (f : Il.func) =
         | Il.Bin (o, r, a, b) -> (
           let a = subst a in
           let b = subst b in
+          match (o, func_of a, func_of b) with
+          | (Il.Eq | Il.Ne), Some fa, Some fb ->
+            let truth =
+              match o with Il.Eq -> fa = fb | _ -> fa <> fb
+            in
+            let folded = if truth then 1 else 0 in
+            define r folded;
+            incr rewrites;
+            Il.Mov (r, Il.Imm folded)
+          | _, _, _ -> (
           match (a, b) with
           | Il.Imm va, Il.Imm vb -> (
             match eval_binop o va vb with
@@ -84,14 +114,17 @@ let fold_func (f : Il.func) =
               Il.Bin (o, r, a, b))
           | _, _ ->
             kill r;
-            Il.Bin (o, r, a, b))
+            Il.Bin (o, r, a, b)))
         | Il.Load (w, r, addr) ->
           kill r;
           Il.Load (w, r, subst addr)
         | Il.Store (w, addr, v) -> Il.Store (w, subst addr, subst v)
-        | Il.Lea_frame (r, _) | Il.Lea_global (r, _) | Il.Lea_string (r, _)
-        | Il.Lea_func (r, _) ->
+        | Il.Lea_frame (r, _) | Il.Lea_global (r, _) | Il.Lea_string (r, _) ->
           kill r;
+          instr
+        | Il.Lea_func (r, fid) ->
+          kill r;
+          Hashtbl.replace known_func r fid;
           instr
         | Il.Call (site, callee, args, ret) ->
           Option.iter kill ret;

@@ -1,0 +1,123 @@
+(* Profile-guided devirtualization of indirect call sites.
+
+   The inliner sees an indirect site as an opaque ### node (Table 2's
+   2.8% pointer-call residual), so nothing behind a function pointer
+   can ever inline.  When the value profile shows one target dominating
+   a site, the classic speculation applies: rewrite
+
+     call *fp(args)
+
+   into
+
+     t = &f
+     c = (fp == t)
+     if (c) goto direct
+     call *fp(args)          ; cold path keeps the ORIGINAL site id
+     goto join
+   direct:
+     call f(args)            ; fresh direct site
+   join:
+
+   using only existing IL ops.  The fresh direct site then flows
+   through Classify/Select/Expand like any other arc — the speculated
+   callee can actually inline — and [Driver.post_inline_cleanup] sweeps
+   guards that constant folding proves always-taken.
+
+   The transformation is semantics-preserving unconditionally:
+   [Rt.func_addr] is injective, so the integer compare succeeds exactly
+   when the indirect call would have resolved to [f], and both guard
+   temporaries are fresh registers.  A wrong speculation only costs the
+   compare — the cold path is the untouched original instruction.
+
+   The pass depends on [Impact_profile] for the value profile but NOT
+   on [Impact_core]: thresholds arrive as plain parameters, keeping the
+   optimisation layer below the policy layer. *)
+
+module Il = Impact_il.Il
+module Profile = Impact_profile.Profile
+
+type decision = {
+  d_site : Il.site_id;  (** the original indirect site *)
+  d_caller : Il.fid;
+  d_target : Il.fid;  (** speculated callee *)
+  d_new_site : Il.site_id;  (** the guarded direct site *)
+  d_share : float;  (** dominant target's fraction of site traffic *)
+  d_weight : float;  (** average per-run calls routed to the direct site *)
+}
+
+let devirt_func ~threshold ~(profile : Profile.t) (prog : Il.program)
+    (f : Il.func) =
+  let decisions = ref [] in
+  let out = ref [] in
+  let changed = ref false in
+  let emit i = out := i :: !out in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Il.Call_ind (site, target, args, ret) -> (
+        match Profile.dominant_target profile site with
+        | Some (fid, weight, share)
+          when share >= threshold && weight > 0. && fid >= 0
+               && fid < Array.length prog.Il.funcs
+               && prog.Il.funcs.(fid).Il.alive ->
+          let r_addr = f.Il.nregs in
+          let r_cmp = f.Il.nregs + 1 in
+          f.Il.nregs <- f.Il.nregs + 2;
+          let l_direct = f.Il.nlabels in
+          let l_join = f.Il.nlabels + 1 in
+          f.Il.nlabels <- f.Il.nlabels + 2;
+          let new_site = Il.fresh_site prog in
+          emit (Il.Lea_func (r_addr, fid));
+          emit (Il.Bin (Il.Eq, r_cmp, target, Il.Reg r_addr));
+          emit (Il.Bnz (Il.Reg r_cmp, l_direct));
+          emit (Il.Call_ind (site, target, args, ret));
+          emit (Il.Jump l_join);
+          emit (Il.Label l_direct);
+          emit (Il.Call (new_site, fid, args, ret));
+          emit (Il.Label l_join);
+          changed := true;
+          decisions :=
+            {
+              d_site = site;
+              d_caller = f.Il.fid;
+              d_target = fid;
+              d_new_site = new_site;
+              d_share = share;
+              d_weight = weight;
+            }
+            :: !decisions
+        | Some _ | None -> emit instr)
+      | _ -> emit instr)
+    f.Il.body;
+  if !changed then f.Il.body <- Array.of_list (List.rev !out);
+  List.rev !decisions
+
+(* [run ~threshold profile prog] rewrites [prog] in place and returns
+   the decisions (program order) plus a profile whose arc weights cover
+   the fresh direct sites: each captures the dominant target's measured
+   weight, and the residual indirect site keeps only the traffic that
+   still misses the guard — so the selector prices the speculated arc
+   exactly as hot as the profile saw it. *)
+let run ~threshold (profile : Profile.t) (prog : Il.program) =
+  Impact_support.Fault.hit Impact_support.Fault.Devirt;
+  let decisions =
+    Array.fold_left
+      (fun acc f ->
+        if f.Il.alive then acc @ devirt_func ~threshold ~profile prog f
+        else acc)
+      [] prog.Il.funcs
+  in
+  let overrides =
+    List.concat_map
+      (fun d ->
+        [
+          (d.d_new_site, d.d_weight);
+          (d.d_site, Profile.site_weight profile d.d_site -. d.d_weight);
+        ])
+      decisions
+  in
+  let profile =
+    if overrides = [] then profile
+    else Profile.with_site_weight_overrides profile overrides
+  in
+  (decisions, profile)

@@ -1,0 +1,38 @@
+(** Profile-guided devirtualization.
+
+    Rewrites an indirect call site whose value profile shows one
+    dominant target into a guarded direct call,
+
+    {v if (fp == &f) call f(args) else call *fp(args) v}
+
+    using existing IL compare/branch/call ops.  The guarded direct call
+    gets a fresh site id and flows through Classify/Select/Expand like
+    any other arc, so the speculated callee can inline; guards that
+    constant folding later proves always-taken are swept by
+    {!Driver.post_inline_cleanup}.  The cold path keeps the original
+    indirect instruction (and site id) untouched, so the rewrite is
+    semantics-preserving for every run-time target. *)
+
+(** One speculation the pass committed. *)
+type decision = {
+  d_site : Impact_il.Il.site_id;  (** the original indirect site *)
+  d_caller : Impact_il.Il.fid;
+  d_target : Impact_il.Il.fid;  (** speculated callee *)
+  d_new_site : Impact_il.Il.site_id;  (** the guarded direct site *)
+  d_share : float;  (** dominant target's fraction of site traffic *)
+  d_weight : float;  (** average per-run calls routed to the direct site *)
+}
+
+(** [run ~threshold profile prog] speculates every indirect site whose
+    dominant target carries at least [threshold] of the site's measured
+    traffic.  Mutates [prog] in place; returns the decisions in program
+    order together with a profile extended so each fresh direct site
+    reads back the captured weight (and the residual indirect site the
+    remainder).  A profile without value data — static fallback, v2/v3
+    file, corrupt vsite section — yields no decisions.  Carries the
+    {!Impact_support.Fault.Devirt} injection point. *)
+val run :
+  threshold:float ->
+  Impact_profile.Profile.t ->
+  Impact_il.Il.program ->
+  decision list * Impact_profile.Profile.t

@@ -1,7 +1,19 @@
+type vtarget = {
+  vt_fid : int;
+  vt_weight : float;
+}
+
+type vsite = {
+  vs_site : int;
+  vs_targets : vtarget list;
+  vs_other : float;
+}
+
 type t = {
   nruns : int;
   func_weight : float array;
   site_weight : float array;
+  vsites : vsite list;
   avg_ils : float;
   avg_cts : float;
   avg_calls : float;
@@ -9,6 +21,48 @@ type t = {
   avg_ext_calls : float;
   avg_max_stack : float;
 }
+
+(* Top-K truncation bound for per-site target histograms.  Real
+   indirect sites are dominated by one or two targets (that skew is
+   what devirt exploits); everything past the K hottest is folded into
+   [vs_other], which still lets the dominance fraction be computed
+   exactly. *)
+let value_profile_top_k = 4
+
+let vsites_of_counters ~avg (c : Impact_interp.Counters.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun site row ->
+      if Array.length row > 0 then begin
+        let total = Array.fold_left ( + ) 0 row in
+        if total > 0 then begin
+          let pairs = ref [] in
+          Array.iteri (fun fid n -> if n > 0 then pairs := (fid, n) :: !pairs) row;
+          let sorted =
+            List.sort
+              (fun (f1, n1) (f2, n2) ->
+                if n1 <> n2 then compare n2 n1 else compare f1 f2)
+              !pairs
+          in
+          let rec take k = function
+            | [] -> []
+            | _ when k <= 0 -> []
+            | x :: tl -> x :: take (k - 1) tl
+          in
+          let top = take value_profile_top_k sorted in
+          let top_sum = List.fold_left (fun a (_, n) -> a + n) 0 top in
+          out :=
+            {
+              vs_site = site;
+              vs_targets =
+                List.map (fun (fid, n) -> { vt_fid = fid; vt_weight = avg n }) top;
+              vs_other = avg (total - top_sum);
+            }
+            :: !out
+        end
+      end)
+    c.Impact_interp.Counters.ind_counts;
+  List.rev !out
 
 let of_counters ~nruns ~max_stacks (c : Impact_interp.Counters.t) =
   if nruns <= 0 then invalid_arg "Profile.of_counters: nruns must be positive";
@@ -18,6 +72,7 @@ let of_counters ~nruns ~max_stacks (c : Impact_interp.Counters.t) =
     nruns;
     func_weight = Array.map avg c.Impact_interp.Counters.func_counts;
     site_weight = Array.map avg c.Impact_interp.Counters.site_counts;
+    vsites = vsites_of_counters ~avg c;
     avg_ils = avg c.Impact_interp.Counters.ils;
     avg_cts = avg c.Impact_interp.Counters.cts;
     avg_calls = avg c.Impact_interp.Counters.calls;
@@ -36,6 +91,7 @@ let static_uniform ~nfuncs ~nsites =
     nruns = 1;
     func_weight = Array.make (max nfuncs 1) 0.;
     site_weight = Array.make (max nsites 1) 0.;
+    vsites = [];
     avg_ils = 0.;
     avg_cts = 0.;
     avg_calls = 0.;
@@ -49,6 +105,41 @@ let func_weight p fid =
 
 let site_weight p site =
   if site >= 0 && site < Array.length p.site_weight then p.site_weight.(site) else 0.
+
+let vsite p site = List.find_opt (fun v -> v.vs_site = site) p.vsites
+
+let vsite_total v =
+  List.fold_left (fun acc t -> acc +. t.vt_weight) v.vs_other v.vs_targets
+
+(* The devirt question: does one target dominate this indirect site?
+   Returns the hottest recorded target, its average per-run count and
+   its share of the site's total traffic (top-K truncation keeps the
+   denominator exact because the tail is folded into [vs_other]). *)
+let dominant_target p site =
+  match vsite p site with
+  | None -> None
+  | Some v -> (
+    match v.vs_targets with
+    | [] -> None
+    | t :: _ ->
+      let total = vsite_total v in
+      if total <= 0. then None
+      else Some (t.vt_fid, t.vt_weight, t.vt_weight /. total))
+
+(* Extend (and overwrite) arc weights for sites created after profiling
+   — devirt's fresh direct sites.  [site_weight] is bounds-checked, so
+   without this the selector would see a speculated arc as zero-weight
+   and reject it as below-threshold. *)
+let with_site_weight_overrides p overrides =
+  let top =
+    List.fold_left
+      (fun m (s, _) -> max m (s + 1))
+      (Array.length p.site_weight) overrides
+  in
+  let sw = Array.make (max top 1) 0. in
+  Array.blit p.site_weight 0 sw 0 (Array.length p.site_weight);
+  List.iter (fun (s, w) -> if s >= 0 then sw.(s) <- Float.max 0. w) overrides;
+  { p with site_weight = sw }
 
 let to_string p =
   Printf.sprintf "profile over %d run(s): ILs=%.0f CTs=%.0f calls=%.0f ext=%.0f"

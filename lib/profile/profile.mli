@@ -8,10 +8,26 @@
     Weights are averages over the run set, kept as floats so low-frequency
     sites keep a non-zero weight. *)
 
+(** One recorded target of an indirect call site. *)
+type vtarget = {
+  vt_fid : int;       (** resolved callee *)
+  vt_weight : float;  (** average calls per run landing on it *)
+}
+
+(** The value profile of one indirect call site: the top-K hottest
+    targets plus the folded weight of everything else.  Sites that
+    never executed have no entry. *)
+type vsite = {
+  vs_site : int;              (** site id of the indirect call *)
+  vs_targets : vtarget list;  (** hottest first; weight then fid order *)
+  vs_other : float;           (** folded weight of targets past top-K *)
+}
+
 type t = {
   nruns : int;
   func_weight : float array;  (** node weight by fid *)
   site_weight : float array;  (** arc weight by site id *)
+  vsites : vsite list;        (** indirect-site value profile, site order *)
   avg_ils : float;
   avg_cts : float;
   avg_calls : float;
@@ -37,6 +53,28 @@ val func_weight : t -> int -> float
 (** [site_weight p site] is the arc weight, 0 when out of range — sites
     created by inlining after profiling have no measured weight. *)
 val site_weight : t -> int -> float
+
+(** Top-K truncation bound applied when building [vsites]. *)
+val value_profile_top_k : int
+
+(** [vsite p site] is the value profile of [site], if it executed. *)
+val vsite : t -> int -> vsite option
+
+(** [vsite_total v] is the site's total average traffic (targets +
+    other). *)
+val vsite_total : vsite -> float
+
+(** [dominant_target p site] is [(fid, weight, share)] for the hottest
+    recorded target of [site]: its average per-run call count and its
+    fraction of the site's total traffic.  [None] when the site has no
+    value profile. *)
+val dominant_target : t -> int -> (int * float * float) option
+
+(** [with_site_weight_overrides p [(site, w); ...]] extends the arc
+    weight array so each listed [site] reads back [w] — used by devirt
+    to give its freshly created direct sites the measured weight of the
+    traffic they capture. *)
+val with_site_weight_overrides : t -> (int * float) list -> t
 
 (** [to_string p] is a short human-readable summary. *)
 val to_string : t -> string

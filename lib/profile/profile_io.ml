@@ -1,22 +1,35 @@
 (* Profile serialisation.
 
-   Current format (v3) adds the profile mode to the v2 header, so a
-   profile collected under one instrumentation mode (notably the
-   approximate "sampled") is never silently reused to answer a request
-   for another:
+   Current format (v4) adds the per-indirect-site value profile
+   ("vsite" lines) on top of the v3 mode extension:
+
+     impact-profile v4 <md5-of-program-dump | -> <full|min|sampled | ->
+     ...
+     vsite <site> <other-weight> <fid>:<weight> ...
+
+   A v4 header is emitted only when the profile actually carries value
+   data (some indirect site executed); otherwise the previous headers
+   are kept — v3 when the writer states a mode:
 
      impact-profile v3 <md5-of-program-dump | -> <full|min|sampled>
 
-   A v3 header is emitted only when the writer states a mode; otherwise
-   the v2 header is kept:
+   and v2 when it does not:
 
      impact-profile v2 <md5-of-program-dump | ->
 
-   — which also keeps {!profile_checksum} (and every cache artifact
-   keyed by it) byte-stable across this change.  v2 files carry no mode
-   (they predate modes, so they read as "full"); v1 files
+   — which keeps {!profile_checksum} (and every cache artifact keyed by
+   it) byte-stable for every profile without indirect-call data.  v3/v2
+   files read back with an empty value profile (they predate it, and an
+   empty value profile simply disables devirtualization); v1 files
    ("impact-profile 1") are still read and carry neither checksum nor
    mode, so staleness cannot be detected for them.
+
+   "vsite" lines are deliberately forgiving in a different way from the
+   rest of the format: a malformed, truncated or out-of-bounds value
+   profile drops the *whole* value-profile component (degrading devirt
+   to a no-op) instead of failing the parse — the arc/node weights are
+   still trustworthy and the pass that consumes vsites is an optional
+   speculation.
 
    Every failure mode (unreadable file, malformed line, negative or
    overflowing count, unknown section, checksum mismatch) surfaces as a
@@ -30,6 +43,12 @@ module Fault = Impact_support.Fault
 
 let magic_v2 = "impact-profile v2"
 let magic_v3 = "impact-profile v3"
+let magic_v4 = "impact-profile v4"
+
+(* Bound on the targets a single vsite line may carry — generous
+   against the writer's top-K truncation, tight against hostile
+   input. *)
+let max_vsite_targets = 64
 
 (* Hard ceilings on the array sizes a profile file can request, so a
    hostile or corrupt "counts" line cannot drive [Array.make] into
@@ -45,20 +64,31 @@ let program_checksum prog = Digest.to_hex (Digest.string (Impact_il.Il_pp.dump p
 
 let to_string ?checksum ?mode (p : Profile.t) =
   let buf = Buffer.create 1024 in
-  (match mode with
-  | None ->
-    (* No mode stated: keep the v2 header byte-for-byte, so
-       [profile_checksum] — and every cached artifact keyed by it —
-       is unchanged by the mode extension. *)
-    Buffer.add_string buf magic_v2;
-    Buffer.add_char buf ' ';
-    Buffer.add_string buf (match checksum with Some c -> c | None -> "-")
-  | Some m ->
-    Buffer.add_string buf magic_v3;
-    Buffer.add_char buf ' ';
-    Buffer.add_string buf (match checksum with Some c -> c | None -> "-");
-    Buffer.add_char buf ' ';
-    Buffer.add_string buf (Coverage.mode_name m));
+  (if p.Profile.vsites <> [] then begin
+     (* Value data present: v4 header, with "-" standing in for an
+        unstated mode exactly like an unrecorded checksum. *)
+     Buffer.add_string buf magic_v4;
+     Buffer.add_char buf ' ';
+     Buffer.add_string buf (match checksum with Some c -> c | None -> "-");
+     Buffer.add_char buf ' ';
+     Buffer.add_string buf
+       (match mode with Some m -> Coverage.mode_name m | None -> "-")
+   end
+   else
+     match mode with
+     | None ->
+       (* No mode stated: keep the v2 header byte-for-byte, so
+          [profile_checksum] — and every cached artifact keyed by it —
+          is unchanged by the mode extension. *)
+       Buffer.add_string buf magic_v2;
+       Buffer.add_char buf ' ';
+       Buffer.add_string buf (match checksum with Some c -> c | None -> "-")
+     | Some m ->
+       Buffer.add_string buf magic_v3;
+       Buffer.add_char buf ' ';
+       Buffer.add_string buf (match checksum with Some c -> c | None -> "-");
+       Buffer.add_char buf ' ';
+       Buffer.add_string buf (Coverage.mode_name m));
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Printf.sprintf "runs %d\n" p.Profile.nruns);
   Buffer.add_string buf
@@ -77,6 +107,17 @@ let to_string ?checksum ?mode (p : Profile.t) =
     (fun site w ->
       if w <> 0. then Buffer.add_string buf (Printf.sprintf "site %d %.17g\n" site w))
     p.Profile.site_weight;
+  List.iter
+    (fun (v : Profile.vsite) ->
+      Buffer.add_string buf
+        (Printf.sprintf "vsite %d %.17g" v.Profile.vs_site v.Profile.vs_other);
+      List.iter
+        (fun (t : Profile.vtarget) ->
+          Buffer.add_string buf
+            (Printf.sprintf " %d:%.17g" t.Profile.vt_fid t.Profile.vt_weight))
+        v.Profile.vs_targets;
+      Buffer.add_char buf '\n')
+    p.Profile.vsites;
   Buffer.contents buf
 
 (* Identity of a profile's *content*, for keying artifacts derived from
@@ -125,6 +166,18 @@ let parse ?expect_checksum ?expect_mode s =
     | _ -> ()
   in
   (match header with
+  | [ "impact-profile"; "v4"; checksum; mode ] -> (
+    check_checksum checksum;
+    if mode <> "-" then
+      (* "-" = unstated mode, undetectable like a "-" checksum. *)
+      match Coverage.mode_of_string mode with
+      | None -> fail "bad profile mode %S in header" mode
+      | Some recorded -> (
+        match expect_mode with
+        | Some wanted when recorded <> wanted ->
+          fail "stale profile: mode %s does not match requested %s"
+            (Coverage.mode_name recorded) (Coverage.mode_name wanted)
+        | _ -> ()))
   | [ "impact-profile"; "v3"; checksum; mode ] -> (
     check_checksum checksum;
     match Coverage.mode_of_string mode with
@@ -149,6 +202,38 @@ let parse ?expect_checksum ?expect_mode s =
   let sizes = ref None in
   let funcs = ref [] in
   let sites = ref [] in
+  let vsites = ref [] in
+  (* Value-profile lines degrade as a unit: the first malformed one
+     poisons the whole component (see the header comment) — the parse
+     keeps going and the profile reads back without value data. *)
+  let vsites_ok = ref true in
+  let parse_vtarget tok =
+    match String.index_opt tok ':' with
+    | None -> None
+    | Some i -> (
+      let fid = String.sub tok 0 i in
+      let w = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match (int_of_string_opt fid, float_of_string_opt w) with
+      | Some fid, Some w when fid >= 0 && Float.is_finite w && w >= 0. ->
+        Some { Profile.vt_fid = fid; vt_weight = w }
+      | _, _ -> None)
+  in
+  let parse_vsite site other targets =
+    match (int_of_string_opt site, float_of_string_opt other) with
+    | Some site, Some other
+      when site >= 0
+           && Float.is_finite other
+           && other >= 0.
+           && List.length targets <= max_vsite_targets -> (
+      let parsed = List.map parse_vtarget targets in
+      if List.exists Option.is_none parsed then None
+      else
+        match List.filter_map Fun.id parsed with
+        | [] -> None (* a vsite records at least one resolved target *)
+        | vs_targets ->
+          Some { Profile.vs_site = site; vs_targets; vs_other = other })
+    | _, _ -> None
+  in
   List.iter
     (fun line ->
       match split_fields line with
@@ -177,6 +262,14 @@ let parse ?expect_checksum ?expect_mode s =
         match int_of_string_opt id with
         | Some id when id >= 0 -> sites := (id, weight_of_string line w) :: !sites
         | Some _ | None -> fail "bad site line %S" line)
+      | "vsite" :: site :: other :: targets ->
+        if !vsites_ok then (
+          match parse_vsite site other targets with
+          | Some v -> vsites := v :: !vsites
+          | None -> vsites_ok := false)
+      | [ "vsite" ] | [ "vsite"; _ ] ->
+        (* Truncated vsite line: drop the component, keep the parse. *)
+        vsites_ok := false
       | section :: _ -> fail "unknown section %S in line %S" section line
       | [] -> assert false (* blank lines were filtered *))
     rest;
@@ -203,10 +296,42 @@ let parse ?expect_checksum ?expect_mode s =
       if id >= ns then fail "site id %d out of bounds %d" id ns;
       site_weight.(id) <- w)
     !sites;
+  (* Bounds and uniqueness for the value profile are checked against
+     the counts line; any violation is stale/corrupt value data and —
+     unlike the weight sections — drops the component, not the file. *)
+  let vsites =
+    if not !vsites_ok then []
+    else begin
+      let vs =
+        List.sort
+          (fun (x : Profile.vsite) y -> compare x.Profile.vs_site y.Profile.vs_site)
+          !vsites
+      in
+      let ok =
+        List.for_all
+          (fun (v : Profile.vsite) ->
+            v.Profile.vs_site < ns
+            && List.for_all (fun t -> t.Profile.vt_fid < nf) v.Profile.vs_targets)
+          vs
+        &&
+        match vs with
+        | [] -> true
+        | first :: rest ->
+          fst
+            (List.fold_left
+               (fun (distinct, prev) (v : Profile.vsite) ->
+                 (distinct && v.Profile.vs_site > prev, v.Profile.vs_site))
+               (true, first.Profile.vs_site)
+               rest)
+      in
+      if ok then vs else []
+    end
+  in
   {
     Profile.nruns = !nruns;
     func_weight;
     site_weight;
+    vsites;
     avg_ils = a;
     avg_cts = b;
     avg_calls = c;

@@ -5,33 +5,42 @@
     The format is a line-oriented text file:
 
     {v
-    impact-profile v3 <checksum> <full|min|sampled>
+    impact-profile v4 <checksum> <full|min|sampled|->
     runs <n>
     totals <ils> <cts> <calls> <returns> <ext_calls> <max_stack>
     func <fid> <weight>      (one line per non-zero node weight)
     site <id> <weight>       (one line per non-zero arc weight)
+    vsite <id> <other> <fid>:<weight> ...   (indirect-site value profile)
     v}
 
     Weights are averages over the run set and may be fractional.  The
     header's [<checksum>] is the {!program_checksum} of the program the
     profile was collected against ([-] when not recorded), so a stale
-    profile is detected at load time.  The v3 mode field records the
+    profile is detected at load time.  The mode field records the
     instrumentation mode the profile was collected under, so an
     approximate [sampled] profile is never silently reused to answer a
     request for an exact one.
 
-    Writers emit a v3 header only when they state a mode; otherwise the
-    v2 header ([impact-profile v2 <checksum>]) is kept, which also keeps
-    {!profile_checksum} byte-stable.  v2 files carry no mode and pass
-    any [expect_mode]; v1 files ([impact-profile 1]) are still read and
-    carry neither checksum nor mode.
+    Writers emit a v4 header only when the profile carries a value
+    profile (some indirect site executed); otherwise a v3 header is
+    emitted when they state a mode and the v2 header
+    ([impact-profile v2 <checksum>]) is kept when they do not, which
+    also keeps {!profile_checksum} byte-stable for profiles without
+    indirect-call data.  v2/v3 files read back with an empty value
+    profile; v2 files carry no mode and pass any [expect_mode]; v1
+    files ([impact-profile 1]) are still read and carry neither
+    checksum nor mode.
 
     All failure modes — unreadable file, malformed line,
     negative/overflowing count, unknown section, stale checksum or
     mode — are reported as typed {!Impact_support.Ierr.t} values (stage
     [Profile_io], severity [Degradable], recovery [Fallback_static]),
     never raw exceptions: array sizes requested by the file are bounds-
-    checked before allocation.  Readers/writers carry the
+    checked before allocation.  The one deliberate exception is the
+    value profile itself: malformed, truncated or out-of-bounds [vsite]
+    data drops the whole value-profile component (devirtualization
+    degrades to a no-op) while the rest of the profile still parses.
+    Readers/writers carry the
     {!Impact_support.Fault.Profile_read}/[Profile_write] injection
     points. *)
 
@@ -44,10 +53,11 @@ val program_checksum : Impact_il.Il.program -> string
     artifacts (cached inlining decisions) derived from it. *)
 val profile_checksum : Profile.t -> string
 
-(** [to_string ?checksum ?mode p] serialises a profile.  With [?mode], a
-    v3 header records the instrumentation mode; without it the v2 header
-    is emitted unchanged.  [?checksum] defaults to the unrecorded marker
-    [-]. *)
+(** [to_string ?checksum ?mode p] serialises a profile.  A profile with
+    value data takes a v4 header ([?mode] defaulting to the unrecorded
+    marker [-]); otherwise, with [?mode], a v3 header records the
+    instrumentation mode and without it the v2 header is emitted
+    unchanged.  [?checksum] defaults to [-]. *)
 val to_string : ?checksum:string -> ?mode:Coverage.mode -> Profile.t -> string
 
 (** [of_string ?expect_checksum ?expect_mode s] parses a serialised

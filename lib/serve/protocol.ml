@@ -29,6 +29,7 @@ module Ierr = Impact_support.Ierr
 module Fault = Impact_support.Fault
 module Machine = Impact_interp.Machine
 module Pipeline = Impact_harness.Pipeline
+module Config = Impact_core.Config
 
 let version = 1
 
@@ -165,6 +166,8 @@ type job = {
   j_policy : Pipeline.policy;
   j_engine : Machine.engine;
   j_profile_mode : Impact_profile.Coverage.mode;
+  j_devirt : bool;
+  j_devirt_threshold : float;
   j_timeout_s : float option;
   j_max_output : int option;
   j_fault : fault_spec option;
@@ -197,6 +200,10 @@ let default_job =
     (* Full is the historical behaviour, so requests from clients that
        predate the field keep their exact semantics. *)
     j_profile_mode = Impact_profile.Coverage.Full;
+    (* Off by default: clients that predate the field keep the exact
+       non-speculative pipeline. *)
+    j_devirt = false;
+    j_devirt_threshold = Config.default.Config.devirt_threshold;
     j_timeout_s = None;
     j_max_output = None;
     j_fault = None;
@@ -259,6 +266,19 @@ let parse_job j =
       | None -> Error (serve_error "unknown profile_mode %S" s))
     | _ -> Error (serve_error "profile_mode must be a string")
   in
+  let* devirt =
+    match Sink.mem "devirt" j with
+    | Sink.Null -> Ok false
+    | Sink.Bool b -> Ok b
+    | _ -> Error (serve_error "devirt must be a boolean")
+  in
+  let* devirt_threshold =
+    match Sink.mem "devirt_threshold" j with
+    | Sink.Null -> Ok Config.default.Config.devirt_threshold
+    | Sink.Float t when t > 0. && t <= 1. -> Ok t
+    | Sink.Int 1 -> Ok 1.
+    | _ -> Error (serve_error "devirt_threshold must be a number in (0, 1]")
+  in
   let* timeout_s =
     match Sink.mem "timeout_s" j with
     | Sink.Null -> Ok None
@@ -280,6 +300,8 @@ let parse_job j =
       j_policy = policy;
       j_engine = engine;
       j_profile_mode = profile_mode;
+      j_devirt = devirt;
+      j_devirt_threshold = devirt_threshold;
       j_timeout_s = timeout_s;
       j_max_output = max_output;
       j_fault = fault;
@@ -337,6 +359,14 @@ let job_fields job =
       ( "profile_mode",
         Sink.String (Impact_profile.Coverage.mode_name job.j_profile_mode) );
     ]
+  @ (if not job.j_devirt then []
+     else
+       (* Omitted when off, so frames from devirt-unaware clients keep
+          their exact historical bytes. *)
+       [
+         ("devirt", Sink.Bool true);
+         ("devirt_threshold", Sink.Float job.j_devirt_threshold);
+       ])
   @ (match job.j_timeout_s with
     | None -> []
     | Some t -> [ ("timeout_s", Sink.Float t) ])

@@ -67,6 +67,13 @@ type job = {
       (** wire field [profile_mode], one of ["full"]/["min"]/["sampled"];
           absent (requests from clients predating the field) defaults to
           [Full] — the historical behaviour *)
+  j_devirt : bool;
+      (** wire field [devirt]; absent defaults to [false] — requests
+          from clients predating the field keep the exact
+          non-speculative pipeline *)
+  j_devirt_threshold : float;
+      (** wire field [devirt_threshold], a number in (0, 1]; absent
+          defaults to {!Impact_core.Config.default}'s threshold *)
   j_timeout_s : float option;  (** per-run wall-clock budget *)
   j_max_output : int option;  (** per-run output watermark, bytes *)
   j_fault : fault_spec option;
@@ -85,7 +92,7 @@ type request = { rq_id : int; rq_kind : kind }
 val kind_name : kind -> string
 
 (** All defaults: empty source, [[""]] inputs, [Strict], [Threaded],
-    [Full] profiling, no budgets, no fault. *)
+    [Full] profiling, no devirtualization, no budgets, no fault. *)
 val default_job : job
 
 (** [parse_request j] validates the version field and every parameter;

@@ -135,8 +135,16 @@ let degradations_json (r : Pipeline.result) =
 
 let compile_result_json (r : Pipeline.result) =
   let inl = r.Pipeline.inliner in
+  let devirt =
+    (* Present only when the run actually speculated, mirroring
+       {!Impact_harness.Report.to_json}: devirt-off responses keep their
+       exact historical shape. *)
+    match inl.Impact_core.Inliner.devirt with
+    | [] -> []
+    | ds -> [ ("devirt_sites", Sink.Int (List.length ds)) ]
+  in
   Sink.Obj
-    [
+    ([
       ("code_before", Sink.Int inl.Impact_core.Inliner.size_before);
       ("code_after", Sink.Int inl.Impact_core.Inliner.size_after);
       ("code_increase_pct", Sink.Float (Pipeline.code_increase r));
@@ -151,6 +159,7 @@ let compile_result_json (r : Pipeline.result) =
       ("avg_calls_after", Sink.Float r.Pipeline.post_profile.Profile.avg_calls);
       ("degradations", degradations_json r);
     ]
+    @ devirt)
 
 let profile_json (p : Profile.t) ~(coverage : Profiler.coverage) ~nruns =
   Sink.Obj
@@ -208,6 +217,13 @@ let execute_work t ~req_label (kind : Protocol.kind) :
           if not (Fault.enabled ()) then Fault.reset ())
         f
   in
+  let config_of_job (job : Protocol.job) =
+    {
+      Impact_core.Config.default with
+      Impact_core.Config.devirt = job.Protocol.j_devirt;
+      devirt_threshold = job.Protocol.j_devirt_threshold;
+    }
+  in
   match kind with
   | Protocol.Ping ->
     Ok
@@ -223,7 +239,8 @@ let execute_work t ~req_label (kind : Protocol.kind) :
         with_fault job (fun () ->
             let r =
               Pipeline.run_source ~obs:t.cfg.obs ~policy:job.Protocol.j_policy
-                ?cache:t.cfg.cache ~engine:job.Protocol.j_engine
+                ~config:(config_of_job job) ?cache:t.cfg.cache
+                ~engine:job.Protocol.j_engine
                 ?budget:(budget_of_job job)
                 ~profile_mode:job.Protocol.j_profile_mode ~name:req_label
                 ~source:job.Protocol.j_source ~inputs:job.Protocol.j_inputs ()
@@ -262,7 +279,8 @@ let execute_work t ~req_label (kind : Protocol.kind) :
             in
             let r =
               Pipeline.run ~obs:t.cfg.obs ~policy:job.Protocol.j_policy
-                ?cache:t.cfg.cache ~engine:job.Protocol.j_engine
+                ~config:(config_of_job job) ?cache:t.cfg.cache
+                ~engine:job.Protocol.j_engine
                 ?budget:(budget_of_job job)
                 ~profile_mode:job.Protocol.j_profile_mode bench
             in

@@ -24,12 +24,14 @@ type point =
   | Sink_write
   | Cache_read
   | Cache_write
+  | Devirt
 
 exception Injected of point
 
 let all_points =
   [ Profile_read; Profile_write; Pool_worker_start; Pool_worker_finish;
-    Interp_step; Expand_splice; Sink_write; Cache_read; Cache_write ]
+    Interp_step; Expand_splice; Sink_write; Cache_read; Cache_write;
+    Devirt ]
 
 let npoints = List.length all_points
 
@@ -43,6 +45,7 @@ let index = function
   | Sink_write -> 6
   | Cache_read -> 7
   | Cache_write -> 8
+  | Devirt -> 9
 
 let point_name = function
   | Profile_read -> "profile-read"
@@ -54,6 +57,7 @@ let point_name = function
   | Sink_write -> "sink-write"
   | Cache_read -> "cache-read"
   | Cache_write -> "cache-write"
+  | Devirt -> "devirt"
 
 let point_of_name s =
   List.find_opt (fun p -> point_name p = s) all_points

@@ -17,6 +17,7 @@ type point =
   | Sink_write         (** {!Impact_obs.Sink} event emission *)
   | Cache_read         (** {!Cstore.find} entry read/verify *)
   | Cache_write        (** {!Cstore.store} entry write *)
+  | Devirt             (** {!Impact_opt.Devirt.run} entry *)
 
 exception Injected of point
 

@@ -55,6 +55,11 @@ let config_of = function
       Config.heuristic = Config.Static_leaf;
       program_size_limit_ratio = 2.0;
     }
+  | "devirt" ->
+    (* Value-profiled speculation on: the report grows its "devirt"
+       section (per-site decisions) and the residual pointer mix
+       shifts — the snapshot pins both. *)
+    { Config.default with Config.devirt = true }
   | other -> failwith ("golden_gen: unknown config " ^ other)
 
 let () =

@@ -142,7 +142,11 @@ let generate rng =
   let calls = Rng.range rng 2 5 in
   for _ = 1 to calls do
     let reps = Rng.range rng 1 20 in
-    (match Rng.int rng 3 with
+    (* Weighted toward the pointer-dispatch layer (2 of 4 phase kinds):
+       the mixed-index phase exercises multi-target indirect sites, the
+       fixed-index phase produces the single-dominant-target histograms
+       speculative devirtualization rewrites. *)
+    (match Rng.int rng 4 with
     | 0 ->
       let f = Rng.int rng nfuncs in
       Buffer.add_string buf
@@ -155,6 +159,13 @@ let generate rng =
            "  for (k = 0; k < %d; k = k + 1) { acc = acc + dispatch(k, acc & \
             127, %d); }\n"
            reps depth0)
+    | 2 ->
+      let slot = Rng.int rng tab_size in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  for (k = 0; k < %d; k = k + 1) { acc = acc + dispatch(%d, acc & \
+            127, %d); }\n"
+           reps slot depth0)
     | _ ->
       Buffer.add_string buf
         (Printf.sprintf
@@ -219,7 +230,10 @@ let props =
   let open QCheck in
   let t ~count name f = Test.make ~count ~name gen_source f in
   [
-    (* 260 generated programs in total across the three configs. *)
+    (* 420 generated programs in total across the six configs; every
+       property checks the full square — baseline vs transformed, on
+       both engines — so devirt off/on and inlining off/on must all
+       produce byte-identical output. *)
     t ~count:120 "inlining off vs on, both engines (default config)"
       (semantics_preserved Config.default);
     t ~count:80 "inlining off vs on, both engines (aggressive config)"
@@ -227,6 +241,20 @@ let props =
     t ~count:60 "inlining off vs on, both engines (static-small heuristic)"
       (semantics_preserved
          { aggressive with Config.heuristic = Config.Static_small 200 });
+    t ~count:70 "devirt on, inlining on, both engines (default threshold)"
+      (semantics_preserved { Config.default with Config.devirt = true });
+    t ~count:50 "devirt on, aggressive inlining, eager threshold"
+      (semantics_preserved
+         { aggressive with Config.devirt = true; devirt_threshold = 0.5 });
+    (* An infinite weight threshold selects no arcs, so this isolates
+       the guard rewrite itself: devirt on, inline expansion off. *)
+    t ~count:40 "devirt on, inlining off, both engines"
+      (semantics_preserved
+         {
+           Config.default with
+           Config.devirt = true;
+           weight_threshold = infinity;
+         });
   ]
 
 let tests = List.map QCheck_alcotest.to_alcotest props

@@ -120,6 +120,42 @@ let test_degraded_equals_no_inline_baseline () =
   Alcotest.(check bool) "vacuous output verification" true
     r.Pipeline.outputs_match
 
+(* The devirt injection point sits at the head of the speculation pass,
+   so it only fires when the config asks for devirtualization. *)
+let config_devirt =
+  { Impact_core.Config.default with Impact_core.Config.devirt = true }
+
+let test_devirt_fault_strict () =
+  Fault.with_point Fault.Devirt ~after:0 (fun () ->
+      match
+        Pipeline.run ~policy:Pipeline.Strict ~config:config_devirt (bench ())
+      with
+      | _ -> Alcotest.fail "devirt: pipeline succeeded with the fault armed"
+      | exception Ierr.Error e ->
+        Alcotest.(check string) "devirt fault surfaces as the inline stage"
+          "select" (Ierr.stage_name e.Ierr.stage)
+      | exception e ->
+        Alcotest.failf "devirt: untyped exception escaped: %s"
+          (Printexc.to_string e))
+
+(* Sticky, so the fault would fire again on any retry that still
+   speculates: the degraded pipeline must complete by retrying the
+   inline stage with devirtualization disabled, on the record. *)
+let test_devirt_fault_degrade () =
+  let r =
+    Fault.with_point ~once:false Fault.Devirt ~after:0 (fun () ->
+        Pipeline.run ~policy:Pipeline.Degrade ~config:config_devirt (bench ()))
+  in
+  Alcotest.(check bool) "retreat to plain inlining is on the record" true
+    (List.exists
+       (fun (d : Pipeline.degradation) ->
+         d.Pipeline.d_action = "retried with devirtualization disabled")
+       r.Pipeline.degradations);
+  Alcotest.(check bool) "no speculation in the degraded result" true
+    (r.Pipeline.inliner.Inliner.devirt = []);
+  Alcotest.(check bool) "degraded run still verifies outputs" true
+    r.Pipeline.outputs_match
+
 (* Budgets compose with the policies: an impossible per-run deadline is
    a typed profile error under Strict and a degraded no-inlining run
    under Degrade. *)
@@ -147,6 +183,14 @@ let sample_profile () =
     Profile.nruns = 2;
     func_weight = [| 10.; 0.5 |];
     site_weight = [| 3.; 0. |];
+    vsites =
+      [
+        {
+          Profile.vs_site = 1;
+          vs_targets = [ { Profile.vt_fid = 0; vt_weight = 2.5 } ];
+          vs_other = 0.5;
+        };
+      ];
     avg_ils = 100.;
     avg_cts = 20.;
     avg_calls = 5.;
@@ -381,6 +425,10 @@ let tests =
       test_matrix_degrade;
     Alcotest.test_case "degraded run equals no-inline baseline" `Quick
       test_degraded_equals_no_inline_baseline;
+    Alcotest.test_case "devirt fault: strict yields one typed error" `Quick
+      test_devirt_fault_strict;
+    Alcotest.test_case "devirt fault: degrade retreats to plain inlining"
+      `Quick test_devirt_fault_degrade;
     Alcotest.test_case "budget exhaustion under both policies" `Quick
       test_budget_exhaustion_policies;
     Alcotest.test_case "profile read fault is typed" `Quick

@@ -21,6 +21,7 @@ let () =
       ("obs", Test_obs.tests);
       ("telemetry", Test_telemetry.tests);
       ("profile_modes", Test_profile_modes.tests);
+      ("devirt", Test_devirt.tests);
       ("cache", Test_cache.tests);
       ("serve", Test_serve.tests);
       ("chaos", Test_chaos.tests);

@@ -34,6 +34,7 @@ module Lower = Impact_il.Lower
 let profile_bytes p = Profile_io.to_string p
 
 let test_min_identical_on_suite () =
+  let saw_vsites = ref false in
   List.iter
     (fun (b : Benchmark.t) ->
       let prog = Lower.lower_source b.Benchmark.source in
@@ -44,6 +45,16 @@ let test_min_identical_on_suite () =
         (b.Benchmark.name ^ ": min profile byte-identical to full")
         (profile_bytes full.Profiler.profile)
         (profile_bytes min.Profiler.profile);
+      (* The value-profile component, explicitly: indirect sites are
+         never elided by a Min plan, so the per-site target histograms
+         must be structurally identical too, not just the site
+         weights. *)
+      let vf = full.Profiler.profile.Profile.vsites in
+      let vm = min.Profiler.profile.Profile.vsites in
+      if vf <> vm then
+        Alcotest.failf "%s: full and min value profiles differ"
+          b.Benchmark.name;
+      if vf <> [] then saw_vsites := true;
       (* The plan must have actually elided something: a "min" plan
          instrumenting every site proves nothing. *)
       let c = min.Profiler.coverage in
@@ -54,7 +65,9 @@ let test_min_identical_on_suite () =
         (b.Benchmark.name ^ ": min plan was not poisoned")
         true
         (c.Profiler.effective = Coverage.Min))
-    Suite.all
+    Suite.all;
+  Alcotest.(check bool)
+    "at least one benchmark recorded indirect-call histograms" true !saw_vsites
 
 (* ------------------------------------------------------------------ *)
 (* Property: generated programs, decisions and reports included        *)
